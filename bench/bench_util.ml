@@ -1,0 +1,30 @@
+(* Timing and reporting helpers for the experiment harness. *)
+
+let now () = Unix.gettimeofday ()
+
+(* Mean wall-clock milliseconds of [runs] executions after one warmup run
+   (the paper reports the average of queries "executed 5 times ... on hot
+   cache"). *)
+let time_ms ~runs f =
+  ignore (f ());
+  let t0 = now () in
+  for _ = 1 to runs do
+    ignore (f ())
+  done;
+  (now () -. t0) *. 1000. /. float_of_int runs
+
+let mb bytes = float_of_int bytes /. 1024. /. 1024.
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subheader title = Printf.printf "\n--- %s ---\n%!" title
+
+(* Fixed-width row printing. *)
+let row cells =
+  List.iter (fun (w, s) -> Printf.printf "%*s" w s) cells;
+  print_newline ()
+
+let fcell w f = (w, Printf.sprintf "%.2f" f)
+let scell w s = (w, s)
+let icell w i = (w, string_of_int i)

@@ -1,0 +1,717 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Section V) on the synthetic DBLP-like and XMark-like
+   corpora, plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- --quick      # reduced query counts
+     dune exec bench/main.exe -- --only fig9 --scale 2.0
+
+   Absolute times differ from the paper's 2007-era testbed; the shapes
+   (who wins, by what factor, where the crossovers fall) are the point.
+   EXPERIMENTS.md records paper-vs-measured for each artifact. *)
+
+open Bench_util
+
+type config = {
+  scale : float;
+  queries : int; (* queries per bucket (paper: 40) *)
+  runs : int;    (* repetitions per query (paper: 5) *)
+  seed : int;
+  only : string list; (* empty = all *)
+}
+
+let wants cfg name = cfg.only = [] || List.mem name cfg.only
+
+(* ------------------------------------------------------------------ *)
+(* Corpora                                                             *)
+
+type dataset = {
+  ds_name : string;
+  eng : Xk_core.Engine.t;
+  correlated : string list list;
+  uncorrelated : string list list;
+}
+
+let load_dblp cfg =
+  let t0 = now () in
+  let corpus = Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled cfg.scale) in
+  let label = Xk_encoding.Labeling.label corpus.doc in
+  let idx = Xk_index.Index.build label in
+  Printf.printf
+    "DBLP-like corpus: %d papers, %d nodes, height %d, %d terms (%.1fs)\n%!"
+    corpus.total_papers
+    (Xk_encoding.Labeling.node_count label)
+    (Xk_encoding.Labeling.height label)
+    (Xk_index.Index.term_count idx)
+    (now () -. t0);
+  {
+    ds_name = "DBLP";
+    eng = Xk_core.Engine.of_index idx;
+    correlated = corpus.correlated_queries;
+    uncorrelated = corpus.uncorrelated_queries;
+  }
+
+let load_xmark cfg =
+  let t0 = now () in
+  let corpus = Xk_datagen.Xmark_gen.generate (Xk_datagen.Xmark_gen.scaled cfg.scale) in
+  let label = Xk_encoding.Labeling.label corpus.doc in
+  let idx = Xk_index.Index.build label in
+  Printf.printf
+    "XMark-like corpus: %d items, %d nodes, height %d, %d terms (%.1fs)\n%!"
+    corpus.total_items
+    (Xk_encoding.Labeling.node_count label)
+    (Xk_encoding.Labeling.height label)
+    (Xk_index.Index.term_count idx)
+    (now () -. t0);
+  {
+    ds_name = "XMark";
+    eng = Xk_core.Engine.of_index idx;
+    correlated = corpus.correlated_queries;
+    uncorrelated = [];
+  }
+
+let warm_query ds q =
+  let idx = Xk_core.Engine.index ds.eng in
+  Xk_index.Index.warm idx (List.filter_map (Xk_index.Index.term_id idx) q)
+
+(* ------------------------------------------------------------------ *)
+(* Table I: index sizes                                                *)
+
+let table1 cfg datasets =
+  if wants cfg "table1" then begin
+    header "Table I: index sizes (MB)";
+    Printf.printf
+      "(IL = inverted lists incl. dictionary; aux = sparse indices / B-trees)\n";
+    row
+      [ scell 14 "algorithm"; scell 12 "structure";
+        scell 10 (List.nth datasets 0).ds_name;
+        scell 10 (List.nth datasets 1).ds_name ];
+    let reports =
+      List.map
+        (fun ds -> Xk_index.Index_sizes.report (Xk_core.Engine.index ds.eng))
+        datasets
+    in
+    let line name structure get =
+      row
+        ([ scell 14 name; scell 12 structure ]
+        @ List.map (fun (r : Xk_index.Index_sizes.report) -> fcell 10 (mb (get r))) reports)
+    in
+    line "join-based" "IL" (fun r -> r.join_based.inverted_lists);
+    line "" "sparse" (fun r -> r.join_based.auxiliary);
+    line "stack-based" "IL" (fun r -> r.stack_based.inverted_lists);
+    line "index-based" "B-tree" (fun r -> r.index_based.inverted_lists);
+    line "topk-join" "IL" (fun r -> r.topk_join.inverted_lists);
+    line "" "sparse" (fun r -> r.topk_join.auxiliary);
+    line "RDIL" "IL" (fun r -> r.rdil.inverted_lists);
+    line "" "B-trees" (fun r -> r.rdil.auxiliary)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: complete-result query performance                         *)
+
+let complete_algorithms =
+  [
+    ("join", Xk_core.Engine.Join_based);
+    ("stack", Xk_core.Engine.Stack_based);
+    ("indexed", Xk_core.Engine.Index_based);
+  ]
+
+let mean_time_over_queries cfg ds queries run_query =
+  let total = ref 0. in
+  List.iter
+    (fun q ->
+      warm_query ds q;
+      total := !total +. time_ms ~runs:cfg.runs (fun () -> run_query q))
+    queries;
+  !total /. float_of_int (max 1 (List.length queries))
+
+let low_freq_buckets high = List.filter (fun b -> b * 4 < high) [ 10; 100; 1000; 10_000 ]
+
+let fig9 cfg ds =
+  if wants cfg "fig9" then begin
+    let idx = Xk_core.Engine.index ds.eng in
+    let rng = Xk_datagen.Rng.create cfg.seed in
+    let high = Xk_workload.Workload.max_df idx in
+    header
+      (Printf.sprintf
+         "Figure 9(a)-(d): complete ELCA results, high freq = %d, %d queries x %d runs per point"
+         high cfg.queries cfg.runs);
+    List.iter
+      (fun k ->
+        subheader (Printf.sprintf "fig9, k = %d keywords (time ms)" k);
+        row
+          ([ scell 10 "low freq" ]
+          @ List.map (fun (n, _) -> scell 10 n) complete_algorithms);
+        List.iter
+          (fun low ->
+            let queries =
+              Xk_workload.Workload.random_queries rng idx ~k ~high ~low
+                ~n:cfg.queries
+            in
+            let cells =
+              List.map
+                (fun (_, algorithm) ->
+                  fcell 10
+                    (mean_time_over_queries cfg ds queries (fun q ->
+                         Xk_core.Engine.query ~algorithm ds.eng q)))
+                complete_algorithms
+            in
+            row (icell 10 low :: cells))
+          (low_freq_buckets high))
+      [ 2; 3; 4; 5 ];
+    header "Figure 9(e)-(f): equal keyword frequencies";
+    List.iter
+      (fun k ->
+        subheader (Printf.sprintf "fig9 equal-freq, k = %d keywords (time ms)" k);
+        row
+          ([ scell 10 "freq" ]
+          @ List.map (fun (n, _) -> scell 10 n) complete_algorithms);
+        List.iter
+          (fun freq ->
+            let queries =
+              Xk_workload.Workload.equal_freq_queries rng idx ~k ~freq
+                ~n:cfg.queries
+            in
+            let cells =
+              List.map
+                (fun (_, algorithm) ->
+                  fcell 10
+                    (mean_time_over_queries cfg ds queries (fun q ->
+                         Xk_core.Engine.query ~algorithm ds.eng q)))
+                complete_algorithms
+            in
+            row (icell 10 freq :: cells))
+          (List.filter (fun f -> f * 2 < high) [ 100; 300; 1000; 3000 ]))
+      [ 2; 3 ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: top-10 performance                                       *)
+
+let topk_algorithms =
+  [
+    ("topk-join", Xk_core.Engine.Topk_join);
+    ("complete", Xk_core.Engine.Complete_then_sort);
+    ("RDIL", Xk_core.Engine.Rdil_baseline);
+  ]
+
+let fig10_random cfg ds =
+  if wants cfg "fig10" then begin
+    let idx = Xk_core.Engine.index ds.eng in
+    let rng = Xk_datagen.Rng.create (cfg.seed + 1) in
+    let high = Xk_workload.Workload.max_df idx in
+    header
+      (Printf.sprintf
+         "Figure 10(a): top-10, random (low-correlation) queries, k = 2, high = %d"
+         high);
+    row
+      ([ scell 10 "low freq" ]
+      @ List.map (fun (n, _) -> scell 12 n) topk_algorithms
+      @ [ scell 10 "results" ]);
+    List.iter
+      (fun low ->
+        let queries =
+          Xk_workload.Workload.random_queries rng idx ~k:2 ~high ~low
+            ~n:cfg.queries
+        in
+        let result_count =
+          List.fold_left
+            (fun acc q -> acc + List.length (Xk_core.Engine.query ds.eng q))
+            0 queries
+          / max 1 (List.length queries)
+        in
+        let cells =
+          List.map
+            (fun (_, algorithm) ->
+              fcell 12
+                (mean_time_over_queries cfg ds queries (fun q ->
+                     Xk_core.Engine.query_topk ~algorithm ds.eng q ~k:10)))
+            topk_algorithms
+        in
+        row ((icell 10 low :: cells) @ [ icell 10 result_count ]))
+      (low_freq_buckets high)
+  end
+
+let fig10_correlated cfg ds ~fig =
+  if wants cfg "fig10" then begin
+    header
+      (Printf.sprintf "Figure 10(%s): top-10, correlated queries (%s)" fig
+         ds.ds_name);
+    row
+      ([ scell 28 "query" ]
+      @ List.map (fun (n, _) -> scell 12 n) topk_algorithms
+      @ [ scell 10 "results" ]);
+    let run_query_set label q =
+      warm_query ds q;
+      let result_count = List.length (Xk_core.Engine.query ds.eng q) in
+      let cells =
+        List.map
+          (fun (_, algorithm) ->
+            fcell 12
+              (time_ms ~runs:cfg.runs (fun () ->
+                   Xk_core.Engine.query_topk ~algorithm ds.eng q ~k:10)))
+          topk_algorithms
+      in
+      row ((scell 28 label :: cells) @ [ icell 10 result_count ])
+    in
+    List.iter
+      (fun q -> run_query_set ("{" ^ String.concat " " q ^ "}") q)
+      ds.correlated;
+    if ds.uncorrelated <> [] then begin
+      Printf.printf "(frequency-matched uncorrelated controls:)\n";
+      List.iter
+        (fun q -> run_query_set ("{" ^ String.concat " " q ^ "}") q)
+        ds.uncorrelated
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Motivation: result-size blowup of the naive LCA semantics           *)
+
+let motivation cfg ds =
+  if wants cfg "motivation" then begin
+    header
+      "Motivation (Sections I, II-A): result sizes under the naive LCA semantics";
+    let idx = Xk_core.Engine.index ds.eng in
+    let rng = Xk_datagen.Rng.create (cfg.seed + 9) in
+    row
+      [ scell 4 "k"; scell 16 "combinations"; scell 14 "distinct LCAs";
+        scell 10 "ELCAs"; scell 10 "SLCAs" ];
+    List.iter
+      (fun k ->
+        let queries =
+          Xk_workload.Workload.equal_freq_queries rng idx ~k ~freq:300
+            ~n:(max 5 (cfg.queries / 2))
+        in
+        let combos = ref 0. and lcas = ref 0 and elcas = ref 0 and slcas = ref 0 in
+        let m = List.length queries in
+        List.iter
+          (fun q ->
+            let ids = Xk_index.Index.term_ids_exn idx q in
+            combos := !combos +. Xk_baselines.Naive_lca.combination_count idx ids;
+            lcas := !lcas + List.length (Xk_baselines.Naive_lca.lca_set idx ids);
+            elcas := !elcas + List.length (Xk_core.Engine.query ds.eng q);
+            slcas :=
+              !slcas
+              + List.length
+                  (Xk_core.Engine.query ~semantics:Xk_core.Engine.Slca ds.eng q))
+          queries;
+        let fm = float_of_int (max 1 m) in
+        row
+          [ icell 4 k;
+            (16, Printf.sprintf "%.2e" (!combos /. fm));
+            fcell 14 (float_of_int !lcas /. fm);
+            fcell 10 (float_of_int !elcas /. fm);
+            fcell 10 (float_of_int !slcas /. fm) ])
+      [ 2; 3; 4; 5 ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+(* A1: the paper's tightened star-join threshold vs the classic HRJN
+   bound, on the keyword top-K operator itself. *)
+let ablation_threshold cfg ds =
+  if wants cfg "ablations" then begin
+    header
+      "Ablation A1: star-join threshold (Section IV-B) - Tight vs Classic, top-10";
+    row
+      [ scell 28 "query"; scell 12 "tight ms"; scell 12 "classic ms";
+        scell 12 "tight pulls"; scell 14 "classic pulls" ];
+    let idx = Xk_core.Engine.index ds.eng in
+    let damping = Xk_index.Index.damping idx in
+    List.iter
+      (fun q ->
+        warm_query ds q;
+        match
+          List.map (fun w -> Xk_index.Index.term_id idx w) q
+          |> List.filter_map Fun.id
+        with
+        | ids when List.length ids = List.length q ->
+            let slists =
+              Array.of_list (List.map (Xk_index.Index.score_list idx) ids)
+            in
+            let run threshold =
+              let stats = Xk_core.Topk_keyword.new_stats () in
+              let t =
+                time_ms ~runs:cfg.runs (fun () ->
+                    Xk_core.Topk_keyword.topk ~stats ~threshold slists damping
+                      ~k:10)
+              in
+              (t, stats.pulled / (cfg.runs + 1))
+            in
+            let t_tight, p_tight = run Xk_core.Topk_keyword.Tight in
+            let t_classic, p_classic = run Xk_core.Topk_keyword.Classic in
+            row
+              [ scell 28 ("{" ^ String.concat " " q ^ "}");
+                fcell 12 t_tight; fcell 12 t_classic;
+                icell 12 p_tight; icell 14 p_classic ]
+        | _ -> ())
+      ds.correlated
+  end
+
+(* A2: dynamic join-algorithm selection (Section III-C) vs forced plans. *)
+let ablation_joinplan cfg ds =
+  if wants cfg "ablations" then begin
+    header "Ablation A2: join plan (Section III-C) - dynamic vs forced, ELCA";
+    let idx = Xk_core.Engine.index ds.eng in
+    let rng = Xk_datagen.Rng.create (cfg.seed + 2) in
+    let high = Xk_workload.Workload.max_df idx in
+    row
+      [ scell 16 "workload"; scell 10 "dynamic"; scell 10 "merge";
+        scell 10 "index" ];
+    let plans =
+      [
+        Xk_core.Level_join.Dynamic;
+        Xk_core.Level_join.Force_merge;
+        Xk_core.Level_join.Force_index;
+      ]
+    in
+    let measure name queries =
+      let cells =
+        List.map
+          (fun plan ->
+            fcell 10
+              (mean_time_over_queries cfg ds queries (fun q ->
+                   Xk_core.Engine.query ~plan ds.eng q)))
+          plans
+      in
+      row (scell 16 name :: cells)
+    in
+    measure "skewed low=10"
+      (Xk_workload.Workload.random_queries rng idx ~k:3 ~high ~low:10
+         ~n:cfg.queries);
+    measure "skewed low=100"
+      (Xk_workload.Workload.random_queries rng idx ~k:3 ~high ~low:100
+         ~n:cfg.queries);
+    measure "equal freq"
+      (Xk_workload.Workload.equal_freq_queries rng idx ~k:3 ~freq:(high / 4)
+         ~n:(max 5 (cfg.queries / 4)))
+  end
+
+(* Section V's aside: "query execution time for the SLCA semantics is
+   around the same as the ELCA semantics for any algorithm". *)
+let semantics_check cfg ds =
+  if wants cfg "ablations" then begin
+    header "Semantics check (Section V): ELCA vs SLCA execution time";
+    let idx = Xk_core.Engine.index ds.eng in
+    let rng = Xk_datagen.Rng.create (cfg.seed + 4) in
+    let high = Xk_workload.Workload.max_df idx in
+    let queries =
+      Xk_workload.Workload.random_queries rng idx ~k:3 ~high ~low:100
+        ~n:cfg.queries
+    in
+    row [ scell 12 "algorithm"; scell 10 "ELCA ms"; scell 10 "SLCA ms" ];
+    List.iter
+      (fun (name, algorithm) ->
+        let t semantics =
+          mean_time_over_queries cfg ds queries (fun q ->
+              Xk_core.Engine.query ~semantics ~algorithm ds.eng q)
+        in
+        row
+          [ scell 12 name;
+            fcell 10 (t Xk_core.Engine.Elca);
+            fcell 10 (t Xk_core.Engine.Slca) ])
+      complete_algorithms
+  end
+
+(* A3: gapped JDewey numbering (maintenance headroom, Section III-A) -
+   index size and query time cost of reserving insertion space. *)
+let ablation_gap cfg =
+  if wants cfg "ablations" then begin
+    header "Ablation A3: JDewey gap (Section III-A maintenance headroom)";
+    let corpus =
+      Xk_datagen.Dblp_gen.generate
+        (Xk_datagen.Dblp_gen.scaled (cfg.scale /. 4.))
+    in
+    row
+      [ scell 8 "gap"; scell 14 "join IL (MB)"; scell 14 "query ms" ];
+    List.iter
+      (fun gap ->
+        let label = Xk_encoding.Labeling.label ~gap corpus.doc in
+        let idx = Xk_index.Index.build label in
+        let eng = Xk_core.Engine.of_index idx in
+        let sizes = Xk_index.Index_sizes.report idx in
+        let rng = Xk_datagen.Rng.create cfg.seed in
+        let high = Xk_workload.Workload.max_df idx in
+        let queries =
+          Xk_workload.Workload.random_queries rng idx ~k:2 ~high ~low:100
+            ~n:(max 5 (cfg.queries / 4))
+        in
+        let ds =
+          { ds_name = "gap"; eng; correlated = []; uncorrelated = [] }
+        in
+        let t =
+          mean_time_over_queries cfg ds queries (fun q ->
+              Xk_core.Engine.query eng q)
+        in
+        row
+          [ icell 8 gap;
+            fcell 14 (mb sizes.join_based.inverted_lists);
+            fcell 14 t ])
+      [ 1; 4; 16; 64 ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Disk I/O: the column store's partial reads (Fig. 2, Section III-B)  *)
+
+let disk cfg ds =
+  if wants cfg "disk" then begin
+    header "Disk I/O (Figure 2 / Section III-B): column-at-a-time reads";
+    let idx = Xk_core.Engine.index ds.eng in
+    let path = Filename.temp_file "xk_bench" ".col" in
+    let t0 = now () in
+    Xk_index.Jstore.write idx path;
+    let store = Xk_index.Jstore.open_file path in
+    Printf.printf "store written: %.2f MB in %.1fs\n"
+      (mb (Xk_index.Jstore.file_size path))
+      (now () -. t0);
+    row
+      [ scell 26 "query"; scell 12 "stored KB"; scell 12 "decoded KB";
+        scell 10 "columns"; scell 12 "time ms" ];
+    let run_query q =
+      match List.map (Xk_index.Jstore.term_id store) q with
+      | ids when List.for_all Option.is_some ids ->
+          let ids = List.map Option.get ids in
+          Xk_index.Jstore.reset_stats store;
+          let lists = Array.of_list (List.map (Xk_index.Jstore.jlist store) ids) in
+          let t0 = now () in
+          let hits =
+            Xk_core.Join_query.run lists (Xk_index.Index.damping idx)
+              Xk_core.Join_query.Elca
+          in
+          let dt = (now () -. t0) *. 1000. in
+          ignore hits;
+          let s = Xk_index.Jstore.stats store in
+          let stored =
+            List.fold_left (fun a id -> a + Xk_index.Jstore.term_bytes store id) 0 ids
+          in
+          row
+            [ scell 26 ("{" ^ String.concat " " q ^ "}");
+              fcell 12 (float_of_int stored /. 1024.);
+              fcell 12 (float_of_int s.bytes_decoded /. 1024.);
+              icell 10 s.columns_decoded;
+              fcell 12 dt ]
+      | _ -> ()
+    in
+    (* A same-depth correlated pair (reads all its levels) vs a mix with a
+       shallow keyword (skips the deep keyword's lower columns). *)
+    List.iter run_query ds.correlated;
+    (match ds.correlated with
+    | (deep :: _) :: _ -> run_query [ deep; "1998" ]
+    | _ -> ());
+    Sys.remove path
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Micro benchmarks (Bechamel)                                         *)
+
+let micro cfg =
+  if wants cfg "micro" then begin
+    header "Micro benchmarks (Bechamel, monotonic clock)";
+    let open Bechamel in
+    let open Toolkit in
+    (* Erased interval set vs a bitset, on the range-exclusion workload
+       (the Section III-D/E representation ablation). *)
+    let runs = 2000 in
+    let mk_intervals () =
+      Staged.stage (fun () ->
+          let e = Xk_core.Erased.create () in
+          for i = 0 to runs - 1 do
+            let lo = i * 40 mod 65000 in
+            Xk_core.Erased.add e ~lo ~hi:(lo + 32)
+          done;
+          let acc = ref 0 in
+          for i = 0 to runs - 1 do
+            let lo = i * 37 mod 65000 in
+            acc := !acc + Xk_core.Erased.covered e ~lo ~hi:(lo + 64)
+          done;
+          !acc)
+    in
+    let mk_bitset () =
+      Staged.stage (fun () ->
+          let b = Bytes.make 65536 '\000' in
+          for i = 0 to runs - 1 do
+            let lo = i * 40 mod 65000 in
+            Bytes.fill b lo 32 '\001'
+          done;
+          let acc = ref 0 in
+          for i = 0 to runs - 1 do
+            let lo = i * 37 mod 65000 in
+            for x = lo to lo + 63 do
+              if Bytes.get b x = '\001' then incr acc
+            done
+          done;
+          !acc)
+    in
+    (* Sparse-large scenario: few erased ranges over a multi-million-row
+       list - the realistic shape, where a bitset pays allocation and
+       per-row scans while intervals stay logarithmic. *)
+    let big = 8_000_000 in
+    let mk_intervals_sparse () =
+      Staged.stage (fun () ->
+          let e = Xk_core.Erased.create () in
+          for i = 0 to 199 do
+            let lo = i * (big / 200) in
+            Xk_core.Erased.add e ~lo ~hi:(lo + 500)
+          done;
+          let acc = ref 0 in
+          for i = 0 to 199 do
+            let lo = i * 37_717 mod (big - 4000) in
+            acc := !acc + Xk_core.Erased.covered e ~lo ~hi:(lo + 4000)
+          done;
+          !acc)
+    in
+    let mk_bitset_sparse () =
+      Staged.stage (fun () ->
+          let b = Bytes.make big '\000' in
+          for i = 0 to 199 do
+            let lo = i * (big / 200) in
+            Bytes.fill b lo 500 '\001'
+          done;
+          let acc = ref 0 in
+          for i = 0 to 199 do
+            let lo = i * 37_717 mod (big - 4000) in
+            for x = lo to lo + 3999 do
+              if Bytes.get b x = '\001' then incr acc
+            done
+          done;
+          !acc)
+    in
+    let heap_test () =
+      Staged.stage (fun () ->
+          let h = Xk_util.Heap.create () in
+          for i = 0 to 999 do
+            Xk_util.Heap.push h (float_of_int ((i * 7919) mod 1000)) i
+          done;
+          let acc = ref 0 in
+          let continue = ref true in
+          while !continue do
+            match Xk_util.Heap.pop h with
+            | Some (_, v) -> acc := !acc + v
+            | None -> continue := false
+          done;
+          !acc)
+    in
+    let codec_test () =
+      let runs_arr =
+        Array.init 4096 (fun i ->
+            { Xk_storage.Column_codec.value = (i * 3) + 1; count = 1 + (i mod 8) })
+      in
+      let buf = Buffer.create 4096 in
+      let (_ : Xk_storage.Column_codec.scheme) =
+        Xk_storage.Column_codec.encode buf runs_arr
+      in
+      let data = Buffer.contents buf in
+      Staged.stage (fun () ->
+          Array.length
+            (Xk_storage.Column_codec.decode (Xk_storage.Varint.cursor data)))
+    in
+    let tests =
+      Test.make_grouped ~name:"micro" ~fmt:"%s %s"
+        [
+          Test.make ~name:"erased-intervals-dense" (mk_intervals ());
+          Test.make ~name:"erased-bitset-dense" (mk_bitset ());
+          Test.make ~name:"erased-intervals-sparse" (mk_intervals_sparse ());
+          Test.make ~name:"erased-bitset-sparse" (mk_bitset_sparse ());
+          Test.make ~name:"heap-1k" (heap_test ());
+          Test.make ~name:"column-decode-4k" (codec_test ());
+        ]
+    in
+    let benchmark () =
+      let bcfg =
+        Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+      in
+      Benchmark.all bcfg Instance.[ monotonic_clock ] tests
+    in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+        Instance.monotonic_clock (benchmark ())
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
+        | _ -> Printf.printf "%-28s (no estimate)\n" name)
+      results;
+    ignore cfg
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let run cfg =
+  Printf.printf
+    "xkeyword experiment harness: scale=%.2f queries/bucket=%d runs=%d seed=%d\n%!"
+    cfg.scale cfg.queries cfg.runs cfg.seed;
+  let need_corpora =
+    cfg.only = []
+    || List.exists (wants cfg) [ "table1"; "motivation"; "fig9"; "fig10"; "ablations"; "disk" ]
+  in
+  if need_corpora then begin
+    let dblp = load_dblp cfg in
+    let xmark = load_xmark cfg in
+    table1 cfg [ dblp; xmark ];
+    motivation cfg dblp;
+    fig9 cfg dblp;
+    fig10_random cfg dblp;
+    fig10_correlated cfg dblp ~fig:"b";
+    fig10_correlated cfg xmark ~fig:"c";
+    ablation_threshold cfg dblp;
+    ablation_joinplan cfg dblp;
+    semantics_check cfg dblp;
+    ablation_gap cfg;
+    disk cfg dblp
+  end;
+  micro cfg;
+  Printf.printf "\ndone.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+
+open Cmdliner
+
+let scale =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Corpus scale factor.")
+
+let queries =
+  Arg.(
+    value & opt int 20
+    & info [ "queries" ] ~doc:"Random queries per bucket (paper: 40).")
+
+let runs =
+  Arg.(
+    value & opt int 3 & info [ "runs" ] ~doc:"Repetitions per query (paper: 5).")
+
+let seed = Arg.(value & opt int 2010 & info [ "seed" ] ~doc:"Workload seed.")
+
+let quick =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Small corpora and few queries (CI smoke run).")
+
+let only =
+  Arg.(
+    value & opt_all string []
+    & info [ "only" ]
+        ~doc:
+          "Run a subset: table1, motivation, fig9, fig10, ablations, disk, micro (repeatable).")
+
+let term =
+  let make scale queries runs seed quick only =
+    let cfg =
+      if quick then
+        { scale = scale /. 8.; queries = min queries 5; runs = 1; seed; only }
+      else { scale; queries; runs; seed; only }
+    in
+    run cfg
+  in
+  Term.(const make $ scale $ queries $ runs $ seed $ quick $ only)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "xkeyword-bench"
+       ~doc:"Regenerate the paper's tables and figures on synthetic corpora.")
+    term
+
+let () = exit (Cmd.eval cmd)

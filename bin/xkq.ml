@@ -1,0 +1,227 @@
+(* xkq: command-line XML keyword search.
+
+     xkq generate --dataset dblp --scale 0.5 --out corpus.xml
+     xkq index corpus.xml --out corpus.idx
+     xkq search corpus.xml xml keyword --semantics elca --algo join
+     xkq search corpus.xml xml keyword --index corpus.idx --top 10
+     xkq stats corpus.xml
+     xkq terms corpus.xml --near 100                                  *)
+
+open Cmdliner
+
+(* Index the document, or re-attach a saved index to skip tokenization. *)
+let load_engine ?index_file path =
+  let t0 = Unix.gettimeofday () in
+  let eng =
+    match index_file with
+    | None -> Xk_core.Engine.of_file path
+    | Some idx_path ->
+        let doc = Xk_xml.Xml_parser.parse_file_exn path in
+        let label = Xk_encoding.Labeling.label doc in
+        Xk_core.Engine.of_index (Xk_index.Index_io.load label idx_path)
+  in
+  Printf.eprintf "%s %s in %.2fs\n%!"
+    (match index_file with None -> "indexed" | Some _ -> "loaded")
+    path
+    (Unix.gettimeofday () -. t0);
+  eng
+
+(* ------------------------------------------------------------------ *)
+
+let generate dataset scale out =
+  let doc =
+    match dataset with
+    | "dblp" -> (Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled scale)).doc
+    | "xmark" -> (Xk_datagen.Xmark_gen.generate (Xk_datagen.Xmark_gen.scaled scale)).doc
+    | other -> failwith (Printf.sprintf "unknown dataset %S (dblp|xmark)" other)
+  in
+  Xk_xml.Xml_print.to_file out doc;
+  Printf.printf "wrote %s (%d nodes)\n" out (Xk_xml.Xml_tree.node_count doc)
+
+let generate_cmd =
+  let dataset =
+    Arg.(value & opt string "dblp" & info [ "dataset" ] ~doc:"dblp or xmark.")
+  in
+  let scale = Arg.(value & opt float 0.2 & info [ "scale" ] ~doc:"Size factor.") in
+  let out =
+    Arg.(value & opt string "corpus.xml" & info [ "out" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic corpus.")
+    Term.(const generate $ dataset $ scale $ out)
+
+(* ------------------------------------------------------------------ *)
+
+let index_doc path out =
+  let eng = load_engine path in
+  Xk_index.Index_io.save (Xk_core.Engine.index eng) out;
+  Printf.printf "wrote %s (%.2f MB)\n" out
+    (float_of_int (Xk_index.Index_io.file_size out) /. 1048576.)
+
+let index_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let out =
+    Arg.(value & opt string "corpus.idx" & info [ "out" ] ~doc:"Index file.")
+  in
+  Cmd.v
+    (Cmd.info "index" ~doc:"Build and save an index for an XML file.")
+    Term.(const index_doc $ path $ out)
+
+(* ------------------------------------------------------------------ *)
+
+let semantics_conv =
+  Arg.enum [ ("elca", Xk_core.Engine.Elca); ("slca", Xk_core.Engine.Slca) ]
+
+let algo_conv =
+  Arg.enum
+    [
+      ("join", Xk_core.Engine.Join_based);
+      ("stack", Xk_core.Engine.Stack_based);
+      ("indexed", Xk_core.Engine.Index_based);
+      ("oracle", Xk_core.Engine.Oracle);
+    ]
+
+let topk_algo_conv =
+  Arg.enum
+    [
+      ("topk-join", Xk_core.Engine.Topk_join);
+      ("complete", Xk_core.Engine.Complete_then_sort);
+      ("rdil", Xk_core.Engine.Rdil_baseline);
+      ("hybrid", Xk_core.Engine.Hybrid);
+    ]
+
+let print_hits eng words explain hits limit =
+  List.iteri
+    (fun i (h : Xk_baselines.Hit.t) ->
+      if i < limit then begin
+        Fmt.pr "%2d. %a@." (i + 1) (Xk_core.Engine.pp_hit eng) h;
+        if explain then
+          List.iter
+            (fun (kw, text) -> Fmt.pr "      [%s] ...%s...@." kw text)
+            (Xk_core.Engine.snippet eng words h)
+      end)
+    hits;
+  let n = List.length hits in
+  if n > limit then Fmt.pr "... and %d more results@." (n - limit)
+
+let search path words semantics algo top topk_algo limit index_file explain =
+  if words = [] then failwith "no query keywords given";
+  let eng = load_engine ?index_file path in
+  let t0 = Unix.gettimeofday () in
+  let hits =
+    match top with
+    | Some k ->
+        Xk_core.Engine.query_topk ~semantics ~algorithm:topk_algo eng words ~k
+    | None -> Xk_core.Engine.query ~semantics ~algorithm:algo eng words
+  in
+  let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+  Fmt.pr "%d result(s) in %.2f ms for {%s}@." (List.length hits) dt
+    (String.concat " " words);
+  print_hits eng words explain hits limit
+
+let search_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let words = Arg.(value & pos_right 0 string [] & info [] ~docv:"KEYWORD") in
+  let semantics =
+    Arg.(
+      value
+      & opt semantics_conv Xk_core.Engine.Elca
+      & info [ "semantics" ] ~doc:"elca or slca.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv Xk_core.Engine.Join_based
+      & info [ "algo" ] ~doc:"join, stack, indexed or oracle.")
+  in
+  let top =
+    Arg.(value & opt (some int) None & info [ "top" ] ~doc:"Top-K mode with K results.")
+  in
+  let topk_algo =
+    Arg.(
+      value
+      & opt topk_algo_conv Xk_core.Engine.Topk_join
+      & info [ "topk-algo" ] ~doc:"topk-join, complete, rdil or hybrid.")
+  in
+  let limit =
+    Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Results to display.")
+  in
+  let index_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "index" ] ~doc:"Saved index file (from `xkq index`).")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ] ~doc:"Show per-keyword witness snippets.")
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Run a keyword query against an XML file.")
+    Term.(
+      const search $ path $ words $ semantics $ algo $ top $ topk_algo $ limit
+      $ index_file $ explain)
+
+(* ------------------------------------------------------------------ *)
+
+let stats path =
+  let eng = load_engine path in
+  let idx = Xk_core.Engine.index eng in
+  let label = Xk_core.Engine.label eng in
+  Printf.printf "nodes:  %d\n" (Xk_encoding.Labeling.node_count label);
+  Printf.printf "height: %d\n" (Xk_encoding.Labeling.height label);
+  Printf.printf "terms:  %d\n" (Xk_index.Index.term_count idx);
+  let r = Xk_index.Index_sizes.report idx in
+  let mb b = float_of_int b /. 1048576. in
+  Printf.printf "index sizes (MB):\n";
+  Printf.printf "  join-based  IL %.2f + sparse %.2f\n"
+    (mb r.join_based.inverted_lists) (mb r.join_based.auxiliary);
+  Printf.printf "  stack-based IL %.2f\n" (mb r.stack_based.inverted_lists);
+  Printf.printf "  index-based B-tree %.2f\n" (mb r.index_based.inverted_lists);
+  Printf.printf "  topk-join   IL %.2f + sparse %.2f\n"
+    (mb r.topk_join.inverted_lists) (mb r.topk_join.auxiliary);
+  Printf.printf "  RDIL        IL %.2f + B-trees %.2f\n"
+    (mb r.rdil.inverted_lists) (mb r.rdil.auxiliary)
+
+let stats_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Corpus statistics and index sizes.")
+    Term.(const stats $ path)
+
+(* ------------------------------------------------------------------ *)
+
+let terms path near count =
+  let eng = load_engine path in
+  let idx = Xk_core.Engine.index eng in
+  let ids = Xk_index.Index.terms_by_df idx in
+  let shown = ref 0 in
+  Array.iter
+    (fun id ->
+      let df = Xk_index.Index.df idx id in
+      if !shown < count && df >= near / 2 && df <= near * 2 then begin
+        incr shown;
+        Printf.printf "%8d  %s\n" df (Xk_index.Index.term idx id)
+      end)
+    ids;
+  if !shown = 0 then Printf.printf "no terms with frequency near %d\n" near
+
+let terms_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let near =
+    Arg.(value & opt int 100 & info [ "near" ] ~doc:"Target document frequency.")
+  in
+  let count = Arg.(value & opt int 20 & info [ "count" ] ~doc:"Terms to list.") in
+  Cmd.v
+    (Cmd.info "terms" ~doc:"List terms near a document frequency.")
+    Term.(const terms $ path $ near $ count)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "xkq" ~version:"1.0.0"
+      ~doc:"Top-K keyword search in XML databases (ICDE 2010 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; index_cmd; search_cmd; stats_cmd; terms_cmd ]))

@@ -1,0 +1,84 @@
+(* Shared ELCA machinery for the probe-driven baselines (indexed, RDIL):
+   candidate computation by closest-occurrence probes and candidate
+   verification by a scan that skips excluded (all-containing) subtrees. *)
+
+(* Deepest depth at which an ancestor of [x] contains an occurrence from
+   list [i]: the longest common prefix with the closest occurrences on
+   either side in document order. *)
+let closest_depth (posts : Xk_index.Posting.t array) i (x : Xk_encoding.Dewey.t)
+    =
+  let p = posts.(i) in
+  let best = ref 0 in
+  (match Xk_index.Posting.pred p x with
+  | Some r ->
+      best :=
+        max !best
+          (Xk_encoding.Dewey.common_prefix_len x (Xk_index.Posting.dewey p r))
+  | None -> ());
+  (match Xk_index.Posting.succ p x with
+  | Some r ->
+      best :=
+        max !best
+          (Xk_encoding.Dewey.common_prefix_len x (Xk_index.Posting.dewey p r))
+  | None -> ());
+  !best
+
+(* Depth of the deepest all-containing ancestor of [x], where [x] itself
+   belongs to list [self] (0 when some keyword is absent from the tree). *)
+let cand_depth posts self (x : Xk_encoding.Dewey.t) =
+  let depth = ref (Array.length x) in
+  Array.iteri
+    (fun i _ -> if i <> self then depth := min !depth (closest_depth posts i x))
+    posts;
+  !depth
+
+(* Verify that the node [u] (a Dewey prefix of the given [depth]) is an
+   ELCA; return its ranking score if so.  For each keyword the subtree
+   range of [u] is scanned for an occurrence whose deepest all-containing
+   ancestor is [u] itself; occurrences under a deeper all-containing node w
+   are excluded and subtree(w) is skipped wholesale. *)
+let verify (posts : Xk_index.Posting.t array) damping (u : Xk_encoding.Dewey.t)
+    =
+  let depth = Array.length u in
+  let ok = ref true in
+  let score = ref 0. in
+  Array.iteri
+    (fun i p ->
+      if !ok then begin
+        let lo, hi = Xk_index.Posting.subtree_range p u in
+        let best = ref neg_infinity in
+        let rc = ref lo in
+        while !rc < hi do
+          let y = Xk_index.Posting.dewey p !rc in
+          let dy = cand_depth posts i y in
+          if dy = depth then begin
+            let g = Xk_index.Posting.score p !rc in
+            let v =
+              g *. Xk_score.Damping.apply damping (Array.length y - depth)
+            in
+            if v > !best then best := v;
+            incr rc
+          end
+          else begin
+            (* y sits under a deeper all-containing node w: skip w. *)
+            let w = Array.sub y 0 dy in
+            let next =
+              Xk_index.Posting.lower_bound p (Xk_encoding.Dewey.range_end w)
+            in
+            rc := max next (!rc + 1)
+          end
+        done;
+        if !best = neg_infinity then ok := false
+        else score := !score +. !best
+      end)
+    posts;
+  if !ok then Some !score else None
+
+let shortest_list (posts : Xk_index.Posting.t array) =
+  let best = ref 0 in
+  Array.iteri
+    (fun i (p : Xk_index.Posting.t) ->
+      if Xk_index.Posting.length p < Xk_index.Posting.length posts.(!best) then
+        best := i)
+    posts;
+  !best

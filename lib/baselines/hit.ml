@@ -1,0 +1,15 @@
+(* A query result: a node (by labeler index) with its ranking score. *)
+
+type t = { node : int; score : float }
+
+let compare_score_desc a b =
+  let c = Float.compare b.score a.score in
+  if c <> 0 then c else Int.compare a.node b.node
+
+let compare_node a b = Int.compare a.node b.node
+
+let sort_desc hits = List.sort compare_score_desc hits
+
+let top_k k hits = List.filteri (fun i _ -> i < k) (sort_desc hits)
+
+let nodes hits = List.map (fun h -> h.node) hits

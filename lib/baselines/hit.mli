@@ -1,0 +1,15 @@
+(** A query result: a node (by labeler index) with its ranking score. *)
+
+type t = { node : int; score : float }
+
+val compare_score_desc : t -> t -> int
+(** Descending score, node index as the tiebreak. *)
+
+val compare_node : t -> t -> int
+
+val sort_desc : t list -> t list
+
+val top_k : int -> t list -> t list
+(** The K best by score. *)
+
+val nodes : t list -> int list

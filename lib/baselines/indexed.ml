@@ -1,0 +1,105 @@
+(* Index-based baseline: the Indexed Lookup Eager SLCA algorithm of [6] and
+   an EDBT'08-style indexed ELCA algorithm [8].  Both drive off the
+   shortest posting list and probe the others by binary search (the role
+   BerkeleyDB B-trees play in the original implementations), giving the
+   O(d k |L1| log |L|) complexity quoted in Section III-C. *)
+
+let posting_array idx terms =
+  Array.of_list (List.map (Xk_index.Index.posting idx) terms)
+
+(* Per-keyword maximum damped score over a document-order range of a list
+   (used for SLCA scores, which have no exclusion). *)
+let range_best damping p ~lo ~hi ~depth =
+  let best = ref neg_infinity in
+  for r = lo to hi - 1 do
+    let d = Xk_index.Posting.dewey p r in
+    let g = Xk_index.Posting.score p r in
+    let v = g *. Xk_score.Damping.apply damping (Array.length d - depth) in
+    if v > !best then best := v
+  done;
+  !best
+
+let slca (idx : Xk_index.Index.t) (terms : int list) =
+  let k = List.length terms in
+  if k = 0 then invalid_arg "Indexed.slca";
+  let label = Xk_index.Index.label idx in
+  let damping = Xk_index.Index.damping idx in
+  let posts = posting_array idx terms in
+  let drv = Elca_verify.shortest_list posts in
+  let p1 = posts.(drv) in
+  (* Candidate per driver occurrence: its deepest all-containing ancestor. *)
+  let cands = ref [] in
+  for r = 0 to Xk_index.Posting.length p1 - 1 do
+    let x = Xk_index.Posting.dewey p1 r in
+    let depth = Elca_verify.cand_depth posts drv x in
+    if depth >= 1 then cands := Array.sub x 0 depth :: !cands
+  done;
+  let cands = Array.of_list (List.sort_uniq Xk_encoding.Dewey.compare !cands) in
+  (* A candidate is an SLCA iff no other candidate lies in its subtree; in
+     document order it suffices to look at the immediate successor. *)
+  let out = ref [] in
+  let n = Array.length cands in
+  for i = 0 to n - 1 do
+    let c = cands.(i) in
+    let minimal =
+      i = n - 1 || not (Xk_encoding.Dewey.is_ancestor c cands.(i + 1))
+    in
+    if minimal then begin
+      let depth = Array.length c in
+      let score = ref 0. in
+      Array.iter
+        (fun p ->
+          let lo, hi = Xk_index.Posting.subtree_range p c in
+          score := !score +. range_best damping p ~lo ~hi ~depth)
+        posts;
+      let node =
+        (* Locate the candidate through any driver occurrence below it. *)
+        let r = Xk_index.Posting.lower_bound p1 c in
+        match
+          Xk_encoding.Labeling.ancestor_at label
+            (Xk_index.Posting.node p1 r)
+            ~depth
+        with
+        | Some u -> u
+        | None -> assert false
+      in
+      out := { Hit.node; score = !score } :: !out
+    end
+  done;
+  List.rev !out
+
+let elca (idx : Xk_index.Index.t) (terms : int list) =
+  let k = List.length terms in
+  if k = 0 then invalid_arg "Indexed.elca";
+  let label = Xk_index.Index.label idx in
+  let damping = Xk_index.Index.damping idx in
+  let posts = posting_array idx terms in
+  let drv = Elca_verify.shortest_list posts in
+  let p1 = posts.(drv) in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  for r = 0 to Xk_index.Posting.length p1 - 1 do
+    let x = Xk_index.Posting.dewey p1 r in
+    let depth = Elca_verify.cand_depth posts drv x in
+    if depth >= 1 then begin
+      let u = Array.sub x 0 depth in
+      let key = Xk_encoding.Dewey.to_string u in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        match Elca_verify.verify posts damping u with
+        | None -> ()
+        | Some score ->
+            let node =
+              match
+                Xk_encoding.Labeling.ancestor_at label
+                  (Xk_index.Posting.node p1 r)
+                  ~depth
+              with
+              | Some n -> n
+              | None -> assert false
+            in
+            out := { Hit.node; score } :: !out
+      end
+    end
+  done;
+  List.rev !out

@@ -1,0 +1,6 @@
+(** Index-based baseline: Indexed Lookup Eager SLCA [6] and indexed ELCA
+    with candidate verification [8].  Drives off the shortest list with
+    binary-search probes into the others - O(d k |L1| log |L|). *)
+
+val slca : Xk_index.Index.t -> int list -> Hit.t list
+val elca : Xk_index.Index.t -> int list -> Hit.t list

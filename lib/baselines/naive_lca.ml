@@ -1,0 +1,104 @@
+(* The naive LCA semantics of Section II-A, which the paper's introduction
+   argues against: LCA(L1, ..., Lk) = { lca(v1, ..., vk) | vi in Li }.
+   The combination count is prod |Li| - exponential in the query size -
+   though many combinations share an LCA.
+
+   Two implementations:
+
+   - [lca_set]: the distinct-LCA set in linear time, from the
+     characterization: u is the LCA of some combination iff u contains all
+     keywords and either u is itself an occurrence (pick it and the LCA is
+     pinned to u) or at least two distinct children subtrees of u hold
+     occurrences (pick witnesses on both sides, completing the combination
+     anywhere under u);
+   - [brute]: literal enumeration with a combination cap, used to validate
+     the characterization in the test suite and by the motivation bench. *)
+
+let combination_count (idx : Xk_index.Index.t) terms =
+  List.fold_left
+    (fun acc tid -> acc *. float_of_int (Xk_index.Index.df idx tid))
+    1. terms
+
+(* Distinct LCAs, linear time, document order. *)
+let lca_set (idx : Xk_index.Index.t) (terms : int list) : int list =
+  let k = List.length terms in
+  if k = 0 || k > 62 then invalid_arg "Naive_lca.lca_set: 1..62 keywords";
+  let label = Xk_index.Index.label idx in
+  let n = Xk_encoding.Labeling.node_count label in
+  let all_bits = (1 lsl k) - 1 in
+  let mask = Array.make n 0 in
+  let direct = Array.make n false in
+  (* Children subtrees (of each node) containing occurrences, capped at 2. *)
+  let occ_children = Array.make n 0 in
+  List.iteri
+    (fun i tid ->
+      let nodes, _ = Xk_index.Index.raw_rows idx tid in
+      Array.iter
+        (fun v ->
+          mask.(v) <- mask.(v) lor (1 lsl i);
+          direct.(v) <- true)
+        nodes)
+    terms;
+  let out = ref [] in
+  let finalize u =
+    if
+      mask.(u) = all_bits
+      && (direct.(u) || (k >= 2 && occ_children.(u) >= 2))
+    then out := u :: !out
+  in
+  (* Children carry larger indexes than parents: one reverse scan. *)
+  for u = n - 1 downto 1 do
+    finalize u;
+    let p = Xk_encoding.Labeling.parent label u in
+    if mask.(u) <> 0 then occ_children.(p) <- min 2 (occ_children.(p) + 1);
+    mask.(p) <- mask.(p) lor mask.(u)
+  done;
+  if n > 0 then finalize 0;
+  List.rev !out
+
+exception Too_many_combinations
+
+(* Literal enumeration; raises [Too_many_combinations] past the cap. *)
+let brute ?(max_combinations = 1_000_000) (idx : Xk_index.Index.t)
+    (terms : int list) : int list =
+  if terms = [] then invalid_arg "Naive_lca.brute: no keywords";
+  if combination_count idx terms > float_of_int max_combinations then
+    raise Too_many_combinations;
+  let label = Xk_index.Index.label idx in
+  let lists =
+    List.map
+      (fun tid ->
+        let nodes, _ = Xk_index.Index.raw_rows idx tid in
+        Array.map (fun v -> Xk_encoding.Labeling.jdewey_seq label v) nodes)
+      terms
+  in
+  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* [path] is the JDewey path of the LCA of the occurrences chosen so
+     far; shrinking it to the common level with each further choice is
+     exactly lca(v1, ..., vk). *)
+  let rec enum (path : Xk_encoding.Jdewey.t option) lists =
+    match lists with
+    | [] -> (
+        match path with
+        | Some p when Array.length p > 0 ->
+            Hashtbl.replace seen (Array.length p, p.(Array.length p - 1)) ()
+        | Some _ | None -> ())
+    | l :: rest ->
+        Array.iter
+          (fun (s : Xk_encoding.Jdewey.t) ->
+            let path' =
+              match path with
+              | None -> s
+              | Some p -> Array.sub p 0 (Xk_encoding.Jdewey.lca_level p s)
+            in
+            enum (Some path') rest)
+          l
+  in
+  enum None lists;
+  Hashtbl.fold
+    (fun (depth, jnum) () acc ->
+      match Xk_encoding.Labeling.find label ~depth ~jnum with
+      | Some node -> node :: acc
+      | None -> acc)
+    seen []
+  |> List.sort Int.compare

@@ -1,0 +1,16 @@
+(** The naive LCA semantics of paper Section II-A: every combination of
+    one occurrence per keyword contributes its LCA.  Used by the
+    motivation experiment (result-size blowup) and as extra test
+    cross-validation; ELCA and SLCA result sets are always subsets. *)
+
+val combination_count : Xk_index.Index.t -> int list -> float
+(** prod |Li| - the naive semantics' result size before deduplication. *)
+
+val lca_set : Xk_index.Index.t -> int list -> int list
+(** Distinct LCA nodes, linear time, document order. *)
+
+exception Too_many_combinations
+
+val brute : ?max_combinations:int -> Xk_index.Index.t -> int list -> int list
+(** Literal enumeration (sorted, distinct); raises
+    {!Too_many_combinations} past the cap (default 10^6). *)

@@ -1,0 +1,79 @@
+(* Ground-truth ELCA/SLCA straight from the definitions, by a bottom-up
+   pass over the whole labeled tree.  Quadratic-ish in tree size and memory
+   hungry (per-keyword arrays over all nodes) - meant as the correctness
+   oracle for the test suite, not as a competitor.
+
+   Semantics (see DESIGN.md): u is an ELCA iff for every keyword there is
+   an occurrence under u with no all-containing node strictly between the
+   occurrence and u; u is an SLCA iff u contains all keywords and no strict
+   descendant does.  Scores follow Section II-B: per keyword the maximum
+   damped local score of the contributing occurrences (for ELCA, of the
+   non-excluded ones), combined by sum. *)
+
+let run (idx : Xk_index.Index.t) (terms : int list) =
+  let k = List.length terms in
+  if k = 0 || k > 62 then invalid_arg "Oracle.run: 1..62 keywords";
+  let label = Xk_index.Index.label idx in
+  let damping = Xk_index.Index.damping idx in
+  let decay = Xk_score.Damping.apply damping 1 in
+  let n = Xk_encoding.Labeling.node_count label in
+  let all_bits = (1 lsl k) - 1 in
+  let mask = Array.make n 0 in
+  (* alive.(i): per-node best damped score of keyword i occurrences not
+     under any all-containing strict descendant; best.(i): same without the
+     exclusion (for SLCA scores). *)
+  let alive = Array.init k (fun _ -> Array.make n neg_infinity) in
+  let best = Array.init k (fun _ -> Array.make n neg_infinity) in
+  List.iteri
+    (fun i tid ->
+      let p = Xk_index.Index.posting idx tid in
+      for r = 0 to Xk_index.Posting.length p - 1 do
+        let node = Xk_index.Posting.node p r in
+        let g = Xk_index.Posting.score p r in
+        mask.(node) <- mask.(node) lor (1 lsl i);
+        if g > alive.(i).(node) then alive.(i).(node) <- g;
+        if g > best.(i).(node) then best.(i).(node) <- g
+      done)
+    terms;
+  let desc_full = Array.make n false in
+  let elcas = ref [] and slcas = ref [] in
+  (* Children carry larger indexes than their parents (document order), so
+     a single reverse scan finalizes every node before its parent sees it. *)
+  let finalize u =
+    if mask.(u) = all_bits then begin
+      let is_elca = ref true in
+      let score = ref 0. in
+      for i = 0 to k - 1 do
+        if alive.(i).(u) = neg_infinity then is_elca := false
+        else score := !score +. alive.(i).(u)
+      done;
+      if !is_elca then elcas := { Hit.node = u; score = !score } :: !elcas;
+      if not desc_full.(u) then begin
+        let score = ref 0. in
+        for i = 0 to k - 1 do
+          score := !score +. best.(i).(u)
+        done;
+        slcas := { Hit.node = u; score = !score } :: !slcas
+      end
+    end
+  in
+  for u = n - 1 downto 1 do
+    finalize u;
+    let p = Xk_encoding.Labeling.parent label u in
+    let u_full = mask.(u) = all_bits in
+    mask.(p) <- mask.(p) lor mask.(u);
+    desc_full.(p) <- desc_full.(p) || u_full || desc_full.(u);
+    for i = 0 to k - 1 do
+      if not u_full then begin
+        let v = alive.(i).(u) *. decay in
+        if v > alive.(i).(p) then alive.(i).(p) <- v
+      end;
+      let v = best.(i).(u) *. decay in
+      if v > best.(i).(p) then best.(i).(p) <- v
+    done
+  done;
+  if n > 0 then finalize 0;
+  (List.rev !elcas, List.rev !slcas)
+
+let elca idx terms = fst (run idx terms)
+let slca idx terms = snd (run idx terms)

@@ -1,0 +1,10 @@
+(** Definitional ground truth for ELCA and SLCA, by a bottom-up pass over
+    the whole labeled tree.  Memory- and time-hungry by design: this is
+    the correctness oracle of the test suite, not a competitor. *)
+
+val run : Xk_index.Index.t -> int list -> Hit.t list * Hit.t list
+(** [(elcas, slcas)] for a list of term ids (1..62 keywords), in document
+    order, with Section II-B scores. *)
+
+val elca : Xk_index.Index.t -> int list -> Hit.t list
+val slca : Xk_index.Index.t -> int list -> Hit.t list

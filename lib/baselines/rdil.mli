@@ -1,0 +1,11 @@
+(** RDIL (XRank [5]): Threshold-Algorithm-style top-K over
+    score-descending lists with B-tree-style probes, the straightforward
+    TA application the paper argues against (Section II-C). *)
+
+type stats = { mutable pulled : int; mutable verified : int }
+
+val topk : ?stats:stats -> Xk_index.Index.t -> int list -> k:int -> Hit.t list
+(** The K best ELCAs, best first.  Exact (same results as the oracle's top
+    K), but pays the costs the paper describes: candidate verification
+    re-derives the semantic pruning per candidate, and the undamped
+    threshold converges slowly. *)

@@ -1,0 +1,140 @@
+(* Stack-based baseline (the DIL-style merge of XRank [5] and the stack
+   algorithms of [6], [10]): all posting lists are merged in document order
+   and a stack holding the current root-to-node path aggregates keyword
+   containment bottom-up.  Results therefore appear in document order -
+   the very property that prevents top-K early termination (Section I). *)
+
+type entry = {
+  mutable mask : int;          (* keywords contained in this subtree *)
+  mutable desc_full : bool;    (* some strict descendant contains all *)
+  alive : float array;         (* best damped score, exclusion applied *)
+  best : float array;          (* best damped score, no exclusion *)
+  mutable repr : int;          (* an occurrence node inside the subtree *)
+}
+
+let fresh k repr =
+  {
+    mask = 0;
+    desc_full = false;
+    alive = Array.make k neg_infinity;
+    best = Array.make k neg_infinity;
+    repr;
+  }
+
+type semantics = Elca | Slca
+
+let run semantics (idx : Xk_index.Index.t) (terms : int list) =
+  let k = List.length terms in
+  if k = 0 || k > 62 then invalid_arg "Stack.run: 1..62 keywords";
+  let label = Xk_index.Index.label idx in
+  let decay = Xk_score.Damping.apply (Xk_index.Index.damping idx) 1 in
+  let all_bits = (1 lsl k) - 1 in
+  let posts = Array.of_list (List.map (Xk_index.Index.posting idx) terms) in
+  let cursors = Array.make k 0 in
+  let results = ref [] in
+  (* The stack is the path of the previously processed occurrence:
+     path.(d-1) aggregates the subtree of its depth-d ancestor. *)
+  let height = Xk_encoding.Labeling.height label in
+  let path = Array.init height (fun _ -> fresh k (-1)) in
+  let plen = ref 0 in
+  let prev_dewey = ref ([||] : Xk_encoding.Dewey.t) in
+  let emit d (e : entry) =
+    let report score =
+      match Xk_encoding.Labeling.ancestor_at label e.repr ~depth:d with
+      | Some node -> results := { Hit.node; score } :: !results
+      | None -> assert false
+    in
+    match semantics with
+    | Elca ->
+        let ok = ref true and score = ref 0. in
+        for i = 0 to k - 1 do
+          if e.alive.(i) = neg_infinity then ok := false
+          else score := !score +. e.alive.(i)
+        done;
+        if !ok then report !score
+    | Slca ->
+        if e.mask = all_bits && not e.desc_full then begin
+          let score = ref 0. in
+          for i = 0 to k - 1 do
+            score := !score +. e.best.(i)
+          done;
+          report !score
+        end
+  in
+  let pop () =
+    let d = !plen in
+    let e = path.(d - 1) in
+    emit d e;
+    if d > 1 then begin
+      let p = path.(d - 2) in
+      let full = e.mask = all_bits in
+      p.mask <- p.mask lor e.mask;
+      p.desc_full <- p.desc_full || full || e.desc_full;
+      if p.repr < 0 then p.repr <- e.repr;
+      for i = 0 to k - 1 do
+        if not full then begin
+          let v = e.alive.(i) *. decay in
+          if v > p.alive.(i) then p.alive.(i) <- v
+        end;
+        let v = e.best.(i) *. decay in
+        if v > p.best.(i) then p.best.(i) <- v
+      done
+    end;
+    plen := d - 1
+  in
+  let push node =
+    let d = !plen in
+    let e = path.(d) in
+    e.mask <- 0;
+    e.desc_full <- false;
+    e.repr <- node;
+    Array.fill e.alive 0 k neg_infinity;
+    Array.fill e.best 0 k neg_infinity;
+    plen := d + 1
+  in
+  let occurrence i dv node g =
+    let common =
+      min (Xk_encoding.Dewey.common_prefix_len !prev_dewey dv) !plen
+    in
+    while !plen > common do
+      pop ()
+    done;
+    for _ = !plen + 1 to Array.length dv do
+      push node
+    done;
+    let e = path.(!plen - 1) in
+    e.mask <- e.mask lor (1 lsl i);
+    if g > e.alive.(i) then e.alive.(i) <- g;
+    if g > e.best.(i) then e.best.(i) <- g;
+    prev_dewey := dv
+  in
+  let exhausted = ref false in
+  while not !exhausted do
+    (* Smallest unconsumed Dewey id across the k cursors. *)
+    let besti = ref (-1) and bestd = ref [||] in
+    for i = 0 to k - 1 do
+      if cursors.(i) < Xk_index.Posting.length posts.(i) then begin
+        let d = Xk_index.Posting.dewey posts.(i) cursors.(i) in
+        if !besti < 0 || Xk_encoding.Dewey.compare d !bestd < 0 then begin
+          besti := i;
+          bestd := d
+        end
+      end
+    done;
+    if !besti < 0 then exhausted := true
+    else begin
+      let i = !besti in
+      let r = cursors.(i) in
+      cursors.(i) <- r + 1;
+      occurrence i !bestd
+        (Xk_index.Posting.node posts.(i) r)
+        (Xk_index.Posting.score posts.(i) r)
+    end
+  done;
+  while !plen > 0 do
+    pop ()
+  done;
+  List.rev !results
+
+let elca idx terms = run Elca idx terms
+let slca idx terms = run Slca idx terms

@@ -1,0 +1,9 @@
+(** Stack-based baseline (XRank/DIL-style [5], [6]): all posting lists are
+    merged in document order and a stack over the current root-to-node
+    path aggregates containment bottom-up.  Results come in document
+    order - the property that blocks top-K early termination. *)
+
+val elca : Xk_index.Index.t -> int list -> Hit.t list
+(** Complete ELCA set for a list of term ids, document order. *)
+
+val slca : Xk_index.Index.t -> int list -> Hit.t list

@@ -1,0 +1,75 @@
+(** Public facade: build an index over an XML document and run keyword
+    queries under the ELCA or SLCA semantics, complete or top-K, with any
+    of the implemented algorithms. *)
+
+type t
+
+type semantics = Elca | Slca
+
+type algorithm =
+  | Join_based   (** Algorithm 1 - the paper's contribution *)
+  | Stack_based  (** document-order stack merge (XRank / DIL style) *)
+  | Index_based  (** indexed lookup baseline *)
+  | Oracle       (** definitional ground truth (testing) *)
+
+type topk_algorithm =
+  | Topk_join           (** the paper's join-based top-K (Section IV) *)
+  | Complete_then_sort  (** Algorithm 1 + sort - the paper's "general" *)
+  | Rdil_baseline       (** RDIL (ELCA only; SLCA falls back to complete) *)
+  | Hybrid              (** Section V-D cardinality-routed choice *)
+
+val create : ?damping:Xk_score.Damping.t -> Xk_xml.Xml_tree.document -> t
+(** Parse nothing - label and index an in-memory document. *)
+
+val of_string : ?damping:Xk_score.Damping.t -> string -> t
+(** Parse, label and index an XML string.  Raises {!Xk_xml.Xml_parser.Error}
+    on malformed input. *)
+
+val of_file : ?damping:Xk_score.Damping.t -> string -> t
+
+val of_index : Xk_index.Index.t -> t
+(** Wrap a prebuilt (e.g. reloaded) index. *)
+
+val index : t -> Xk_index.Index.t
+val label : t -> Xk_encoding.Labeling.t
+
+val query :
+  ?semantics:semantics ->
+  ?algorithm:algorithm ->
+  ?plan:Level_join.plan ->
+  t ->
+  string list ->
+  Xk_baselines.Hit.t list
+(** Complete result set, best score first.  Unknown keywords yield an empty
+    result; duplicate keywords collapse; matching is case-insensitive. *)
+
+val query_topk :
+  ?semantics:semantics ->
+  ?algorithm:topk_algorithm ->
+  ?stats:Topk_keyword.stats ->
+  t ->
+  string list ->
+  k:int ->
+  Xk_baselines.Hit.t list
+(** The K best results, best first. *)
+
+val element_of_hit : t -> Xk_baselines.Hit.t -> Xk_xml.Xml_tree.element option
+(** The element to present for a result (a text-node result maps to its
+    parent element). *)
+
+type witness = {
+  keyword : string;
+  occurrence : int;  (** node index of the contributing occurrence *)
+  contribution : float;  (** its damped local score *)
+}
+
+val explain : t -> string list -> Xk_baselines.Hit.t -> witness list
+(** Per query keyword, the best-contributing occurrence below the result
+    (presentation aid; no ELCA exclusion applied). *)
+
+val snippet :
+  ?width:int -> t -> string list -> Xk_baselines.Hit.t -> (string * string) list
+(** Per keyword, a text snippet around its witness. *)
+
+val pp_hit : t -> Format.formatter -> Xk_baselines.Hit.t -> unit
+(** One-line rendering: score, tag and truncated text content. *)

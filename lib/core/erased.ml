@@ -1,0 +1,181 @@
+(* The range-checking structure of Section III-E: per inverted list, the
+   set of row intervals erased by the semantic pruning.
+
+   Intervals are kept sorted and disjoint.  The paper's containment
+   property (a queried range either contains an erased range or is disjoint
+   from it - Figure 4(b) cannot happen) holds for the join algorithms'
+   usage, but the implementation handles partial overlap anyway so it can
+   double as a general interval set. *)
+
+type t = {
+  mutable lo : int array; (* inclusive *)
+  mutable hi : int array; (* exclusive *)
+  mutable len : int;
+  mutable covered_total : int;
+}
+
+let create () = { lo = Array.make 8 0; hi = Array.make 8 0; len = 0; covered_total = 0 }
+
+let length t = t.len
+let covered_total t = t.covered_total
+
+(* Index of the first interval with hi > x, i.e. the first interval that
+   can contain or follow position x. *)
+let first_after t x =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.hi.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let is_dead t row =
+  let i = first_after t row in
+  i < t.len && t.lo.(i) <= row
+
+(* Total erased positions inside [lo, hi). *)
+let covered t ~lo ~hi =
+  if hi <= lo then 0
+  else begin
+    let acc = ref 0 in
+    let i = ref (first_after t lo) in
+    while !i < t.len && t.lo.(!i) < hi do
+      let l = max t.lo.(!i) lo and h = min t.hi.(!i) hi in
+      if h > l then acc := !acc + (h - l);
+      incr i
+    done;
+    !acc
+  end
+
+let alive t ~lo ~hi = hi - lo - covered t ~lo ~hi
+
+let ensure_capacity t =
+  if t.len = Array.length t.lo then begin
+    let cap = max 16 (2 * t.len) in
+    let lo = Array.make cap 0 and hi = Array.make cap 0 in
+    Array.blit t.lo 0 lo 0 t.len;
+    Array.blit t.hi 0 hi 0 t.len;
+    t.lo <- lo;
+    t.hi <- hi
+  end
+
+(* Insert [lo, hi), merging with any intervals it touches (adjacent
+   intervals coalesce, keeping the representation canonical). *)
+let add t ~lo ~hi =
+  if hi > lo then begin
+    let i = first_after t lo in
+    (* A left neighbour that exactly touches [lo] joins the merge. *)
+    let i = if i > 0 && t.hi.(i - 1) = lo then i - 1 else i in
+    (* Intervals i..j-1 overlap or touch [lo, hi). *)
+    let j = ref i in
+    while !j < t.len && t.lo.(!j) <= hi do
+      incr j
+    done;
+    let j = !j in
+    if i = j then begin
+      (* Pure insertion at position i. *)
+      ensure_capacity t;
+      Array.blit t.lo i t.lo (i + 1) (t.len - i);
+      Array.blit t.hi i t.hi (i + 1) (t.len - i);
+      t.lo.(i) <- lo;
+      t.hi.(i) <- hi;
+      t.len <- t.len + 1;
+      t.covered_total <- t.covered_total + (hi - lo)
+    end
+    else begin
+      let merged_lo = min lo t.lo.(i) in
+      let merged_hi = max hi t.hi.(j - 1) in
+      let removed = ref 0 in
+      for x = i to j - 1 do
+        removed := !removed + (t.hi.(x) - t.lo.(x))
+      done;
+      t.lo.(i) <- merged_lo;
+      t.hi.(i) <- merged_hi;
+      if j < t.len then begin
+        Array.blit t.lo j t.lo (i + 1) (t.len - j);
+        Array.blit t.hi j t.hi (i + 1) (t.len - j)
+      end;
+      t.len <- t.len - (j - i - 1);
+      t.covered_total <- t.covered_total + (merged_hi - merged_lo) - !removed
+    end
+  end
+
+(* Merge a sorted batch of intervals in one linear pass.  The join
+   algorithms erase whole levels at a time (matches arrive in ascending
+   row order), and one-at-a-time insertion would shift the tail arrays
+   quadratically. *)
+let add_batch t (batch : (int * int) list) =
+  match batch with
+  | [] -> ()
+  | _ ->
+      let n = t.len in
+      let m = List.length batch in
+      let cap = n + m in
+      let lo = Array.make (max cap 8) 0 and hi = Array.make (max cap 8) 0 in
+      let out = ref 0 in
+      let covered = ref 0 in
+      let push l h =
+        if !out > 0 && l <= hi.(!out - 1) then begin
+          if h > hi.(!out - 1) then begin
+            covered := !covered + (h - hi.(!out - 1));
+            hi.(!out - 1) <- h
+          end
+        end
+        else begin
+          lo.(!out) <- l;
+          hi.(!out) <- h;
+          covered := !covered + (h - l);
+          incr out
+        end
+      in
+      let i = ref 0 in
+      let rec go batch =
+        match batch with
+        | [] ->
+            while !i < n do
+              push t.lo.(!i) t.hi.(!i);
+              incr i
+            done
+        | (bl, bh) :: rest ->
+            if bh <= bl then go rest
+            else if !i < n && t.lo.(!i) <= bl then begin
+              push t.lo.(!i) t.hi.(!i);
+              incr i;
+              go batch
+            end
+            else begin
+              push bl bh;
+              go rest
+            end
+      in
+      go batch;
+      t.lo <- lo;
+      t.hi <- hi;
+      t.len <- !out;
+      t.covered_total <- !covered
+
+(* Iterate the alive (un-erased) sub-ranges of [lo, hi) in order - the
+   scoring pass of the join algorithms walks runs this way instead of
+   testing rows one by one. *)
+let iter_alive t ~lo ~hi f =
+  if hi > lo then begin
+    let pos = ref lo in
+    let i = ref (first_after t lo) in
+    while !pos < hi do
+      if !i < t.len && t.lo.(!i) < hi then begin
+        if t.lo.(!i) > !pos then f !pos (min t.lo.(!i) hi);
+        pos := max !pos t.hi.(!i);
+        incr i
+      end
+      else begin
+        f !pos hi;
+        pos := hi
+      end
+    done
+  end
+
+let to_list t =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((t.lo.(i), t.hi.(i)) :: acc)
+  in
+  go (t.len - 1) []

@@ -1,0 +1,35 @@
+(** Erased-row interval set — the range-checking structure of paper
+    Section III-E.  Intervals are half-open [lo, hi) over row indices of one
+    inverted list. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> lo:int -> hi:int -> unit
+(** Insert an interval, merging with neighbours. *)
+
+val add_batch : t -> (int * int) list -> unit
+(** Insert many intervals in one linear merge.  The batch must be sorted
+    ascending by start; intervals may overlap each other or existing
+    content.  This is how the join algorithms apply a whole level's
+    exclusions. *)
+
+val iter_alive : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [iter_alive t ~lo ~hi f] calls [f sub_lo sub_hi] for each maximal
+    un-erased sub-range of [lo, hi), in order. *)
+
+val is_dead : t -> int -> bool
+
+val covered : t -> lo:int -> hi:int -> int
+(** Erased positions inside a range. *)
+
+val alive : t -> lo:int -> hi:int -> int
+(** Un-erased positions inside a range. *)
+
+val length : t -> int
+(** Number of stored (disjoint) intervals. *)
+
+val covered_total : t -> int
+
+val to_list : t -> (int * int) list

@@ -1,0 +1,113 @@
+(* Algorithm 1: the join-based evaluation of complete ELCA/SLCA result
+   sets (Sections III-B through III-F).
+
+   Columns are joined bottom-up, from the deepest level every list reaches
+   up to the root.  A matched JDewey number N at level l:
+
+   - ELCA: is a result iff every list still has an un-erased row inside
+     N's run (the |Ak| > |B2| + |B3| range check of Section III-E);
+   - SLCA: is a result iff no run of N contains an erased row (Section
+     III-F's ancestor pruning);
+
+   and either way N's full runs are erased from every list, implementing
+   the exclusion of subtrees that already contain all keywords. *)
+
+type semantics = Elca | Slca
+
+type hit = { level : int; value : int; score : float }
+
+let max_alive_damped (jl : Xk_index.Jlist.t) damping (erased : Erased.t)
+    (run : Xk_index.Column.run) ~level =
+  let best = ref neg_infinity in
+  Erased.iter_alive erased ~lo:run.start_row ~hi:(run.start_row + run.count)
+    (fun lo hi ->
+      for r = lo to hi - 1 do
+        let v =
+          Xk_index.Jlist.score jl r
+          *. Xk_score.Damping.apply damping (Xk_index.Jlist.row_len jl r - level)
+        in
+        if v > !best then best := v
+      done);
+  !best
+
+let max_damped (jl : Xk_index.Jlist.t) damping (run : Xk_index.Column.run)
+    ~level =
+  let best = ref neg_infinity in
+  for r = run.start_row to run.start_row + run.count - 1 do
+    let v =
+      Xk_index.Jlist.score jl r
+      *. Xk_score.Damping.apply damping (Xk_index.Jlist.row_len jl r - level)
+    in
+    if v > !best then best := v
+  done;
+  !best
+
+let run ?(plan = Level_join.Dynamic) ?join_stats (lists : Xk_index.Jlist.t array)
+    damping semantics : hit list =
+  let k = Array.length lists in
+  if k = 0 then invalid_arg "Join_query.run: no lists";
+  if Array.exists (fun jl -> Xk_index.Jlist.length jl = 0) lists then []
+  else begin
+    let lmin =
+      Array.fold_left (fun m jl -> min m (Xk_index.Jlist.max_len jl)) max_int
+        lists
+    in
+    let erased = Array.init k (fun _ -> Erased.create ()) in
+    let out = ref [] in
+    for level = lmin downto 1 do
+      let cols = Array.map (fun jl -> Xk_index.Jlist.column jl ~level) lists in
+      let matches = Level_join.join ?stats:join_stats ~plan cols in
+      (* Exclusions of this level are applied in one batch once the level's
+         join finishes (Section III-E); matches at one level never share
+         rows, so checks within the level only depend on deeper levels. *)
+      let kills = Array.make k [] in
+      List.iter
+        (fun (m : Level_join.match_) ->
+          (match semantics with
+          | Elca ->
+              (* Range check: every list needs an alive row in N's run. *)
+              let score = ref 0. and ok = ref true in
+              for i = 0 to k - 1 do
+                if !ok then begin
+                  let best =
+                    max_alive_damped lists.(i) damping erased.(i) m.runs.(i)
+                      ~level
+                  in
+                  if best = neg_infinity then ok := false
+                  else score := !score +. best
+                end
+              done;
+              if !ok then
+                out := { level; value = m.value; score = !score } :: !out
+          | Slca ->
+              (* N is an SLCA iff no strict descendant matched, i.e. no run
+                 of N contains a previously erased row. *)
+              let clean = ref true in
+              for i = 0 to k - 1 do
+                let r = m.runs.(i) in
+                if
+                  Erased.covered erased.(i) ~lo:r.start_row
+                    ~hi:(r.start_row + r.count)
+                  > 0
+                then clean := false
+              done;
+              if !clean then begin
+                let score = ref 0. in
+                for i = 0 to k - 1 do
+                  score :=
+                    !score +. max_damped lists.(i) damping m.runs.(i) ~level
+                done;
+                out := { level; value = m.value; score = !score } :: !out
+              end);
+          (* Exclusion: erase N's full runs from every list. *)
+          for i = 0 to k - 1 do
+            let r = m.runs.(i) in
+            kills.(i) <- (r.start_row, r.start_row + r.count) :: kills.(i)
+          done)
+        matches;
+      for i = 0 to k - 1 do
+        Erased.add_batch erased.(i) (List.rev kills.(i))
+      done
+    done;
+    List.rev !out
+  end

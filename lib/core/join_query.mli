@@ -1,0 +1,31 @@
+(** Algorithm 1: join-based evaluation of the complete ELCA / SLCA result
+    set (paper Sections III-B..III-F), bottom-up over JDewey columns with
+    range-checked exclusion. *)
+
+type semantics = Elca | Slca
+
+type hit = {
+  level : int;  (** tree depth of the result node (1 = root) *)
+  value : int;  (** its JDewey number at that depth *)
+  score : float;
+}
+
+val max_alive_damped :
+  Xk_index.Jlist.t ->
+  Xk_score.Damping.t ->
+  Erased.t ->
+  Xk_index.Column.run ->
+  level:int ->
+  float
+(** Best damped local score among the un-erased rows of a run -
+    [neg_infinity] when none survive (the |Ak| > |B2|+|B3| range check). *)
+
+val run :
+  ?plan:Level_join.plan ->
+  ?join_stats:Level_join.stats ->
+  Xk_index.Jlist.t array ->
+  Xk_score.Damping.t ->
+  semantics ->
+  hit list
+(** All results, deepest level first; scores follow Section II-B (per
+    keyword the best damped non-excluded witness, summed). *)

@@ -1,0 +1,110 @@
+(* Per-level k-way join over JDewey columns (Section III-B/III-C).
+
+   The join is a star equi-join on JDewey numbers with set semantics (runs
+   already group duplicates).  The plan is left-deep from the smallest to
+   the largest column; each subsequent join picks the merge join or the
+   index join from the sizes of the current intermediate result and the
+   next column - the dynamic optimization of Section III-C.  [Force_merge]
+   and [Force_index] exist for the ablation benches. *)
+
+type plan = Dynamic | Force_merge | Force_index
+
+(* Intermediate result size must be this many times smaller than the next
+   column before the index join pays for its logarithmic probes. *)
+let index_join_ratio = 16
+
+type match_ = {
+  value : int;
+  runs : Xk_index.Column.run array; (* aligned with the input column order *)
+}
+
+type stats = {
+  mutable merge_joins : int;
+  mutable index_joins : int;
+  mutable probes : int;
+  mutable scanned : int;
+}
+
+let new_stats () = { merge_joins = 0; index_joins = 0; probes = 0; scanned = 0 }
+
+(* Values (with their runs) surviving a two-way merge between the current
+   intermediate and a column. *)
+let merge_step stats inter (col : Xk_index.Column.t) =
+  stats.merge_joins <- stats.merge_joins + 1;
+  let runs = Xk_index.Column.runs col in
+  let n = Array.length runs in
+  let out = ref [] in
+  let j = ref 0 in
+  List.iter
+    (fun (value, acc) ->
+      while !j < n && runs.(!j).Xk_index.Column.value < value do
+        incr j;
+        stats.scanned <- stats.scanned + 1
+      done;
+      if !j < n && runs.(!j).Xk_index.Column.value = value then
+        out := (value, runs.(!j) :: acc) :: !out)
+    inter;
+  List.rev !out
+
+let index_step stats inter (col : Xk_index.Column.t) =
+  stats.index_joins <- stats.index_joins + 1;
+  List.filter_map
+    (fun (value, acc) ->
+      stats.probes <- stats.probes + 1;
+      match Xk_index.Column.find col value with
+      | Some r -> Some (value, r :: acc)
+      | None -> None)
+    inter
+
+let join ?stats ~plan (cols : Xk_index.Column.t array) : match_ list =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let k = Array.length cols in
+  if k = 0 then invalid_arg "Level_join.join: no columns";
+  (* Left-deep order: smallest column first (Section III-C). *)
+  let order = Array.init k (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      Int.compare (Xk_index.Column.num_runs cols.(a))
+        (Xk_index.Column.num_runs cols.(b)))
+    order;
+  if Xk_index.Column.is_empty cols.(order.(0)) then []
+  else begin
+    let first = order.(0) in
+    let inter =
+      ref
+        (Array.to_list
+           (Array.map
+              (fun r -> (r.Xk_index.Column.value, [ r ]))
+              (Xk_index.Column.runs cols.(first))))
+    in
+    for oi = 1 to k - 1 do
+      let col = cols.(order.(oi)) in
+      let inter_size = List.length !inter in
+      let use_index =
+        match plan with
+        | Force_merge -> false
+        | Force_index -> true
+        | Dynamic ->
+            inter_size * index_join_ratio < Xk_index.Column.num_runs col
+      in
+      inter :=
+        if use_index then index_step stats !inter col
+        else merge_step stats !inter col
+    done;
+    (* Re-align each match's runs with the original column order.  The
+       accumulators were consed in processing order, so they are reversed
+       relative to [order]. *)
+    List.map
+      (fun (value, acc) ->
+        let runs =
+          Array.make k
+            { Xk_index.Column.value = 0; start_row = 0; count = 0 }
+        in
+        List.iteri
+          (fun pos r ->
+            (* [acc] is reversed: position 0 is the last processed list. *)
+            runs.(order.(k - 1 - pos)) <- r)
+          acc;
+        { value; runs })
+      !inter
+  end

@@ -1,0 +1,28 @@
+(** Per-level k-way star join over JDewey columns (paper Section III-B/C):
+    left-deep from the smallest column, merge vs. index join chosen
+    dynamically per step. *)
+
+type plan =
+  | Dynamic      (** Section III-C dynamic optimization *)
+  | Force_merge  (** ablation: always merge join *)
+  | Force_index  (** ablation: always index join *)
+
+type match_ = {
+  value : int;  (** the matched JDewey number *)
+  runs : Xk_index.Column.run array;
+      (** the value's run in every input column, in input order *)
+}
+
+type stats = {
+  mutable merge_joins : int;
+  mutable index_joins : int;
+  mutable probes : int;
+  mutable scanned : int;
+}
+
+val new_stats : unit -> stats
+
+val join :
+  ?stats:stats -> plan:plan -> Xk_index.Column.t array -> match_ list
+(** Values present in every column, ascending, with set semantics (runs
+    already group duplicate numbers). *)

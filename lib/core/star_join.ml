@@ -1,0 +1,185 @@
+(* Top-K star join (Section IV-B), in its relational form: k relations of
+   (id, score) tuples, each sorted by descending score, star-joined on id
+   with the aggregate score Sum.
+
+   Two thresholds over the unseen results are implemented:
+
+   - [Classic]: the HRJN bound of [21], max_i (s^i + sum_{j<>i} s_m^j),
+     using the per-relation maximum scores s_m;
+   - [Tight]: the paper's bound, max_P (ms(G_P) + sum_{j notin P} s^j),
+     grouping the partially joined tuples in the hash bucket by the set P
+     of relations already seen.
+
+   The per-group maxima ms(G_P) are maintained monotonically (they are not
+   decreased when a tuple leaves its group), which keeps them upper bounds
+   - the threshold may be slightly conservative but never unsafe. *)
+
+type threshold = Classic | Tight
+
+type relation = { keys : int array; scores : float array }
+(* sorted by descending score; keys unique within a relation *)
+
+type result = { key : int; total : float }
+
+type stats = {
+  mutable pulled : int;  (* sorted accesses *)
+  mutable emitted : int;
+  mutable bucket_peak : int;
+}
+
+let new_stats () = { pulled = 0; emitted = 0; bucket_peak = 0 }
+
+type entry = { slots : float array; mutable mask : int; mutable filled : int }
+
+let relation ~keys ~scores =
+  let n = Array.length keys in
+  if Array.length scores <> n then invalid_arg "Star_join.relation";
+  for i = 1 to n - 1 do
+    if scores.(i) > scores.(i - 1) then
+      invalid_arg "Star_join.relation: scores must be descending"
+  done;
+  { keys; scores }
+
+let topk ?stats ?(threshold = Tight) (rels : relation array) ~k:want :
+    result list =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let k = Array.length rels in
+  if k = 0 then invalid_arg "Star_join.topk: no relations";
+  let cursors = Array.make k 0 in
+  let next_score i =
+    if cursors.(i) >= Array.length rels.(i).scores then neg_infinity
+    else rels.(i).scores.(cursors.(i))
+  in
+  let top_score i =
+    if Array.length rels.(i).scores = 0 then neg_infinity
+    else rels.(i).scores.(0)
+  in
+  let bucket : (int, entry) Hashtbl.t = Hashtbl.create 256 in
+  (* Monotone per-subset maxima of partial sums, indexed by bitmask P. *)
+  let group_max = Array.make (1 lsl k) neg_infinity in
+  let blocked : result Xk_util.Heap.t = Xk_util.Heap.create () in
+  let out = ref [] and emitted = ref 0 in
+  let compute_threshold () =
+    match threshold with
+    | Classic ->
+        let best = ref neg_infinity in
+        for i = 0 to k - 1 do
+          if next_score i > neg_infinity then begin
+            let t = ref (next_score i) in
+            for j = 0 to k - 1 do
+              if j <> i then t := !t +. top_score j
+            done;
+            if !t > !best then best := !t
+          end
+        done;
+        !best
+    | Tight ->
+        (* Case 1: ids unseen everywhere. *)
+        let case1 = ref 0. in
+        for j = 0 to k - 1 do
+          case1 := !case1 +. next_score j
+        done;
+        (* Case 2: partially seen ids, grouped by subset. *)
+        let best = ref !case1 in
+        for p = 1 to (1 lsl k) - 2 do
+          if group_max.(p) > neg_infinity then begin
+            let t = ref group_max.(p) in
+            for j = 0 to k - 1 do
+              if p land (1 lsl j) = 0 then t := !t +. next_score j
+            done;
+            if !t > !best then best := !t
+          end
+        done;
+        !best
+  in
+  let flush () =
+    let rec go () =
+      if !emitted < want then
+        match Xk_util.Heap.peek blocked with
+        | Some (total, r) when total >= compute_threshold () ->
+            ignore (Xk_util.Heap.pop blocked);
+            out := r :: !out;
+            incr emitted;
+            stats.emitted <- stats.emitted + 1;
+            go ()
+        | Some _ | None -> ()
+    in
+    go ()
+  in
+  let exhausted () =
+    let all = ref true in
+    for i = 0 to k - 1 do
+      if cursors.(i) < Array.length rels.(i).keys then all := false
+    done;
+    !all
+  in
+  let rr = ref 0 in
+  while !emitted < want && not (exhausted ()) do
+    (* Relation choice (Section IV-B): round-robin until K results exist,
+       then the relation with the highest next score. *)
+    let generated = !emitted + Xk_util.Heap.size blocked in
+    let i =
+      if generated < want then begin
+        let tries = ref 0 and found = ref (-1) in
+        while !found < 0 && !tries < k do
+          let c = !rr mod k in
+          rr := !rr + 1;
+          if cursors.(c) < Array.length rels.(c).keys then found := c;
+          incr tries
+        done;
+        !found
+      end
+      else begin
+        let best = ref (-1) in
+        for j = 0 to k - 1 do
+          if
+            cursors.(j) < Array.length rels.(j).keys
+            && (!best < 0 || next_score j > next_score !best)
+          then best := j
+        done;
+        !best
+      end
+    in
+    assert (i >= 0);
+    let pos = cursors.(i) in
+    cursors.(i) <- pos + 1;
+    stats.pulled <- stats.pulled + 1;
+    let key = rels.(i).keys.(pos) and s = rels.(i).scores.(pos) in
+    let e =
+      match Hashtbl.find_opt bucket key with
+      | Some e -> e
+      | None ->
+          let e =
+            { slots = Array.make k neg_infinity; mask = 0; filled = 0 }
+          in
+          Hashtbl.add bucket key e;
+          stats.bucket_peak <- max stats.bucket_peak (Hashtbl.length bucket);
+          e
+    in
+    if e.slots.(i) = neg_infinity then begin
+      e.slots.(i) <- s;
+      e.mask <- e.mask lor (1 lsl i);
+      e.filled <- e.filled + 1;
+      if e.filled = k then begin
+        let total = Array.fold_left ( +. ) 0. e.slots in
+        Hashtbl.remove bucket key;
+        Xk_util.Heap.push blocked total { key; total }
+      end
+      else begin
+        let partial = ref 0. in
+        Array.iter (fun v -> if v > neg_infinity then partial := !partial +. v) e.slots;
+        if !partial > group_max.(e.mask) then group_max.(e.mask) <- !partial
+      end
+    end;
+    flush ()
+  done;
+  (* Inputs exhausted: everything joinable has joined; drain the heap. *)
+  while !emitted < want && not (Xk_util.Heap.is_empty blocked) do
+    match Xk_util.Heap.pop blocked with
+    | Some (_, r) ->
+        out := r :: !out;
+        incr emitted;
+        stats.emitted <- stats.emitted + 1
+    | None -> ()
+  done;
+  List.rev !out

@@ -1,0 +1,27 @@
+(** Top-K star join over ranked relations (paper Section IV-A/B): sorted
+    access, hash-bucket matching, and a threshold over the unseen results
+    that permits non-blocking emission. *)
+
+type threshold =
+  | Classic  (** the HRJN bound of Ilyas et al. *)
+  | Tight    (** the paper's group-wise bound over partial results *)
+
+type relation = { keys : int array; scores : float array }
+
+type result = { key : int; total : float }
+
+type stats = {
+  mutable pulled : int;  (** sorted accesses performed *)
+  mutable emitted : int;
+  mutable bucket_peak : int;
+}
+
+val new_stats : unit -> stats
+
+val relation : keys:int array -> scores:float array -> relation
+(** Validates that scores are descending; keys must be unique within one
+    relation. *)
+
+val topk : ?stats:stats -> ?threshold:threshold -> relation array -> k:int -> result list
+(** The K best star-join results (sum aggregate), best first.  Emits a
+    result as soon as its total reaches the unseen-results bound. *)

@@ -1,0 +1,351 @@
+(* Join-based top-K keyword search (Section IV-C).
+
+   Inverted lists are read in descending damped-score order: per list, rows
+   are grouped by sequence length (Figure 7) and the column order is
+   recovered by merging the group cursors (within a group the damping
+   factor is a common constant, so the local-score order is the damped
+   order at every level).
+
+   Columns are processed bottom-up, each through the top-K star join of
+   Section IV-B: pulled entries land in a hash bucket keyed by the JDewey
+   number, a value whose k slots fill becomes a generated result, and
+   generated results are emitted as soon as their score reaches the
+   threshold of all unseen results - the star-join bound within the
+   current column combined with the static per-column ceilings of the
+   shallower columns (including the paper's column-skip rule, which the
+   precomputed ceilings implement implicitly).
+
+   Semantic pruning: cursors skip rows erased at deeper levels; when a
+   column drains without the K results being found, a merge join over the
+   full columns erases every matched value's runs (the range exclusion of
+   Section III-E) before the next column starts.  A column that ends early
+   - because the K results were emitted - never pays for that scan, which
+   is exactly where the top-K algorithm wins. *)
+
+type threshold = Classic | Tight
+
+type stats = {
+  mutable pulled : int;
+  mutable dead_skipped : int;
+  mutable columns : int;
+  mutable generated : int;
+  mutable early_exit_level : int; (* 0 when every column was processed *)
+}
+
+let new_stats () =
+  { pulled = 0; dead_skipped = 0; columns = 0; generated = 0; early_exit_level = 0 }
+
+type hit = Join_query.hit = { level : int; value : int; score : float }
+
+type semantics = Join_query.semantics = Elca | Slca
+
+type cursor = {
+  rows : int array;
+  dfactor : float; (* d(group_len - level) *)
+  mutable pos : int;
+}
+
+type entry = { slots : float array; mutable mask : int; mutable filled : int }
+
+let topk ?stats ?(threshold = Tight) ?(semantics = Elca)
+    (slists : Xk_index.Score_list.t array) damping ~k:want : hit list =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let k = Array.length slists in
+  if k = 0 then invalid_arg "Topk_keyword.topk: no lists";
+  let jls = Array.map Xk_index.Score_list.jlist slists in
+  if Array.exists (fun jl -> Xk_index.Jlist.length jl = 0) jls then []
+  else begin
+    let lmin =
+      Array.fold_left (fun m jl -> min m (Xk_index.Jlist.max_len jl)) max_int
+        jls
+    in
+    (* Static per-column ceilings: up(l) = sum_i ms_i(l); up_prefix(l) =
+       max_{l' <= l} up(l') bounds every result of columns 1..l. *)
+    let up = Array.make (lmin + 1) neg_infinity in
+    for level = 1 to lmin do
+      let s = ref 0. in
+      Array.iter
+        (fun sl ->
+          s := !s +. Xk_index.Score_list.max_damped sl ~level)
+        slists;
+      up.(level) <- !s
+    done;
+    let up_prefix = Array.make (lmin + 1) neg_infinity in
+    for level = 1 to lmin do
+      up_prefix.(level) <- Float.max up_prefix.(level - 1) up.(level)
+    done;
+    let erased = Array.init k (fun _ -> Erased.create ()) in
+    let blocked : hit Xk_util.Heap.t = Xk_util.Heap.create () in
+    let out = ref [] and emitted = ref 0 in
+    let finished = ref false in
+    let level = ref lmin in
+    while not !finished && !level >= 1 do
+      let l = !level in
+      stats.columns <- stats.columns + 1;
+      (* Dynamic refinement of the cross-column ceilings: with the
+         exclusions applied so far, no future result can beat the sum of
+         the per-list best damped scores over still-alive rows (each row
+         peaks at the future column closest to its own depth).  The static
+         ceilings ignore erasure; on correlated data almost everything
+         below the current column is already dead and this bound collapses
+         right after the deepest column - which is what lets the top-K
+         join stop early where the complete join keeps scanning. *)
+      let dyn_below =
+        if l <= 1 then neg_infinity
+        else begin
+          let total = ref 0. in
+          let any_empty = ref false in
+          Array.iteri
+            (fun i jl ->
+              let best = ref neg_infinity in
+              Erased.iter_alive erased.(i) ~lo:0 ~hi:(Xk_index.Jlist.length jl)
+                (fun lo hi ->
+                  for r = lo to hi - 1 do
+                    let len = Xk_index.Jlist.row_len jl r in
+                    let v =
+                      Xk_index.Jlist.score jl r
+                      *. Xk_score.Damping.apply damping (max 0 (len - l + 1))
+                    in
+                    if v > !best then best := v
+                  done);
+              if !best = neg_infinity then any_empty := true
+              else total := !total +. !best)
+            jls;
+          if !any_empty then neg_infinity else !total
+        end
+      in
+      (* Fresh cursors: every group of length >= l participates. *)
+      let cursors =
+        Array.map
+          (fun sl ->
+            let gs =
+              Array.to_list (Xk_index.Score_list.groups sl)
+              |> List.filter (fun (g : Xk_index.Score_list.group) -> g.len >= l)
+            in
+            Array.of_list
+              (List.map
+                 (fun (g : Xk_index.Score_list.group) ->
+                   {
+                     rows = g.rows;
+                     dfactor = Xk_score.Damping.apply damping (g.len - l);
+                     pos = 0;
+                   })
+                 gs))
+          slists
+      in
+      (* Best cursor per list (highest next damped score), cached and
+         refreshed only for the list just pulled from - this sits on the
+         per-pull hot path. *)
+      let cbest = Array.make k (-1) in
+      let cscore = Array.make k neg_infinity in
+      let refresh i =
+        let best = ref (-1) and bs = ref neg_infinity in
+        Array.iteri
+          (fun ci c ->
+            if c.pos < Array.length c.rows then begin
+              let s = Xk_index.Jlist.score jls.(i) c.rows.(c.pos) *. c.dfactor in
+              if s > !bs then begin
+                bs := s;
+                best := ci
+              end
+            end)
+          cursors.(i);
+        cbest.(i) <- !best;
+        cscore.(i) <- !bs
+      in
+      for i = 0 to k - 1 do
+        refresh i
+      done;
+      let list_next i = cscore.(i) in
+      let bucket : (int, entry) Hashtbl.t = Hashtbl.create 256 in
+      (* Values already generated this column: a value can recur in a
+         cursor stream (several occurrences per list), and must not be
+         generated twice. *)
+      let completed : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      let group_max = Array.make (1 lsl k) neg_infinity in
+      let column_threshold () =
+        match threshold with
+        | Classic ->
+            (* HRJN-style: one advancing cursor, static maxima elsewhere. *)
+            let best = ref neg_infinity in
+            for i = 0 to k - 1 do
+              let s = list_next i in
+              if s > neg_infinity then begin
+                let t = ref s in
+                for j = 0 to k - 1 do
+                  if j <> i then
+                    t := !t +. Xk_index.Score_list.max_damped slists.(j) ~level:l
+                done;
+                if !t > !best then best := !t
+              end
+            done;
+            !best
+        | Tight ->
+            let case1 = ref 0. in
+            for j = 0 to k - 1 do
+              case1 := !case1 +. list_next j
+            done;
+            let best = ref !case1 in
+            for p = 1 to (1 lsl k) - 2 do
+              if group_max.(p) > neg_infinity then begin
+                let t = ref group_max.(p) in
+                for j = 0 to k - 1 do
+                  if p land (1 lsl j) = 0 then t := !t +. list_next j
+                done;
+                if !t > !best then best := !t
+              end
+            done;
+            !best
+      in
+      let below_bound =
+        if l > 1 then Float.min up_prefix.(l - 1) dyn_below else neg_infinity
+      in
+      let global_threshold () = Float.max (column_threshold ()) below_bound in
+      let flush () =
+        let rec go () =
+          if !emitted < want then
+            match Xk_util.Heap.peek blocked with
+            | Some (score, h) when score >= global_threshold () ->
+                ignore (Xk_util.Heap.pop blocked);
+                out := h :: !out;
+                incr emitted;
+                go ()
+            | Some _ | None -> ()
+        in
+        go ()
+      in
+      let column_exhausted () = Array.for_all (fun b -> b < 0) cbest in
+      let rr = ref 0 in
+      while !emitted < want && not (column_exhausted ()) do
+        (* List choice (Section IV-B): round-robin until K results are
+           generated, then the list with the highest next score. *)
+        let generated = !emitted + Xk_util.Heap.size blocked in
+        let i =
+          if generated < want then begin
+            let found = ref (-1) and tries = ref 0 in
+            while !found < 0 && !tries < k do
+              let c = !rr mod k in
+              rr := !rr + 1;
+              if cbest.(c) >= 0 then found := c;
+              incr tries
+            done;
+            !found
+          end
+          else begin
+            let best = ref (-1) and bs = ref neg_infinity in
+            for j = 0 to k - 1 do
+              if cbest.(j) >= 0 && cscore.(j) > !bs then begin
+                best := j;
+                bs := cscore.(j)
+              end
+            done;
+            !best
+          end
+        in
+        assert (i >= 0);
+        let c = cursors.(i).(cbest.(i)) in
+        let row = c.rows.(c.pos) in
+        c.pos <- c.pos + 1;
+        refresh i;
+        stats.pulled <- stats.pulled + 1;
+        if Erased.is_dead erased.(i) row then
+          stats.dead_skipped <- stats.dead_skipped + 1
+        else begin
+          let value = (Xk_index.Jlist.seq jls.(i) row).(l - 1) in
+          let s = Xk_index.Jlist.score jls.(i) row *. c.dfactor in
+          if Hashtbl.mem completed value then ()
+          else begin
+          let e =
+            match Hashtbl.find_opt bucket value with
+            | Some e -> e
+            | None ->
+                let e =
+                  { slots = Array.make k neg_infinity; mask = 0; filled = 0 }
+                in
+                Hashtbl.add bucket value e;
+                e
+          in
+          if e.slots.(i) = neg_infinity then begin
+            e.slots.(i) <- s;
+            e.mask <- e.mask lor (1 lsl i);
+            e.filled <- e.filled + 1;
+            if e.filled = k then begin
+              let total = Array.fold_left ( +. ) 0. e.slots in
+              Hashtbl.remove bucket value;
+              Hashtbl.add completed value ();
+              (* SLCA (Section III-F): the value is disqualified if any of
+                 its runs contains a row erased by a deeper match - that
+                 row witnesses a descendant containing all keywords. *)
+              let accept =
+                match semantics with
+                | Elca -> true
+                | Slca ->
+                    let clean = ref true in
+                    Array.iteri
+                      (fun j jl ->
+                        match
+                          Xk_index.Column.find
+                            (Xk_index.Jlist.column jl ~level:l)
+                            value
+                        with
+                        | Some r ->
+                            if
+                              Erased.covered erased.(j) ~lo:r.start_row
+                                ~hi:(r.start_row + r.count)
+                              > 0
+                            then clean := false
+                        | None -> clean := false)
+                      jls;
+                    !clean
+              in
+              if accept then begin
+                stats.generated <- stats.generated + 1;
+                Xk_util.Heap.push blocked total
+                  { level = l; value; score = total }
+              end
+            end
+            else begin
+              let partial = ref 0. in
+              Array.iter
+                (fun v -> if v > neg_infinity then partial := !partial +. v)
+                e.slots;
+              if !partial > group_max.(e.mask) then
+                group_max.(e.mask) <- !partial
+            end
+          end
+          end
+        end;
+        flush ()
+      done;
+      if !emitted >= want then begin
+        stats.early_exit_level <- l;
+        finished := true
+      end
+      else begin
+        (* Column drained: apply the range exclusion before moving up. *)
+        let cols = Array.map (fun jl -> Xk_index.Jlist.column jl ~level:l) jls in
+        let matches = Level_join.join ~plan:Level_join.Force_merge cols in
+        let kills = Array.make k [] in
+        List.iter
+          (fun (m : Level_join.match_) ->
+            for i = 0 to k - 1 do
+              let r = m.runs.(i) in
+              kills.(i) <- (r.start_row, r.start_row + r.count) :: kills.(i)
+            done)
+          matches;
+        for i = 0 to k - 1 do
+          Erased.add_batch erased.(i) (List.rev kills.(i))
+        done;
+        level := l - 1
+      end
+    done;
+    (* All columns processed: no unseen results remain. *)
+    while !emitted < want && not (Xk_util.Heap.is_empty blocked) do
+      match Xk_util.Heap.pop blocked with
+      | Some (_, h) ->
+          out := h :: !out;
+          incr emitted
+      | None -> ()
+    done;
+    List.rev !out
+  end

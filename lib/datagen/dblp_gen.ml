@@ -1,0 +1,265 @@
+(* Synthetic DBLP-like corpus (the paper's substitution for the 496 MB DBLP
+   dump; see DESIGN.md §3).
+
+   Shape follows the paper's setup: "we group the papers firstly by
+   conference/journal names, and then by years" - so the tree is
+   dblp / conf / year / paper / {title, authors/author, pages}.
+
+   Three properties of the real data matter to the experiments and are
+   reproduced here:
+
+   - Zipfian term frequencies (keyword-frequency buckets for Figure 9);
+   - context-biased vocabularies: half of a paper's title tokens come from
+     the conference's topic slice of the vocabulary, so keyword correlation
+     depends on the level - low at paper level, high at conference level
+     (the Section III-C discussion);
+   - planted control terms with exact frequencies and co-occurrence rates,
+     giving the correlated query sets of Figure 10(b) reproducible
+     definitions.  Control terms carry digit suffixes and never collide
+     with the syllable vocabulary. *)
+
+type config = {
+  seed : int;
+  conferences : int;
+  years_per_conf : int;
+  papers_per_year : int; (* mean; actual counts vary +/- 50% *)
+  vocab_size : int;
+  zipf_exponent : float;
+  title_words : int; (* mean *)
+  topic_slice : int; (* vocabulary slice width per conference topic *)
+}
+
+let default =
+  {
+    seed = 42;
+    conferences = 120;
+    years_per_conf = 10;
+    papers_per_year = 14;
+    vocab_size = 20_000;
+    zipf_exponent = 1.1;
+    title_words = 8;
+    topic_slice = 400;
+  }
+
+(* Scale the corpus size by [f] (conference count). *)
+let scaled f =
+  {
+    default with
+    conferences = max 2 (int_of_float (float_of_int default.conferences *. f));
+  }
+
+type corpus = {
+  doc : Xk_xml.Xml_tree.document;
+  correlated_queries : string list list;
+  uncorrelated_queries : string list list;
+  total_papers : int;
+}
+
+(* Planted occurrences live either in the paper's title text (depth 6) or
+   in an extra author field (depth 7). *)
+type extras = {
+  title : string list array; (* per paper, tokens appended to the title *)
+  author : string list array; (* per paper, tokens in an extra author *)
+}
+
+let drop (slots : string list array) term ~tf p =
+  for _ = 1 to tf do
+    slots.(p) <- term :: slots.(p)
+  done
+
+(* Plant [freq] solitary occurrences of [term]: the score profile of the
+   correlated sets (see below) without any planted co-occurrence. *)
+let plant rng extras term ~freq =
+  let n = Array.length extras.title in
+  let freq = min freq (n / 2) in
+  let half = freq / 2 and deco = freq / 8 in
+  Array.iter (drop extras.title term ~tf:1) (Rng.sample rng ~n ~k:half);
+  Array.iter (drop extras.author term ~tf:4) (Rng.sample rng ~n ~k:deco);
+  Array.iter
+    (drop extras.title term ~tf:2)
+    (Rng.sample rng ~n ~k:(max 0 (freq - half - deco)))
+
+(* Plant a correlated set.  The layout reproduces the score structure the
+   paper's evaluation turns on:
+
+   - [overlap] of the budget: tf-1 co-occurrences in one title - the bulk
+     of the (deep) results, with modest local scores;
+   - a few dozen "strong pairs": tf-3 co-occurrences in one title - the
+     top-10 material, reachable near the heads of the score-ordered lists;
+   - tf-4 author-field occurrences (depth 7) that never co-occur, and
+     tf-4 conference-level decoys whose join is heavily damped: these sit
+     at the very top of the local-score order, so RDIL's undamped
+     threshold (Section II-C) stays pinned above the real results' scores
+     until they are all consumed and verified, while the join-based top-K
+     sees them per column with damping applied. *)
+let plant_correlated rng extras ~conf_ranges terms ~freq ~overlap =
+  let n = Array.length extras.title in
+  let freq = min freq (n / 2) in
+  let shared = int_of_float (float_of_int freq *. overlap) in
+  let strong = min 40 (shared / 4) in
+  let author_decoys = freq / 8 in
+  let conf_decoys = freq / 16 in
+  let singles = max 0 (freq - shared - strong - author_decoys - conf_decoys) in
+  let shared_papers = Rng.sample rng ~n ~k:(shared + strong) in
+  List.iter
+    (fun term ->
+      Array.iteri
+        (fun i p ->
+          drop extras.title term ~tf:(if i < strong then 3 else 1) p)
+        shared_papers)
+    terms;
+  for _ = 1 to conf_decoys do
+    let start, count = conf_ranges.(Rng.int rng (Array.length conf_ranges)) in
+    if count >= List.length terms then begin
+      let papers = Rng.sample rng ~n:count ~k:(List.length terms) in
+      List.iteri
+        (fun i term -> drop extras.title term ~tf:4 (start + papers.(i)))
+        terms
+    end
+  done;
+  List.iter
+    (fun term ->
+      Array.iter (drop extras.author term ~tf:4)
+        (Rng.sample rng ~n ~k:author_decoys);
+      Array.iter (drop extras.title term ~tf:2) (Rng.sample rng ~n ~k:singles))
+    terms
+
+let words_of_title rng zipf cfg ~topic =
+  let n = max 3 (Rng.range rng (cfg.title_words / 2) (3 * cfg.title_words / 2)) in
+  let buf = Buffer.create 64 in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    let rank =
+      if Rng.bool rng then Zipf.sample zipf rng
+      else topic + Zipf.sample zipf rng mod cfg.topic_slice
+    in
+    Buffer.add_string buf (Vocab.word (min rank (cfg.vocab_size - 1)))
+  done;
+  Buffer.contents buf
+
+let generate (cfg : config) : corpus =
+  let rng = Rng.create cfg.seed in
+  let zipf = Zipf.make ~n:cfg.vocab_size ~exponent:cfg.zipf_exponent in
+  (* Fix the per-(conf, year) paper counts first, so control terms can be
+     planted against the global paper numbering. *)
+  let counts =
+    Array.init cfg.conferences (fun _ ->
+        Array.init cfg.years_per_conf (fun _ ->
+            max 1
+              (Rng.range rng (cfg.papers_per_year / 2)
+                 (3 * cfg.papers_per_year / 2))))
+  in
+  let total_papers = Array.fold_left (fun a ys -> Array.fold_left ( + ) a ys) 0 counts in
+  (* Global paper-index range of each conference, for conference-level
+     decoy planting. *)
+  let conf_ranges =
+    let start = ref 0 in
+    Array.map
+      (fun ys ->
+        let count = Array.fold_left ( + ) 0 ys in
+        let r = (!start, count) in
+        start := !start + count;
+        r)
+      counts
+  in
+  let extras =
+    { title = Array.make total_papers []; author = Array.make total_papers [] }
+  in
+  let base = max 10 (total_papers / 12) in
+  (* Correlated pairs at three frequency scales, a correlated triple, and
+     frequency-matched uncorrelated controls. *)
+  let correlated = ref [] and uncorrelated = ref [] in
+  for i = 1 to 3 do
+    let a = Vocab.control ~group:"cpa" ~index:i
+    and b = Vocab.control ~group:"cpb" ~index:i in
+    plant_correlated rng extras ~conf_ranges [ a; b ] ~freq:(base * i)
+      ~overlap:0.7;
+    correlated := [ a; b ] :: !correlated;
+    let ua = Vocab.control ~group:"upa" ~index:i
+    and ub = Vocab.control ~group:"upb" ~index:i in
+    plant rng extras ua ~freq:(base * i);
+    plant rng extras ub ~freq:(base * i);
+    uncorrelated := [ ua; ub ] :: !uncorrelated
+  done;
+  let t3 =
+    [
+      Vocab.control ~group:"cta" ~index:1;
+      Vocab.control ~group:"ctb" ~index:1;
+      Vocab.control ~group:"ctc" ~index:1;
+    ]
+  in
+  plant_correlated rng extras ~conf_ranges t3 ~freq:(base * 2) ~overlap:0.6;
+  correlated := t3 :: !correlated;
+  (* Emit the tree. *)
+  let open Xk_xml.Xml_tree in
+  let paper_idx = ref 0 in
+  let confs =
+    List.init cfg.conferences (fun c ->
+        let topic = c * cfg.topic_slice mod cfg.vocab_size in
+        let years =
+          List.init cfg.years_per_conf (fun y ->
+              let papers =
+                List.init counts.(c).(y) (fun _ ->
+                    let p = !paper_idx in
+                    incr paper_idx;
+                    let title = words_of_title rng zipf cfg ~topic in
+                    let title =
+                      match extras.title.(p) with
+                      | [] -> title
+                      | ex -> title ^ " " ^ String.concat " " ex
+                    in
+                    let authors =
+                      List.init (1 + Rng.int rng 3) (fun _ ->
+                          elem "author"
+                            [
+                              text
+                                (Vocab.word (Zipf.sample zipf rng)
+                                ^ " "
+                                ^ Vocab.word (Zipf.sample zipf rng));
+                            ])
+                    in
+                    let authors =
+                      (* One extra author element per distinct planted
+                         term: different control terms must not share a
+                         text node through this side channel. *)
+                      match extras.author.(p) with
+                      | [] -> authors
+                      | ex ->
+                          let grouped =
+                            List.sort_uniq String.compare ex
+                            |> List.map (fun term ->
+                                   let reps =
+                                     List.filter (String.equal term) ex
+                                   in
+                                   elem "author"
+                                     [ text (String.concat " " reps) ])
+                          in
+                          authors @ grouped
+                    in
+                    elem "paper"
+                      [
+                        elem "title" [ text title ];
+                        elem "authors" authors;
+                        elem "pages"
+                          [
+                            text
+                              (Printf.sprintf "%d %d" (Rng.int rng 500)
+                                 (500 + Rng.int rng 30));
+                          ];
+                      ])
+              in
+              elem "year"
+                ~attrs:[ attr "value" (string_of_int (1998 + y)) ]
+                papers)
+        in
+        elem "conf"
+          ~attrs:[ attr "name" (Printf.sprintf "conf%d" c) ]
+          (elem "fullname" [ text (words_of_title rng zipf cfg ~topic) ] :: years))
+  in
+  let doc = { root = element "dblp" confs } in
+  {
+    doc;
+    correlated_queries = List.rev !correlated;
+    uncorrelated_queries = List.rev !uncorrelated;
+    total_papers;
+  }

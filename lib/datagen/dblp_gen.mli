@@ -1,0 +1,33 @@
+(** Synthetic DBLP-like corpus (the substitution for the paper's 496 MB
+    DBLP dump - see DESIGN.md §3): papers grouped by conference then year,
+    Zipfian vocabulary with per-conference topic bias, and planted control
+    terms with exact frequencies, co-occurrence rates and the score
+    structure the Figure 10 experiments depend on. *)
+
+type config = {
+  seed : int;
+  conferences : int;
+  years_per_conf : int;
+  papers_per_year : int;  (** mean; actual counts vary +/- 50% *)
+  vocab_size : int;
+  zipf_exponent : float;
+  title_words : int;  (** mean *)
+  topic_slice : int;  (** vocabulary slice width per conference topic *)
+}
+
+val default : config
+
+val scaled : float -> config
+(** Scale the corpus (conference count) by a factor. *)
+
+type corpus = {
+  doc : Xk_xml.Xml_tree.document;
+  correlated_queries : string list list;
+      (** planted keyword sets with high paper-level co-occurrence *)
+  uncorrelated_queries : string list list;
+      (** frequency-matched controls without planted co-occurrence *)
+  total_papers : int;
+}
+
+val generate : config -> corpus
+(** Deterministic in [config.seed]. *)

@@ -1,0 +1,50 @@
+(* Small random XML trees with a tiny keyword alphabet: the fuzz input for
+   the correctness properties (all algorithms vs. the definitional
+   oracle). *)
+
+type config = {
+  max_depth : int;
+  max_children : int;
+  keywords : int; (* alphabet size: kw0 .. kw(n-1) *)
+  text_prob : float; (* probability a child slot is a text node *)
+  word_prob : float; (* probability a text node holds a keyword *)
+}
+
+let default =
+  { max_depth = 6; max_children = 4; keywords = 4; text_prob = 0.5; word_prob = 0.8 }
+
+let keyword i = Printf.sprintf "kw%d" i
+
+let generate ?(config = default) rng : Xk_xml.Xml_tree.document =
+  let open Xk_xml.Xml_tree in
+  let word () =
+    if Rng.float rng < config.word_prob then keyword (Rng.int rng config.keywords)
+    else "filler"
+  in
+  (* Keep text children non-adjacent: a serializer-parser pass merges
+     adjacent character data, so adjacent text nodes would break structural
+     round-trip comparisons without reflecting a real defect. *)
+  let no_adjacent_text children =
+    List.fold_right
+      (fun c acc ->
+        match (c, acc) with
+        | Xk_xml.Xml_tree.Text a, Xk_xml.Xml_tree.Text b :: rest ->
+            Xk_xml.Xml_tree.Text (a ^ " " ^ b) :: rest
+        | c, acc -> c :: acc)
+      children []
+  in
+  let rec node depth =
+    if depth >= config.max_depth || Rng.float rng < config.text_prob then
+      text (word () ^ if Rng.bool rng then " " ^ word () else "")
+    else
+      elem
+        (Printf.sprintf "e%d" (Rng.int rng 3))
+        (no_adjacent_text
+           (List.init (Rng.int rng (config.max_children + 1)) (fun _ ->
+                node (depth + 1))))
+  in
+  let children =
+    no_adjacent_text
+      (List.init (1 + Rng.int rng config.max_children) (fun _ -> node 2))
+  in
+  { root = element "root" children }

@@ -1,0 +1,17 @@
+(** Small random XML trees over a tiny keyword alphabet - the fuzz input
+    of the correctness property tests. *)
+
+type config = {
+  max_depth : int;
+  max_children : int;
+  keywords : int;  (** alphabet size: kw0 .. kw(n-1) *)
+  text_prob : float;
+  word_prob : float;
+}
+
+val default : config
+
+val keyword : int -> string
+(** ["kw<i>"] *)
+
+val generate : ?config:config -> Rng.t -> Xk_xml.Xml_tree.document

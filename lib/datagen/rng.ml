@@ -1,0 +1,57 @@
+(* Deterministic SplitMix64 generator: corpora and workloads must be
+   reproducible from a seed across runs and machines. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to OCaml's positive int range: a 63-bit shift result can still
+     land in the native int's sign bit. *)
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let float t =
+  (* 53 random bits into [0, 1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int v /. 9007199254740992.
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Uniform int in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range";
+  lo + int t (hi - lo + 1)
+
+(* k distinct ints from [0, n), by partial Fisher-Yates on an index pool. *)
+let sample t ~n ~k =
+  if k > n then invalid_arg "Rng.sample: k > n";
+  let pool = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 k
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t = create (Int64.to_int (next_int64 t))

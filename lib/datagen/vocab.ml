@@ -1,0 +1,26 @@
+(* Synthetic vocabulary: pronounceable syllable words, deterministic in the
+   rank.  The syllable set is prefix-free, so concatenations decode
+   uniquely and distinct ranks give distinct words.  Control terms (planted
+   by the generators for the correlated-query workloads) carry a digit
+   suffix, which no syllable word contains, so the two name spaces never
+   collide. *)
+
+let syllables =
+  [|
+    "ba"; "ce"; "di"; "fo"; "gu"; "ha"; "je"; "ki"; "lo"; "mu"; "na"; "pe";
+    "qui"; "ro"; "su"; "ta"; "ve"; "wi"; "xo"; "zu"; "bra"; "cle"; "dri";
+    "flo"; "gru"; "pla"; "sta"; "tre"; "vla"; "sno";
+  |]
+
+let word rank =
+  if rank < 0 then invalid_arg "Vocab.word";
+  let b = Array.length syllables in
+  (* Offsetting by b^2 makes every word at least three syllables and the
+     base-b digit strings (hence the words) pairwise distinct. *)
+  let n = rank + (b * b) in
+  let rec digits n acc = if n = 0 then acc else digits (n / b) ((n mod b) :: acc) in
+  let buf = Buffer.create 8 in
+  List.iter (fun d -> Buffer.add_string buf syllables.(d)) (digits n []);
+  Buffer.contents buf
+
+let control ~group ~index = Printf.sprintf "%s%d" group index

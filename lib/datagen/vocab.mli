@@ -1,0 +1,6 @@
+(** Synthetic vocabulary: prefix-free syllable words (distinct per rank,
+    tokenizer-stable) and digit-suffixed control-term names that never
+    collide with them. *)
+
+val word : int -> string
+val control : group:string -> index:int -> string

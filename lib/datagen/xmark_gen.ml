@@ -1,0 +1,183 @@
+(* Synthetic XMark-like auction corpus (the substitution for XMark factor
+   1.0; see DESIGN.md §3).  Reproduces what matters to the experiments:
+   XMark's deeper, recursive structure - item descriptions nest parlist /
+   listitem / text up to three levels - which populates deep JDewey
+   columns, plus Zipfian text and planted correlated control terms spread
+   over item descriptions. *)
+
+type config = {
+  seed : int;
+  regions : int;
+  items_per_region : int;
+  people : int;
+  open_auctions : int;
+  vocab_size : int;
+  zipf_exponent : float;
+  sentence_words : int;
+}
+
+let default =
+  {
+    seed = 17;
+    regions = 6;
+    items_per_region = 250;
+    people = 600;
+    open_auctions = 400;
+    vocab_size = 15_000;
+    zipf_exponent = 1.1;
+    sentence_words = 9;
+  }
+
+let scaled f =
+  {
+    default with
+    items_per_region =
+      max 10 (int_of_float (float_of_int default.items_per_region *. f));
+    people = max 10 (int_of_float (float_of_int default.people *. f));
+    open_auctions =
+      max 10 (int_of_float (float_of_int default.open_auctions *. f));
+  }
+
+type corpus = {
+  doc : Xk_xml.Xml_tree.document;
+  correlated_queries : string list list;
+  total_items : int;
+}
+
+let sentence rng zipf cfg =
+  let n = max 3 (Rng.range rng (cfg.sentence_words / 2) (2 * cfg.sentence_words)) in
+  let buf = Buffer.create 64 in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Vocab.word (Zipf.sample zipf rng))
+  done;
+  Buffer.contents buf
+
+let generate (cfg : config) : corpus =
+  let rng = Rng.create cfg.seed in
+  let zipf = Zipf.make ~n:cfg.vocab_size ~exponent:cfg.zipf_exponent in
+  let open Xk_xml.Xml_tree in
+  let total_items = cfg.regions * cfg.items_per_region in
+  let extras = Array.make total_items [] in
+  let base = max 8 (total_items / 4) in
+  let correlated = ref [] in
+  (* Same planted score structure as the DBLP generator (see Dblp_gen):
+     tf-1 shared co-occurrences as the result bulk, a few tf-3 strong
+     pairs as top-10 material, tf-2/4 solitary tails. *)
+  for i = 1 to 2 do
+    let a = Vocab.control ~group:"xca" ~index:i
+    and b = Vocab.control ~group:"xcb" ~index:i in
+    let n = Array.length extras in
+    let freq = min (base * i) (n / 2) in
+    let shared = int_of_float (float_of_int freq *. 0.6) in
+    let strong = min 30 (shared / 4) in
+    let shared_items = Rng.sample rng ~n ~k:(shared + strong) in
+    let drop term ~tf p =
+      for _ = 1 to tf do
+        extras.(p) <- term :: extras.(p)
+      done
+    in
+    List.iter
+      (fun term ->
+        Array.iteri
+          (fun j p -> drop term ~tf:(if j < strong then 3 else 1) p)
+          shared_items;
+        let tail = max 0 (freq - shared - strong) in
+        Array.iter
+          (fun p -> drop term ~tf:(if Rng.float rng < 0.2 then 4 else 2) p)
+          (Rng.sample rng ~n ~k:tail))
+      [ a; b ];
+    correlated := [ a; b ] :: !correlated
+  done;
+  (* Recursive parlist structure: the deep part of the tree.  Planted
+     tokens are attached to exactly one text node of the description (the
+     first emitted), so per-item document frequencies stay exact. *)
+  let rec parlist depth pending =
+    let items =
+      List.init
+        (1 + Rng.int rng 3)
+        (fun _ ->
+          let body =
+            if depth < 2 && Rng.int rng 4 = 0 then parlist (depth + 1) pending
+            else begin
+              let ex = !pending in
+              pending := [];
+              elem "text"
+                [
+                  text
+                    (match ex with
+                    | [] -> sentence rng zipf cfg
+                    | ex -> sentence rng zipf cfg ^ " " ^ String.concat " " ex);
+                ]
+            end
+          in
+          elem "listitem" [ body ])
+    in
+    elem "parlist" items
+  in
+  let item_idx = ref 0 in
+  let region_names =
+    [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+  in
+  let regions =
+    List.init cfg.regions (fun r ->
+        let items =
+          List.init cfg.items_per_region (fun _ ->
+              let p = !item_idx in
+              incr item_idx;
+              elem "item"
+                ~attrs:[ attr "id" (Printf.sprintf "item%d" p) ]
+                [
+                  elem "location" [ text (sentence rng zipf cfg) ];
+                  elem "name" [ text (sentence rng zipf cfg) ];
+                  elem "description" [ parlist 0 (ref extras.(p)) ];
+                  elem "mailbox"
+                    [
+                      elem "mail"
+                        [
+                          elem "from" [ text (Vocab.word (Zipf.sample zipf rng)) ];
+                          elem "text" [ text (sentence rng zipf cfg) ];
+                        ];
+                    ];
+                ])
+        in
+        elem region_names.(r mod Array.length region_names) items)
+  in
+  let people =
+    List.init cfg.people (fun p ->
+        elem "person"
+          ~attrs:[ attr "id" (Printf.sprintf "person%d" p) ]
+          [
+            elem "name" [ text (sentence rng zipf cfg) ];
+            elem "profile"
+              [
+                elem "interest" [ text (Vocab.word (Zipf.sample zipf rng)) ];
+                elem "education" [ text (Vocab.word (Zipf.sample zipf rng)) ];
+              ];
+          ])
+  in
+  let auctions =
+    List.init cfg.open_auctions (fun a ->
+        elem "open_auction"
+          ~attrs:[ attr "id" (Printf.sprintf "auction%d" a) ]
+          [
+            elem "initial" [ text (string_of_int (Rng.int rng 500)) ];
+            elem "annotation"
+              [
+                elem "description"
+                  [ elem "text" [ text (sentence rng zipf cfg) ] ];
+              ];
+          ])
+  in
+  let doc =
+    {
+      root =
+        element "site"
+          [
+            elem "regions" regions;
+            elem "people" people;
+            elem "open_auctions" auctions;
+          ];
+    }
+  in
+  { doc; correlated_queries = List.rev !correlated; total_items }

@@ -1,0 +1,27 @@
+(** Synthetic XMark-like auction corpus (the substitution for XMark factor
+    1.0 - see DESIGN.md §3): deep recursive item descriptions
+    (parlist/listitem/text), people and auctions, with planted correlated
+    control terms over item descriptions. *)
+
+type config = {
+  seed : int;
+  regions : int;
+  items_per_region : int;
+  people : int;
+  open_auctions : int;
+  vocab_size : int;
+  zipf_exponent : float;
+  sentence_words : int;
+}
+
+val default : config
+val scaled : float -> config
+
+type corpus = {
+  doc : Xk_xml.Xml_tree.document;
+  correlated_queries : string list list;
+  total_items : int;
+}
+
+val generate : config -> corpus
+(** Deterministic in [config.seed]. *)

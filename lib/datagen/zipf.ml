@@ -1,0 +1,33 @@
+(* Zipf-distributed sampling over ranks 0..n-1 (rank 0 most frequent),
+   by inverse transform over the precomputed CDF.  Word frequencies in
+   text corpora are Zipfian; this is what gives the synthetic corpora
+   keyword-frequency buckets spanning several orders of magnitude, like
+   DBLP's. *)
+
+type t = { cdf : float array }
+
+let make ~n ~exponent =
+  if n <= 0 then invalid_arg "Zipf.make";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1. /. (float_of_int (r + 1) ** exponent));
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. total
+  done;
+  { cdf }
+
+let size t = Array.length t.cdf
+
+let sample t rng =
+  let u = Rng.float rng in
+  (* First rank with cdf >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo

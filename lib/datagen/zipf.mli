@@ -1,0 +1,7 @@
+(** Zipf-distributed rank sampling (rank 0 most frequent). *)
+
+type t
+
+val make : n:int -> exponent:float -> t
+val size : t -> int
+val sample : t -> Rng.t -> int

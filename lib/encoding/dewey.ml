@@ -1,0 +1,76 @@
+(* Dewey identifiers: the classic path-based node labels used by the
+   stack-based and index-based baselines.  A Dewey id is the vector of
+   1-based sibling ranks on the path from the root, e.g. [|1; 3; 2|] for
+   node 1.3.2 in the paper's Figure 1. *)
+
+type t = int array
+
+let root : t = [| 1 |]
+
+let length = Array.length
+
+let child (d : t) rank =
+  let n = Array.length d in
+  let d' = Array.make (n + 1) 0 in
+  Array.blit d 0 d' 0 n;
+  d'.(n) <- rank;
+  d'
+
+let parent (d : t) =
+  let n = Array.length d in
+  if n <= 1 then None else Some (Array.sub d 0 (n - 1))
+
+(* Document order: component-wise, a prefix precedes its extensions. *)
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let common_prefix_len (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i = if i < n && a.(i) = b.(i) then go (i + 1) else i in
+  go 0
+
+let lca (a : t) (b : t) : t = Array.sub a 0 (common_prefix_len a b)
+
+(* [is_ancestor a d]: a is a strict ancestor of d. *)
+let is_ancestor (a : t) (d : t) =
+  Array.length a < Array.length d
+  && common_prefix_len a d = Array.length a
+
+let is_ancestor_or_self a d =
+  Array.length a <= Array.length d
+  && common_prefix_len a d = Array.length a
+
+let to_string (d : t) =
+  String.concat "." (Array.to_list (Array.map string_of_int d))
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [] -> invalid_arg "Dewey.of_string: empty"
+  | parts ->
+      let d = Array.of_list (List.map int_of_string parts) in
+      if Array.exists (fun x -> x <= 0) d then
+        invalid_arg "Dewey.of_string: non-positive component";
+      d
+
+let pp ppf d = Fmt.string ppf (to_string d)
+
+(* [range_end d] is the smallest Dewey id strictly greater (in document
+   order) than every descendant of [d]: bump the last component.  Together
+   with [d] itself this gives the half-open subtree interval
+   [d, range_end d) used for binary-search range counting. *)
+let range_end (d : t) : t =
+  let n = Array.length d in
+  let e = Array.copy d in
+  e.(n - 1) <- e.(n - 1) + 1;
+  e

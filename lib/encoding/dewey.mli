@@ -1,0 +1,37 @@
+(** Dewey identifiers (path-based node labels) used by the baseline
+    algorithms.  Component [i] is the 1-based sibling rank at depth [i+1];
+    the root is [[|1|]]. *)
+
+type t = int array
+
+val root : t
+
+val child : t -> int -> t
+(** [child d rank] extends [d] with a sibling rank. *)
+
+val parent : t -> t option
+
+val length : t -> int
+
+val compare : t -> t -> int
+(** Document order: component-wise; a prefix precedes its extensions. *)
+
+val equal : t -> t -> bool
+
+val common_prefix_len : t -> t -> int
+
+val lca : t -> t -> t
+(** Lowest common ancestor = longest common prefix. *)
+
+val is_ancestor : t -> t -> bool
+(** [is_ancestor a d] iff [a] is a {e strict} ancestor of [d]. *)
+
+val is_ancestor_or_self : t -> t -> bool
+
+val range_end : t -> t
+(** Smallest id greater than every descendant of [d]; [\[d, range_end d)] is
+    the subtree interval in document order. *)
+
+val to_string : t -> string
+val of_string : string -> t
+val pp : Format.formatter -> t -> unit

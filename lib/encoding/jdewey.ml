@@ -1,0 +1,64 @@
+(* JDewey sequences (Section III-A of the paper).
+
+   A JDewey sequence is the vector of JDewey numbers on the path from the
+   root to a node.  A JDewey number is unique among all nodes of the same
+   depth, and numbering is monotone across siblings of ordered parents
+   (requirement 2), which the document-order labeler satisfies by
+   construction.  Consequently a single pair (level, number) identifies a
+   node, and Property 3.1 holds: if S1 < S2 then S1(i) <= S2(i) for every
+   common level i. *)
+
+type t = int array
+(** [s.(i)] is the JDewey number at depth [i+1]. *)
+
+let length = Array.length
+
+(* Order of Section III-A: S1 < S2 iff some position is smaller or S1 is a
+   prefix of S2.  Identical to array lexicographic order with prefix-first. *)
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+(* Deepest common level of the two paths.  Because a JDewey number uniquely
+   identifies a node within its depth, equality at level i implies equality
+   at every level above, so the equal positions form a prefix. *)
+let lca_level (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i = if i < n && a.(i) = b.(i) then go (i + 1) else i in
+  go 0
+
+(* LCA as a (depth, number) pair; [None] when the paths share no node (never
+   happens inside one tree, where level 1 is the shared root). *)
+let lca (a : t) (b : t) =
+  let l = lca_level a b in
+  if l = 0 then None else Some (l, a.(l - 1))
+
+let is_ancestor (a : t) (d : t) =
+  Array.length a < Array.length d && lca_level a d = Array.length a
+
+let is_ancestor_or_self (a : t) (d : t) =
+  Array.length a <= Array.length d && lca_level a d = Array.length a
+
+let to_string (s : t) =
+  String.concat "." (Array.to_list (Array.map string_of_int s))
+
+let pp ppf s = Fmt.string ppf (to_string s)
+
+(* Property 3.1 as a runnable check (used by the test suite). *)
+let property_3_1 (a : t) (b : t) =
+  if compare a b > 0 then true
+  else begin
+    let n = min (Array.length a) (Array.length b) in
+    let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+    go 0
+  end

@@ -1,0 +1,33 @@
+(** JDewey sequences (paper Section III-A).
+
+    [s.(i)] is the JDewey number of the node's ancestor at depth [i+1]
+    (depth 1 = root).  JDewey numbers are unique within a depth and monotone
+    across the children of ordered parents, so [(depth, number)] identifies a
+    node and Property 3.1 holds. *)
+
+type t = int array
+
+val length : t -> int
+
+val compare : t -> t -> int
+(** The order of Section III-A: positionwise, a prefix precedes its
+    extensions. *)
+
+val equal : t -> t -> bool
+
+val lca_level : t -> t -> int
+(** Depth of the lowest common ancestor (0 when the paths share nothing). *)
+
+val lca : t -> t -> (int * int) option
+(** LCA as [(depth, jdewey_number)]. *)
+
+val is_ancestor : t -> t -> bool
+val is_ancestor_or_self : t -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val property_3_1 : t -> t -> bool
+(** [property_3_1 a b] checks the monotonicity property: when [a <= b],
+    [a.(i) <= b.(i)] for every common position.  Exposed for the test
+    suite. *)

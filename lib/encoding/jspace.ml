@@ -1,0 +1,167 @@
+(* JDewey number maintenance (the Section III-A discussion): gapped
+   numbering leaves room to insert nodes, and when a gap is exhausted a
+   bounded renumbering restores headroom.
+
+   The structure keeps, per depth, the live (jnum, parent_jnum) pairs
+   sorted by jnum.  Requirement 2 of the encoding makes parent numbers
+   non-decreasing along that order, so the legal window for a new child of
+   parent P at depth d is
+
+     ( largest jnum at d whose parent <= P ,
+       smallest jnum at d whose parent > P )
+
+   [insert_child] allocates the midpoint of that window; when the window
+   is empty it reports [Gap_exhausted], and [renumber_level] re-spreads a
+   whole depth with a fresh gap (renumbering in order preserves
+   requirement 2 at every depth below, because only the order matters). *)
+
+type level = {
+  mutable jnums : int array;
+  mutable parents : int array; (* parent jnum of each entry; 0 at the root *)
+  mutable len : int;
+}
+
+type t = { mutable levels : level array; gap : int }
+
+type insert_result =
+  | Inserted of int (* the allocated JDewey number *)
+  | Gap_exhausted
+
+let empty_level () = { jnums = Array.make 8 0; parents = Array.make 8 0; len = 0 }
+
+let of_labeling (lab : Labeling.t) =
+  let height = Labeling.height lab in
+  let levels = Array.init height (fun _ -> empty_level ()) in
+  (* Nodes come in document order, so per-level arrays build sorted. *)
+  for i = 0 to Labeling.node_count lab - 1 do
+    let d = Labeling.depth lab i in
+    let lev = levels.(d - 1) in
+    if lev.len = Array.length lev.jnums then begin
+      let jn = Array.make (2 * lev.len) 0 and pn = Array.make (2 * lev.len) 0 in
+      Array.blit lev.jnums 0 jn 0 lev.len;
+      Array.blit lev.parents 0 pn 0 lev.len;
+      lev.jnums <- jn;
+      lev.parents <- pn
+    end;
+    lev.jnums.(lev.len) <- Labeling.jnum lab i;
+    lev.parents.(lev.len) <-
+      (let p = Labeling.parent lab i in
+       if p < 0 then 0 else Labeling.jnum lab p);
+    lev.len <- lev.len + 1
+  done;
+  { levels; gap = Labeling.gap lab }
+
+let height t = Array.length t.levels
+let level_size t ~depth = t.levels.(depth - 1).len
+
+let jnums_at t ~depth =
+  let lev = t.levels.(depth - 1) in
+  Array.sub lev.jnums 0 lev.len
+
+let parents_at t ~depth =
+  let lev = t.levels.(depth - 1) in
+  Array.sub lev.parents 0 lev.len
+
+let ensure_level t depth =
+  while Array.length t.levels < depth do
+    t.levels <- Array.append t.levels [| empty_level () |]
+  done
+
+(* First entry index whose parent jnum exceeds [p]. *)
+let first_child_after (lev : level) p =
+  let lo = ref 0 and hi = ref lev.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if lev.parents.(mid) <= p then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let insert_at (lev : level) pos jnum parent =
+  if lev.len = Array.length lev.jnums then begin
+    let cap = max 8 (2 * lev.len) in
+    let jn = Array.make cap 0 and pn = Array.make cap 0 in
+    Array.blit lev.jnums 0 jn 0 lev.len;
+    Array.blit lev.parents 0 pn 0 lev.len;
+    lev.jnums <- jn;
+    lev.parents <- pn
+  end;
+  Array.blit lev.jnums pos lev.jnums (pos + 1) (lev.len - pos);
+  Array.blit lev.parents pos lev.parents (pos + 1) (lev.len - pos);
+  lev.jnums.(pos) <- jnum;
+  lev.parents.(pos) <- parent;
+  lev.len <- lev.len + 1
+
+(* Allocate a number for a new (last) child of the parent numbered
+   [parent_jnum] at depth [parent_depth]. *)
+let insert_child t ~parent_depth ~parent_jnum =
+  let depth = parent_depth + 1 in
+  ensure_level t depth;
+  let lev = t.levels.(depth - 1) in
+  let pos = first_child_after lev parent_jnum in
+  let window_lo = if pos = 0 then 0 else lev.jnums.(pos - 1) in
+  let window_hi = if pos = lev.len then max_int else lev.jnums.(pos) in
+  if window_hi - window_lo <= 1 then Gap_exhausted
+  else begin
+    let jnum =
+      if window_hi = max_int then window_lo + t.gap
+      else window_lo + ((window_hi - window_lo) / 2)
+    in
+    insert_at lev pos jnum parent_jnum;
+    Inserted jnum
+  end
+
+(* Renumber every node at [depth] in order with a fresh gap.  Children at
+   depth+1 keep their numbers; their parents' relative order is unchanged,
+   so requirement 2 still holds - but their recorded parent jnums must be
+   remapped. *)
+let renumber_level t ~depth =
+  if depth >= 1 && depth <= Array.length t.levels then begin
+    let lev = t.levels.(depth - 1) in
+    let mapping = Hashtbl.create (max 16 lev.len) in
+    for i = 0 to lev.len - 1 do
+      let fresh = (i + 1) * t.gap in
+      Hashtbl.replace mapping lev.jnums.(i) fresh;
+      lev.jnums.(i) <- fresh
+    done;
+    if depth < Array.length t.levels then begin
+      let below = t.levels.(depth) in
+      for i = 0 to below.len - 1 do
+        match Hashtbl.find_opt mapping below.parents.(i) with
+        | Some fresh -> below.parents.(i) <- fresh
+        | None -> invalid_arg "Jspace.renumber_level: dangling parent"
+      done
+    end
+  end
+
+(* The encoding invariants, as a runnable check for the tests:
+   numbers unique and sorted per depth, parent numbers non-decreasing in
+   child order (requirement 2), and every parent exists one level up. *)
+let check_invariants t =
+  let ok = ref true in
+  Array.iteri
+    (fun d lev ->
+      for i = 1 to lev.len - 1 do
+        if lev.jnums.(i) <= lev.jnums.(i - 1) then ok := false;
+        if lev.parents.(i) < lev.parents.(i - 1) then ok := false
+      done;
+      if d > 0 then begin
+        let above = t.levels.(d - 1) in
+        let exists p =
+          let lo = ref 0 and hi = ref (above.len - 1) and found = ref false in
+          while !lo <= !hi do
+            let mid = (!lo + !hi) / 2 in
+            if above.jnums.(mid) = p then begin
+              found := true;
+              lo := !hi + 1
+            end
+            else if above.jnums.(mid) < p then lo := mid + 1
+            else hi := mid - 1
+          done;
+          !found
+        in
+        for i = 0 to lev.len - 1 do
+          if not (exists lev.parents.(i)) then ok := false
+        done
+      end)
+    t.levels;
+  !ok

@@ -1,0 +1,30 @@
+(** JDewey number maintenance (paper Section III-A): gapped numbering with
+    midpoint allocation for insertions and bounded renumbering when a gap
+    is exhausted. *)
+
+type t
+
+type insert_result =
+  | Inserted of int  (** the allocated JDewey number *)
+  | Gap_exhausted
+      (** no free number in the legal window; renumber before retrying *)
+
+val of_labeling : Labeling.t -> t
+(** Snapshot the live numbers of a labeled document. *)
+
+val height : t -> int
+val level_size : t -> depth:int -> int
+val jnums_at : t -> depth:int -> int array
+val parents_at : t -> depth:int -> int array
+
+val insert_child : t -> parent_depth:int -> parent_jnum:int -> insert_result
+(** Allocate a number for a new last child of the given parent. *)
+
+val renumber_level : t -> depth:int -> unit
+(** Re-spread a whole depth with a fresh gap; children keep their numbers
+    (order is what requirement 2 depends on), with parent references
+    remapped. *)
+
+val check_invariants : t -> bool
+(** Uniqueness + sortedness per depth, requirement 2, parent existence.
+    Exposed for the test suite. *)

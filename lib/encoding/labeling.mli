@@ -1,0 +1,48 @@
+(** One-pass labeler: assigns Dewey sibling ranks and JDewey numbers to every
+    node (elements and text nodes) of a document in document order.
+
+    JDewey numbering is per depth, in document order, optionally multiplied
+    by a [gap] to reserve space for insertions (paper Section III-A). *)
+
+type info = {
+  depth : int;  (** 1-based depth; root = 1 *)
+  jnum : int;   (** JDewey number at [depth] *)
+  sib : int;    (** 1-based sibling rank (the node's Dewey component) *)
+  parent : int; (** node index of the parent; -1 for the root *)
+  xml : Xk_xml.Xml_tree.node;
+}
+
+type t
+
+val label : ?gap:int -> Xk_xml.Xml_tree.document -> t
+(** Label all nodes.  [gap] (default 1) multiplies every assigned JDewey
+    number, leaving [gap - 1] free numbers between consecutive nodes of a
+    depth. *)
+
+val node_count : t -> int
+val height : t -> int
+val gap : t -> int
+
+val info : t -> int -> info
+val depth : t -> int -> int
+val jnum : t -> int -> int
+val parent : t -> int -> int
+val xml_node : t -> int -> Xk_xml.Xml_tree.node
+
+val jdewey_seq : t -> int -> Jdewey.t
+(** JDewey sequence (root..node) of a node index. *)
+
+val dewey : t -> int -> Dewey.t
+(** Dewey id of a node index. *)
+
+val find : t -> depth:int -> jnum:int -> int option
+(** Node index identified by a (depth, JDewey-number) pair. *)
+
+val element_of : t -> int -> Xk_xml.Xml_tree.element option
+(** The element to present for a node: itself, or for a text node its parent
+    element. *)
+
+val level_width : t -> depth:int -> int
+(** Number of nodes at a depth. *)
+
+val ancestor_at : t -> int -> depth:int -> int option

@@ -1,0 +1,96 @@
+(* One column of a JDewey inverted list: the level-l JDewey numbers of all
+   sequences of length >= l, in list (= document) order.
+
+   Rows holding the same number at level l are contiguous in the list — a
+   consequence of Property 3.1 proved in the paper and re-checked as a
+   qcheck property in the test suite — so the column is exactly a sorted
+   array of runs (value, start_row, count) over consecutive row indices.
+   This is simultaneously the in-memory working form of the paper's second
+   compression scheme and the unit of its range checking. *)
+
+type run = { value : int; start_row : int; count : int }
+
+type t = { runs : run array; entries : int }
+
+let runs t = t.runs
+let num_runs t = Array.length t.runs
+let entries t = t.entries
+let is_empty t = Array.length t.runs = 0
+
+(* Build the level-[l] column (1-based) from document-ordered sequences. *)
+let build (seqs : Xk_encoding.Jdewey.t array) ~level =
+  if level < 1 then invalid_arg "Column.build: level must be >= 1";
+  let acc = ref [] in
+  let n_runs = ref 0 in
+  let cur_value = ref (-1) and cur_start = ref (-1) and cur_count = ref 0 in
+  let flush () =
+    if !cur_count > 0 then begin
+      acc := { value = !cur_value; start_row = !cur_start; count = !cur_count } :: !acc;
+      incr n_runs
+    end
+  in
+  let total = ref 0 in
+  Array.iteri
+    (fun r (s : Xk_encoding.Jdewey.t) ->
+      if Array.length s >= level then begin
+        let v = s.(level - 1) in
+        incr total;
+        if v = !cur_value && !cur_start + !cur_count = r then
+          incr cur_count
+        else begin
+          (* Runs must be strictly increasing and internally contiguous;
+             both follow from Property 3.1 for document-ordered input. *)
+          assert (v > !cur_value);
+          flush ();
+          cur_value := v;
+          cur_start := r;
+          cur_count := 1
+        end
+      end)
+    seqs;
+  flush ();
+  { runs = Array.of_list (List.rev !acc); entries = !total }
+
+(* Reassemble a column from complete runs (store decoding path). *)
+let of_runs (runs : run array) =
+  let entries = Array.fold_left (fun a r -> a + r.count) 0 runs in
+  { runs; entries }
+
+(* Binary search for the run holding [value]. *)
+let find t value =
+  let runs = t.runs in
+  let lo = ref 0 and hi = ref (Array.length runs - 1) in
+  let res = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = runs.(mid) in
+    if r.value = value then begin
+      res := Some r;
+      lo := !hi + 1
+    end
+    else if r.value < value then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+(* Index of the first run with value >= [value] (Array.length runs if none):
+   the resume point for merge scans. *)
+let lower_bound t value =
+  let runs = t.runs in
+  let lo = ref 0 and hi = ref (Array.length runs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if runs.(mid).value < value then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let max_value t =
+  let n = Array.length t.runs in
+  if n = 0 then None else Some t.runs.(n - 1).value
+
+let to_codec_runs t : Xk_storage.Column_codec.run array =
+  Array.map
+    (fun r -> { Xk_storage.Column_codec.value = r.value; count = r.count })
+    t.runs
+
+let encoded_size t = Xk_storage.Column_codec.encoded_size (to_codec_runs t)

@@ -1,0 +1,33 @@
+(** One column (tree level) of a JDewey inverted list, stored as sorted
+    runs of equal numbers over contiguous row indices — the paper's second
+    compression scheme and the unit of range checking. *)
+
+type run = { value : int; start_row : int; count : int }
+
+type t
+
+val build : Xk_encoding.Jdewey.t array -> level:int -> t
+(** Column [level] (1-based) of document-ordered sequences; rows with
+    shorter sequences do not appear. *)
+
+val of_runs : run array -> t
+(** Reassemble from complete runs (the store's decoding path). *)
+
+val runs : t -> run array
+val num_runs : t -> int
+
+val entries : t -> int
+(** Total rows covered (sum of run counts). *)
+
+val is_empty : t -> bool
+
+val find : t -> int -> run option
+(** Run holding a JDewey number, by binary search. *)
+
+val lower_bound : t -> int -> int
+(** Index of the first run with value >= the argument. *)
+
+val max_value : t -> int option
+
+val to_codec_runs : t -> Xk_storage.Column_codec.run array
+val encoded_size : t -> int

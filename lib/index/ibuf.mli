@@ -1,0 +1,9 @@
+(** Growable int arrays used while accumulating postings. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val push : t -> int -> unit
+val length : t -> int
+val get : t -> int -> int
+val contents : t -> int array

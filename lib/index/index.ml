@@ -1,0 +1,200 @@
+(* The corpus index: term dictionary plus raw postings (node, tf) built in
+   one pass over the labeled tree.  The algorithm-specific list shapes —
+   Dewey postings, JDewey column lists, score-ordered lists — are
+   materialized per term on demand and cached, which mirrors the paper's
+   hot-cache experimental setting. *)
+
+type raw = { r_nodes : int array; r_tfs : int array }
+
+type t = {
+  label : Xk_encoding.Labeling.t;
+  dict : Xk_text.Dictionary.t;
+  raws : raw array;
+  scorer : Xk_score.Scorer.t;
+  damping : Xk_score.Damping.t;
+  jcache : (int, Jlist.t) Hashtbl.t;
+  pcache : (int, Posting.t) Hashtbl.t;
+  scache : (int, Score_list.t) Hashtbl.t;
+}
+
+(* Text a node "directly contains": its own character data for text nodes,
+   its attribute values for elements. *)
+let direct_text (x : Xk_xml.Xml_tree.node) =
+  match x with
+  | Xk_xml.Xml_tree.Text s -> s
+  | Xk_xml.Xml_tree.Element e ->
+      (match e.attrs with
+      | [] -> ""
+      | attrs ->
+          String.concat " "
+            (List.map (fun (a : Xk_xml.Xml_tree.attribute) -> a.attr_value) attrs))
+
+let build ?(damping = Xk_score.Damping.default) (label : Xk_encoding.Labeling.t)
+    =
+  let dict = Xk_text.Dictionary.create () in
+  let nodes_bufs : Ibuf.t array ref = ref (Array.make 1024 (Ibuf.create ())) in
+  let tfs_bufs : Ibuf.t array ref = ref (Array.make 1024 (Ibuf.create ())) in
+  let buf_count = ref 0 in
+  let ensure id =
+    let cap = Array.length !nodes_bufs in
+    if id >= cap then begin
+      let nb = Array.make (max (2 * cap) (id + 1)) (Ibuf.create ()) in
+      let tb = Array.make (max (2 * cap) (id + 1)) (Ibuf.create ()) in
+      Array.blit !nodes_bufs 0 nb 0 cap;
+      Array.blit !tfs_bufs 0 tb 0 cap;
+      nodes_bufs := nb;
+      tfs_bufs := tb
+    end;
+    while !buf_count <= id do
+      !nodes_bufs.(!buf_count) <- Ibuf.create ();
+      !tfs_bufs.(!buf_count) <- Ibuf.create ();
+      incr buf_count
+    done
+  in
+  let tally : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let n = Xk_encoding.Labeling.node_count label in
+  for i = 0 to n - 1 do
+    let text = direct_text (Xk_encoding.Labeling.xml_node label i) in
+    if String.length text > 0 then begin
+      Hashtbl.reset tally;
+      Xk_text.Tokenizer.iter_indexed text (fun w ->
+          let id = Xk_text.Dictionary.intern dict w in
+          let tf = try Hashtbl.find tally id with Not_found -> 0 in
+          Hashtbl.replace tally id (tf + 1));
+      Hashtbl.iter
+        (fun id tf ->
+          ensure id;
+          Ibuf.push !nodes_bufs.(id) i;
+          Ibuf.push !tfs_bufs.(id) tf;
+          Xk_text.Dictionary.bump_df dict id;
+          Xk_text.Dictionary.bump_cf dict id tf)
+        tally
+    end
+  done;
+  let terms = Xk_text.Dictionary.size dict in
+  let raws =
+    Array.init terms (fun id ->
+        if id < !buf_count then
+          { r_nodes = Ibuf.contents !nodes_bufs.(id);
+            r_tfs = Ibuf.contents !tfs_bufs.(id) }
+        else { r_nodes = [||]; r_tfs = [||] })
+  in
+  {
+    label;
+    dict;
+    raws;
+    scorer = Xk_score.Scorer.make ~total_nodes:n;
+    damping;
+    jcache = Hashtbl.create 64;
+    pcache = Hashtbl.create 64;
+    scache = Hashtbl.create 64;
+  }
+
+(* Reassemble an index from persisted raw postings (see Index_io). *)
+let of_raw ?(damping = Xk_score.Damping.default) (label : Xk_encoding.Labeling.t)
+    (entries : (string * int array * int array) list) =
+  let dict = Xk_text.Dictionary.create () in
+  let raws =
+    List.map
+      (fun (term, nodes, tfs) ->
+        if Array.length nodes <> Array.length tfs then
+          invalid_arg "Index.of_raw: row length mismatch";
+        let id = Xk_text.Dictionary.intern dict term in
+        for _ = 1 to Array.length nodes do
+          Xk_text.Dictionary.bump_df dict id
+        done;
+        Xk_text.Dictionary.bump_cf dict id (Array.fold_left ( + ) 0 tfs);
+        { r_nodes = nodes; r_tfs = tfs })
+      entries
+  in
+  {
+    label;
+    dict;
+    raws = Array.of_list raws;
+    scorer =
+      Xk_score.Scorer.make ~total_nodes:(Xk_encoding.Labeling.node_count label);
+    damping;
+    jcache = Hashtbl.create 64;
+    pcache = Hashtbl.create 64;
+    scache = Hashtbl.create 64;
+  }
+
+let label t = t.label
+let dict t = t.dict
+let damping t = t.damping
+let scorer t = t.scorer
+let term_count t = Array.length t.raws
+
+let term_id t w = Xk_text.Dictionary.find t.dict (String.lowercase_ascii w)
+let term t id = Xk_text.Dictionary.term t.dict id
+let df t id = Array.length t.raws.(id).r_nodes
+
+let scores_of_raw t (r : raw) =
+  let df = Array.length r.r_nodes in
+  Array.map (fun tf -> Xk_score.Scorer.local_score t.scorer ~tf ~df) r.r_tfs
+
+let jlist t id =
+  match Hashtbl.find_opt t.jcache id with
+  | Some jl -> jl
+  | None ->
+      let r = t.raws.(id) in
+      let seqs =
+        Array.map (fun n -> Xk_encoding.Labeling.jdewey_seq t.label n) r.r_nodes
+      in
+      let scores = scores_of_raw t r in
+      let jl = Jlist.make ~seqs ~nodes:r.r_nodes ~scores in
+      Hashtbl.replace t.jcache id jl;
+      jl
+
+let posting t id =
+  match Hashtbl.find_opt t.pcache id with
+  | Some p -> p
+  | None ->
+      let r = t.raws.(id) in
+      let deweys =
+        Array.map (fun n -> Xk_encoding.Labeling.dewey t.label n) r.r_nodes
+      in
+      let scores = scores_of_raw t r in
+      let p = Posting.make ~deweys ~nodes:r.r_nodes ~scores in
+      Hashtbl.replace t.pcache id p;
+      p
+
+let score_list t id =
+  match Hashtbl.find_opt t.scache id with
+  | Some s -> s
+  | None ->
+      let s = Score_list.make (jlist t id) t.damping in
+      Hashtbl.replace t.scache id s;
+      s
+
+(* Pre-materialize every list shape for the given terms: the benches call
+   this before timing so measurements reflect the paper's hot cache. *)
+let warm t ids =
+  List.iter
+    (fun id ->
+      ignore (jlist t id);
+      ignore (posting t id);
+      ignore (score_list t id))
+    ids
+
+let term_ids_exn t words =
+  List.map
+    (fun w ->
+      match term_id t w with
+      | Some id -> id
+      | None -> invalid_arg (Printf.sprintf "unknown keyword %S" w))
+    words
+
+(* Uncached access for whole-dictionary sweeps (index-size accounting),
+   which must not blow up the per-term caches. *)
+let raw_rows t id =
+  let r = t.raws.(id) in
+  (r.r_nodes, r.r_tfs)
+
+let local_scores t id = scores_of_raw t t.raws.(id)
+
+(* Terms sorted by descending document frequency, for workload selection. *)
+let terms_by_df t =
+  let ids = Array.init (term_count t) (fun i -> i) in
+  Array.sort (fun a b -> Int.compare (df t b) (df t a)) ids;
+  ids

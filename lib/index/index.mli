@@ -1,0 +1,51 @@
+(** The corpus index: dictionary plus raw postings, with the
+    algorithm-specific list shapes (Dewey postings, JDewey column lists,
+    score-ordered lists) materialized per term on demand and cached. *)
+
+type t
+
+val build : ?damping:Xk_score.Damping.t -> Xk_encoding.Labeling.t -> t
+(** One pass over the labeled tree; text nodes contribute their character
+    data, elements their attribute values. *)
+
+val of_raw :
+  ?damping:Xk_score.Damping.t ->
+  Xk_encoding.Labeling.t ->
+  (string * int array * int array) list ->
+  t
+(** Reassemble an index from persisted (term, nodes, tfs) postings; used by
+    {!Index_io.load}.  Term ids are assigned in list order. *)
+
+val label : t -> Xk_encoding.Labeling.t
+val dict : t -> Xk_text.Dictionary.t
+val damping : t -> Xk_score.Damping.t
+val scorer : t -> Xk_score.Scorer.t
+
+val term_count : t -> int
+
+val term_id : t -> string -> int option
+(** Case-insensitive lookup. *)
+
+val term : t -> int -> string
+
+val df : t -> int -> int
+(** Posting-list length of a term (= keyword frequency in the paper's
+    experiments). *)
+
+val jlist : t -> int -> Jlist.t
+val posting : t -> int -> Posting.t
+val score_list : t -> int -> Score_list.t
+
+val warm : t -> int list -> unit
+(** Materialize every list shape for the given terms (hot-cache setting). *)
+
+val raw_rows : t -> int -> int array * int array
+(** Uncached (nodes, tfs) rows of a term, for whole-dictionary sweeps. *)
+
+val local_scores : t -> int -> float array
+
+val term_ids_exn : t -> string list -> int list
+(** Ids for query words; raises [Invalid_argument] on unknown keywords. *)
+
+val terms_by_df : t -> int array
+(** All term ids, most frequent first. *)

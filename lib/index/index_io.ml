@@ -1,0 +1,81 @@
+(* Index persistence: the dictionary and raw postings in one binary file,
+   so a corpus only pays tokenization once.  Loading re-attaches the
+   postings to a freshly labeled document (labels are deterministic in the
+   document, so node ids line up; a node-count check guards against
+   mismatched files).
+
+   Layout: magic, node count, term count, then per term the term bytes,
+   the row count, delta-coded node ids and tf values. *)
+
+let magic = "XKIDX001"
+
+exception Format_error of string
+
+let save (idx : Index.t) path =
+  let buf = Buffer.create (1 lsl 20) in
+  Buffer.add_string buf magic;
+  let label = Index.label idx in
+  Xk_storage.Varint.write buf (Xk_encoding.Labeling.node_count label);
+  let terms = Index.term_count idx in
+  Xk_storage.Varint.write buf terms;
+  for id = 0 to terms - 1 do
+    let term = Index.term idx id in
+    Xk_storage.Varint.write buf (String.length term);
+    Buffer.add_string buf term;
+    let nodes, tfs = Index.raw_rows idx id in
+    Xk_storage.Varint.write buf (Array.length nodes);
+    let prev = ref 0 in
+    Array.iter
+      (fun n ->
+        Xk_storage.Varint.write buf (n - !prev);
+        prev := n)
+      nodes;
+    Array.iter (fun tf -> Xk_storage.Varint.write buf tf) tfs
+  done;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let load ?damping (label : Xk_encoding.Labeling.t) path : Index.t =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  if len < String.length magic || String.sub data 0 (String.length magic) <> magic
+  then raise (Format_error "bad magic");
+  let c = Xk_storage.Varint.cursor_at data (String.length magic) in
+  let nodes_expected = Xk_storage.Varint.read c in
+  if nodes_expected <> Xk_encoding.Labeling.node_count label then
+    raise
+      (Format_error
+         (Printf.sprintf "index built over %d nodes, document has %d"
+            nodes_expected
+            (Xk_encoding.Labeling.node_count label)));
+  let terms = Xk_storage.Varint.read c in
+  let entries = ref [] in
+  (try
+     for _ = 1 to terms do
+       let tlen = Xk_storage.Varint.read c in
+       if c.pos + tlen > String.length data then
+         raise (Format_error "truncated term");
+       let term = String.sub data c.pos tlen in
+       c.pos <- c.pos + tlen;
+       let rows = Xk_storage.Varint.read c in
+       let nodes = Array.make rows 0 in
+       let prev = ref 0 in
+       for r = 0 to rows - 1 do
+         prev := !prev + Xk_storage.Varint.read c;
+         if !prev >= nodes_expected then raise (Format_error "node id out of range");
+         nodes.(r) <- !prev
+       done;
+       let tfs = Array.init rows (fun _ -> Xk_storage.Varint.read c) in
+       entries := (term, nodes, tfs) :: !entries
+     done
+   with Invalid_argument _ -> raise (Format_error "truncated file"));
+  Index.of_raw ?damping label (List.rev !entries)
+
+let file_size path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  close_in ic;
+  n

@@ -1,0 +1,15 @@
+(** Index persistence: dictionary + raw postings in one binary file.
+
+    Loading attaches the postings to a freshly labeled copy of the same
+    document (labels are deterministic), so a corpus pays tokenization only
+    once. *)
+
+exception Format_error of string
+
+val save : Index.t -> string -> unit
+
+val load : ?damping:Xk_score.Damping.t -> Xk_encoding.Labeling.t -> string -> Index.t
+(** Raises {!Format_error} on corrupt input or when the file was built over
+    a document with a different node count. *)
+
+val file_size : string -> int

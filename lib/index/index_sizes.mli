@@ -1,0 +1,19 @@
+(** Index-size accounting for Table I: serialized bytes of every index
+    flavour compared in the paper. *)
+
+type flavour_size = {
+  inverted_lists : int;
+  auxiliary : int;
+      (** sparse indices (join flavours) or B-trees (RDIL); 0 otherwise *)
+}
+
+type report = {
+  join_based : flavour_size;
+  stack_based : flavour_size;
+  index_based : flavour_size;
+  topk_join : flavour_size;
+  rdil : flavour_size;
+}
+
+val report : Index.t -> report
+(** Runs the real serializers over every term of the dictionary. *)

@@ -1,0 +1,40 @@
+(** Column-oriented on-disk storage for JDewey inverted lists (the layout
+    of paper Figure 2(a)).  Readers decode one column at a time, giving
+    Algorithm 1 its claimed I/O pattern: queries only pay for the levels
+    they join. *)
+
+exception Format_error of string
+
+type stats = {
+  mutable payloads_decoded : int;
+  mutable columns_decoded : int;
+  mutable bytes_decoded : int;
+}
+
+type t
+
+val write : Index.t -> string -> unit
+(** Serialize every term's list: compressed column blobs plus a row
+    payload (node ids, local scores, sequence lengths). *)
+
+val open_file : string -> t
+(** Raises {!Format_error} on corrupt input. *)
+
+val term_count : t -> int
+val term : t -> int -> string
+
+val term_id : t -> string -> int option
+(** Case-insensitive lookup of a store-local term id. *)
+
+val jlist : t -> int -> Jlist.t
+(** A lazy list over the stored blobs: the payload decodes now, each
+    column on first touch (cached thereafter). *)
+
+val term_bytes : t -> int -> int
+(** Total stored bytes of a term, for comparison against
+    [stats.bytes_decoded]. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val file_size : string -> int

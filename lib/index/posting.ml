@@ -1,0 +1,56 @@
+(* Document-ordered Dewey posting list: the view of an inverted list used
+   by the stack-based, index-based and RDIL baselines. *)
+
+type t = {
+  deweys : Xk_encoding.Dewey.t array; (* ascending document order *)
+  nodes : int array;
+  scores : float array; (* local score g per row *)
+}
+
+let length t = Array.length t.deweys
+let dewey t r = t.deweys.(r)
+let node t r = t.nodes.(r)
+let score t r = t.scores.(r)
+
+let make ~deweys ~nodes ~scores =
+  let n = Array.length deweys in
+  if Array.length nodes <> n || Array.length scores <> n then
+    invalid_arg "Posting.make: length mismatch";
+  { deweys; nodes; scores }
+
+(* First row with dewey >= [d] (length if none): the basis for the
+   pred/succ probes and range counting of the index-based algorithms. *)
+let lower_bound t (d : Xk_encoding.Dewey.t) =
+  let lo = ref 0 and hi = ref (Array.length t.deweys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Xk_encoding.Dewey.compare t.deweys.(mid) d < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* Closest row at or after [d] in document order. *)
+let succ t d =
+  let i = lower_bound t d in
+  if i < Array.length t.deweys then Some i else None
+
+(* Closest row strictly before [d] in document order. *)
+let pred t d =
+  let i = lower_bound t d in
+  if i > 0 then Some (i - 1) else None
+
+(* Number of rows inside the subtree of [u] (document-order interval
+   [u, range_end u)). *)
+let count_in_subtree t (u : Xk_encoding.Dewey.t) =
+  let lo = lower_bound t u in
+  let hi = lower_bound t (Xk_encoding.Dewey.range_end u) in
+  hi - lo
+
+let subtree_range t (u : Xk_encoding.Dewey.t) =
+  let lo = lower_bound t u in
+  let hi = lower_bound t (Xk_encoding.Dewey.range_end u) in
+  (lo, hi)
+
+let encoded_size t =
+  Xk_storage.Dewey_codec.encoded_size t.deweys
+  + Array.fold_left (fun a v -> a + Xk_storage.Varint.size v) 0 t.nodes

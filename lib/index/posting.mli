@@ -1,0 +1,30 @@
+(** Document-ordered Dewey posting list (the baselines' inverted-list
+    view). *)
+
+type t
+
+val make :
+  deweys:Xk_encoding.Dewey.t array ->
+  nodes:int array ->
+  scores:float array ->
+  t
+
+val length : t -> int
+val dewey : t -> int -> Xk_encoding.Dewey.t
+val node : t -> int -> int
+val score : t -> int -> float
+
+val lower_bound : t -> Xk_encoding.Dewey.t -> int
+(** First row with dewey >= the argument. *)
+
+val succ : t -> Xk_encoding.Dewey.t -> int option
+(** Closest row at or after a Dewey id. *)
+
+val pred : t -> Xk_encoding.Dewey.t -> int option
+(** Closest row strictly before a Dewey id. *)
+
+val count_in_subtree : t -> Xk_encoding.Dewey.t -> int
+val subtree_range : t -> Xk_encoding.Dewey.t -> int * int
+
+val encoded_size : t -> int
+(** On-disk bytes with prefix-compressed Dewey ids. *)

@@ -1,0 +1,85 @@
+(* Score-ordered organization of a JDewey list for top-K processing
+   (Section IV-C, Figure 7).
+
+   Sequences are grouped by length; within a group the damping factor at
+   any level is a common constant, so descending local score is a total
+   order valid at every level.  A column's global score order is then
+   recovered online by merging the group cursors; {!max_damped} gives the
+   static per-level score ceilings used for the cross-column thresholds. *)
+
+type group = { len : int; rows : int array (* descending local score *) }
+
+type t = {
+  jlist : Jlist.t;
+  groups : group array; (* ascending [len] *)
+  max_damped : float array; (* per level l: ceiling of damped scores *)
+}
+
+let make (jl : Jlist.t) (damping : Xk_score.Damping.t) =
+  let n = Jlist.length jl in
+  let by_len = Hashtbl.create 16 in
+  for r = 0 to n - 1 do
+    let len = Jlist.row_len jl r in
+    let rows = try Hashtbl.find by_len len with Not_found -> [] in
+    Hashtbl.replace by_len len (r :: rows)
+  done;
+  let groups =
+    Hashtbl.fold
+      (fun len rows acc ->
+        let rows = Array.of_list rows in
+        Array.sort
+          (fun a b ->
+            let c = Float.compare (Jlist.score jl b) (Jlist.score jl a) in
+            if c <> 0 then c else Int.compare a b)
+          rows;
+        { len; rows } :: acc)
+      by_len []
+  in
+  let groups = Array.of_list groups in
+  Array.sort (fun a b -> Int.compare a.len b.len) groups;
+  let height = Jlist.max_len jl in
+  let max_damped =
+    Array.init height (fun i ->
+        let level = i + 1 in
+        Array.fold_left
+          (fun acc g ->
+            if g.len >= level && Array.length g.rows > 0 then
+              let top = Jlist.score jl g.rows.(0) in
+              Float.max acc
+                (top *. Xk_score.Damping.apply damping (g.len - level))
+            else acc)
+          neg_infinity groups)
+  in
+  { jlist = jl; groups; max_damped }
+
+let jlist t = t.jlist
+let groups t = t.groups
+
+let max_damped t ~level =
+  if level < 1 || level > Array.length t.max_damped then neg_infinity
+  else t.max_damped.(level - 1)
+
+let has_len t len = Array.exists (fun g -> g.len = len) t.groups
+
+(* Serialized size in the score-ordered layout: per group, sequences are
+   stored in score order, so columns lose their sortedness and store raw
+   varint numbers; each row also carries a 4-byte quantized score.  This is
+   the "Top-K Join" inverted-list layout of Table I. *)
+let encoded_size t =
+  let jl = t.jlist in
+  Array.fold_left
+    (fun acc g ->
+      let per_group =
+        Array.fold_left
+          (fun acc r ->
+            let s = Jlist.seq jl r in
+            let seq_bytes =
+              Array.fold_left
+                (fun a v -> a + Xk_storage.Varint.size v)
+                0 s
+            in
+            acc + seq_bytes + 4 (* score *) + Xk_storage.Varint.size (Jlist.node jl r))
+          0 g.rows
+      in
+      acc + per_group + 8 (* group header: len + row count *))
+    0 t.groups

@@ -1,0 +1,14 @@
+(** Sparse index over a column: every n-th run value, probed to narrow a
+    binary search to one stride. *)
+
+type t
+
+val default_stride : int
+
+val build : ?stride:int -> Column.t -> t
+
+val probe : t -> num_runs:int -> int -> int * int
+(** [probe t ~num_runs v] is a run-index window [\[lo, hi)] that contains
+    [v]'s run if the column holds it. *)
+
+val encoded_size : t -> int

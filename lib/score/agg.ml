@@ -1,0 +1,31 @@
+(* The monotone combining function F(.) of Section II-B.  The paper assumes
+   sum for exposition; max and weighted sum are provided as alternative
+   monotone aggregations.  All top-K machinery only relies on Monotonicity:
+   Ii <= Ii' for all i implies F(I) <= F(I'). *)
+
+type t =
+  | Sum
+  | Max
+  | Weighted of float array
+      (* non-negative per-keyword weights; index = keyword position *)
+
+let combine t (scores : float array) =
+  match t with
+  | Sum -> Array.fold_left ( +. ) 0. scores
+  | Max -> Array.fold_left Float.max neg_infinity scores
+  | Weighted w ->
+      if Array.length w < Array.length scores then
+        invalid_arg "Agg.combine: not enough weights";
+      let acc = ref 0. in
+      Array.iteri (fun i s -> acc := !acc +. (w.(i) *. s)) scores;
+      !acc
+
+(* Upper bound of F over any score vector dominated componentwise by
+   [bounds]; by monotonicity this is just F(bounds). *)
+let upper_bound t bounds = combine t bounds
+
+let is_monotone_sample t a b =
+  (* Test hook: checks the monotonicity property on one dominated pair. *)
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x <= y) a b
+  && combine t a <= combine t b

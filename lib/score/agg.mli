@@ -1,0 +1,14 @@
+(** Monotone combining function F(.) (paper Section II-B). *)
+
+type t =
+  | Sum  (** the paper's default *)
+  | Max
+  | Weighted of float array  (** non-negative per-keyword weights *)
+
+val combine : t -> float array -> float
+
+val upper_bound : t -> float array -> float
+(** F applied to componentwise upper bounds; valid by monotonicity. *)
+
+val is_monotone_sample : t -> float array -> float array -> bool
+(** Test hook: monotonicity on one dominated pair of score vectors. *)

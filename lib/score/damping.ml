@@ -1,0 +1,28 @@
+(* The damping function d(.) of Section II-B: a decreasing function of the
+   vertical distance between a keyword occurrence and its ELCA/SLCA.  As in
+   the paper's running example we use d(dl) = decay^dl, memoized because the
+   same small exponents are applied millions of times during evaluation. *)
+
+type t = { decay : float; table : float array }
+
+let max_memo = 64
+
+let make decay =
+  if not (decay > 0. && decay <= 1.) then
+    invalid_arg "Damping.make: decay must be in (0, 1]";
+  let table = Array.init max_memo (fun i -> decay ** float_of_int i) in
+  { decay; table }
+
+(* Default decay.  The paper's Example 4.1 illustrates with 0.9; ranking
+   systems use stronger damping (XRank's decay lies in [0.25, 0.6]) so
+   that tight subtrees actually dominate - 0.75 keeps a one-level-deeper
+   witness worth ~3/4 of a direct one while letting compact results beat
+   high-tf occurrences four levels up. *)
+let default = make 0.75
+
+let decay t = t.decay
+
+let apply t dl =
+  if dl < 0 then invalid_arg "Damping.apply: negative distance"
+  else if dl < max_memo then t.table.(dl)
+  else t.decay ** float_of_int dl

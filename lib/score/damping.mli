@@ -1,0 +1,16 @@
+(** Damping function d(.) (paper Section II-B): [d dl = decay ** dl],
+    memoized for small distances. *)
+
+type t
+
+val make : float -> t
+(** [make decay] with [decay] in (0, 1]. *)
+
+val default : t
+(** decay = 0.75; see the implementation note - Example 4.1 of the paper
+    illustrates with 0.9, deployed ranking functions damp harder. *)
+
+val decay : t -> float
+
+val apply : t -> int -> float
+(** [apply t dl] = d(dl); raises on negative distance. *)

@@ -1,0 +1,29 @@
+(* Local ranking score g(v, w) of Section II-B.  The paper leaves g abstract
+   (any combination of IR and link-based factors); we use the customary
+   tf-idf form over "documents" = nodes directly containing the keyword:
+
+     g = (1 + ln tf) * ln (1 + N / df)   normalized to (0, 1]
+
+   where N is the number of indexed nodes.  Normalization divides by the
+   score of a hypothetical maximally-frequent-in-node, unique-in-collection
+   term, keeping g comparable across corpora and keeping the top-K
+   thresholds well-scaled. *)
+
+type t = { total_nodes : int; norm : float }
+
+let max_tf = 1000.
+
+let make ~total_nodes =
+  if total_nodes <= 0 then invalid_arg "Scorer.make";
+  let norm =
+    (1. +. log max_tf) *. log (1. +. float_of_int total_nodes)
+  in
+  { total_nodes; norm }
+
+let local_score t ~tf ~df =
+  if tf <= 0 || df <= 0 then invalid_arg "Scorer.local_score";
+  let tf = float_of_int (min tf 1000) in
+  let idf = log (1. +. (float_of_int t.total_nodes /. float_of_int df)) in
+  (1. +. log tf) *. idf /. t.norm
+
+let total_nodes t = t.total_nodes

@@ -1,0 +1,13 @@
+(** Local ranking score g(v, w) (paper Section II-B): tf-idf over nodes
+    directly containing the keyword, normalized to (0, 1]. *)
+
+type t
+
+val make : total_nodes:int -> t
+
+val local_score : t -> tf:int -> df:int -> float
+(** Score of a node that directly contains the keyword [tf] times, where
+    [df] nodes in the collection contain the keyword.  Monotone in [tf],
+    antitone in [df]; always in (0, 1]. *)
+
+val total_nodes : t -> int

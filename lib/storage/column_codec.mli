@@ -1,0 +1,19 @@
+(** Codec for one column of a JDewey inverted list (paper Section III-D):
+    block-local delta coding for high-cardinality columns, (value, count)
+    run-length triples for low-cardinality ones. *)
+
+type scheme = Delta | Rle
+
+type run = { value : int; count : int }
+(** One run of equal JDewey numbers; the run's starting row is the sum of
+    the preceding counts. *)
+
+val choose_scheme : run array -> scheme
+(** Scheme selection from the run/entry ratio. *)
+
+val encode_with : Buffer.t -> scheme -> run array -> unit
+val encode : Buffer.t -> run array -> scheme
+val decode : Varint.cursor -> run array
+
+val encoded_size : run array -> int
+(** Bytes the column occupies on disk (used by Table I accounting). *)

@@ -1,0 +1,40 @@
+(* Prefix-compressed codec for document-ordered Dewey posting lists, the
+   scheme of Xu & Papakonstantinou [6] used by the stack-based and
+   index-based baselines: each id stores the length of the prefix it shares
+   with its predecessor plus the remaining components. *)
+
+let encode buf (ids : Xk_encoding.Dewey.t array) =
+  Varint.write buf (Array.length ids);
+  let prev = ref [||] in
+  Array.iter
+    (fun (d : Xk_encoding.Dewey.t) ->
+      let shared = Xk_encoding.Dewey.common_prefix_len !prev d in
+      Varint.write buf shared;
+      Varint.write buf (Array.length d - shared);
+      for i = shared to Array.length d - 1 do
+        Varint.write buf d.(i)
+      done;
+      prev := d)
+    ids
+
+let decode (c : Varint.cursor) : Xk_encoding.Dewey.t array =
+  let n = Varint.read c in
+  let out = Array.make n [||] in
+  let prev = ref [||] in
+  for i = 0 to n - 1 do
+    let shared = Varint.read c in
+    let rest = Varint.read c in
+    let d = Array.make (shared + rest) 0 in
+    Array.blit !prev 0 d 0 shared;
+    for j = shared to shared + rest - 1 do
+      d.(j) <- Varint.read c
+    done;
+    out.(i) <- d;
+    prev := d
+  done;
+  out
+
+let encoded_size ids =
+  let buf = Buffer.create 256 in
+  encode buf ids;
+  Buffer.length buf

@@ -1,0 +1,7 @@
+(** Prefix-compressed codec for document-ordered Dewey posting lists
+    (the compression scheme of Xu & Papakonstantinou used by the baseline
+    indexes). *)
+
+val encode : Buffer.t -> Xk_encoding.Dewey.t array -> unit
+val decode : Varint.cursor -> Xk_encoding.Dewey.t array
+val encoded_size : Xk_encoding.Dewey.t array -> int

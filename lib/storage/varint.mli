@@ -1,0 +1,18 @@
+(** LEB128 variable-length integer codec. *)
+
+val write : Buffer.t -> int -> unit
+(** Unsigned LEB128; raises [Invalid_argument] on negatives. *)
+
+val write_signed : Buffer.t -> int -> unit
+(** Zig-zag + LEB128, for signed deltas. *)
+
+type cursor = { data : string; mutable pos : int }
+
+val cursor : string -> cursor
+val cursor_at : string -> int -> cursor
+val at_end : cursor -> bool
+val read : cursor -> int
+val read_signed : cursor -> int
+
+val size : int -> int
+(** Encoded byte length of an unsigned value. *)

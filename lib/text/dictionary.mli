@@ -1,0 +1,25 @@
+(** Term dictionary: interns terms to dense ids and tracks per-term document
+    frequency (nodes directly containing the term) and collection frequency
+    (total occurrences). *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Id of a term, allocating a fresh id on first sight. *)
+
+val find : t -> string -> int option
+val term : t -> int -> string
+val size : t -> int
+
+val df : t -> int -> int
+val cf : t -> int -> int
+val bump_df : t -> int -> unit
+val bump_cf : t -> int -> int -> unit
+
+val iter : t -> (int -> string -> unit) -> unit
+
+val approx_bytes : t -> int
+(** Serialized footprint (term bytes + statistics), used by the index-size
+    accounting. *)

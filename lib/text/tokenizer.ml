@@ -1,0 +1,58 @@
+(* Word tokenizer standing in for the paper's use of Lucene.
+
+   A token is a maximal run of letters, digits or bytes >= 0x80 (so UTF-8
+   multi-byte characters stay inside words), lowercased over ASCII.  Tokens
+   shorter than [min_len] and pure numbers longer than [max_num_len] are
+   dropped to keep the dictionary within reason. *)
+
+let default_min_len = 2
+let default_max_len = 40
+
+let is_word_byte c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || Char.code c >= 0x80
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+(* Feed every token of [s] to [f].  No list allocation: the hot path of
+   index construction goes through here once per text node. *)
+let iter ?(min_len = default_min_len) ?(max_len = default_max_len) s f =
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let flush () =
+    let len = Buffer.length buf in
+    if len >= min_len && len <= max_len then f (Buffer.contents buf);
+    Buffer.clear buf
+  in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if is_word_byte c then Buffer.add_char buf (lower c) else flush ()
+  done;
+  flush ()
+
+let tokens ?min_len ?max_len s =
+  let acc = ref [] in
+  iter ?min_len ?max_len s (fun t -> acc := t :: !acc);
+  List.rev !acc
+
+(* A compact English stopword list; enough to keep glue words out of the
+   inverted index, as Lucene's default analyzer does. *)
+let stopwords =
+  [
+    "a"; "an"; "and"; "are"; "as"; "at"; "be"; "but"; "by"; "for"; "if";
+    "in"; "into"; "is"; "it"; "no"; "not"; "of"; "on"; "or"; "such"; "that";
+    "the"; "their"; "then"; "there"; "these"; "they"; "this"; "to"; "was";
+    "will"; "with";
+  ]
+
+let stopword_set : (string, unit) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun w -> Hashtbl.replace h w ()) stopwords;
+  h
+
+let is_stopword w = Hashtbl.mem stopword_set w
+
+let iter_indexed ?min_len ?max_len s f =
+  iter ?min_len ?max_len s (fun t -> if not (is_stopword t) then f t)

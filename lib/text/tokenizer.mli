@@ -1,0 +1,18 @@
+(** Word tokenizer (the Lucene stand-in).
+
+    Tokens are maximal runs of letters/digits/high bytes, ASCII-lowercased.
+    [min_len]/[max_len] (default 2/40) bound accepted token lengths. *)
+
+val default_min_len : int
+val default_max_len : int
+
+val iter : ?min_len:int -> ?max_len:int -> string -> (string -> unit) -> unit
+(** Feed each token of a string to a callback, allocation-light. *)
+
+val tokens : ?min_len:int -> ?max_len:int -> string -> string list
+
+val is_stopword : string -> bool
+
+val iter_indexed :
+  ?min_len:int -> ?max_len:int -> string -> (string -> unit) -> unit
+(** Like {!iter} but skips stopwords; the index builder's entry point. *)

@@ -1,0 +1,71 @@
+(* Binary max-heap keyed by float priorities, used by the top-K operators
+   to hold generated-but-blocked results. *)
+
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a array;
+  mutable len : int;
+}
+
+let create () = { keys = [||]; vals = [||]; len = 0 }
+
+let size h = h.len
+let is_empty h = h.len = 0
+
+let grow h v =
+  let cap = max 8 (2 * Array.length h.keys) in
+  let keys = Array.make cap 0. in
+  let vals = Array.make cap v in
+  Array.blit h.keys 0 keys 0 h.len;
+  Array.blit h.vals 0 vals 0 h.len;
+  h.keys <- keys;
+  h.vals <- vals
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.vals.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.vals.(i) <- h.vals.(j);
+  h.keys.(j) <- k;
+  h.vals.(j) <- v
+
+let push h key v =
+  if h.len >= Array.length h.keys then grow h v;
+  h.keys.(h.len) <- key;
+  h.vals.(h.len) <- v;
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  while !i > 0 && h.keys.((!i - 1) / 2) < h.keys.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let peek h = if h.len = 0 then None else Some (h.keys.(0), h.vals.(0))
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = (h.keys.(0), h.vals.(0)) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.keys.(0) <- h.keys.(h.len);
+      h.vals.(0) <- h.vals.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.len && h.keys.(l) > h.keys.(!m) then m := l;
+        if r < h.len && h.keys.(r) > h.keys.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          swap h !i !m;
+          i := !m
+        end
+      done
+    end;
+    Some top
+  end
+
+let drain h =
+  let rec go acc = match pop h with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []

@@ -1,0 +1,13 @@
+(** Binary max-heap keyed by float priorities. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+val peek : 'a t -> (float * 'a) option
+val pop : 'a t -> (float * 'a) option
+
+val drain : 'a t -> (float * 'a) list
+(** Pop everything, highest priority first. *)

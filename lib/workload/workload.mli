@@ -1,0 +1,33 @@
+(** Query workload construction for the experiments (paper Section V):
+    frequency-bucketed random keyword sets and equal-frequency sets.
+    Control terms (digit-suffixed) never enter random workloads. *)
+
+type query = string list
+
+val has_digit : string -> bool
+
+val terms_in_df_range : Xk_index.Index.t -> lo:int -> hi:int -> int array
+(** Non-control term ids with df in [lo, hi], most frequent first. *)
+
+val pick_near : Xk_datagen.Rng.t -> Xk_index.Index.t -> near:int -> string
+(** A random term with df in a factor-2 window of [near]; the window
+    widens until inhabited.  Raises [Invalid_argument] only when the
+    corpus has no usable terms. *)
+
+val max_df : Xk_index.Index.t -> int
+(** Highest df over non-control terms (the experiments' "high
+    frequency"). *)
+
+val random_queries :
+  Xk_datagen.Rng.t ->
+  Xk_index.Index.t ->
+  k:int ->
+  high:int ->
+  low:int ->
+  n:int ->
+  query list
+(** [n] queries of [k] distinct keywords: one near [high], the rest near
+    [low] - the Figure 9/10 workload shape. *)
+
+val equal_freq_queries :
+  Xk_datagen.Rng.t -> Xk_index.Index.t -> k:int -> freq:int -> n:int -> query list

@@ -1,0 +1,356 @@
+(* Recursive-descent parser for the XML 1.0 subset the pipeline needs:
+   elements, attributes, character data, CDATA sections, comments,
+   processing instructions, a skipped DOCTYPE (with internal subset), the
+   five predefined entities and numeric character references.
+
+   The input is treated as a byte string; bytes >= 0x80 flow through
+   untouched, so UTF-8 documents work without a decoding pass. *)
+
+type error = { line : int; col : int; message : string }
+
+let pp_error ppf e =
+  Fmt.pf ppf "XML parse error at line %d, column %d: %s" e.line e.col e.message
+
+exception Error of error
+
+type state = {
+  src : string;
+  mutable pos : int;
+  keep_ws : bool;
+}
+
+let position st =
+  (* Line/column are only computed on error, so a linear scan is fine. *)
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min st.pos (String.length st.src) - 1 do
+    if st.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let fail st fmt =
+  Format.kasprintf
+    (fun message ->
+      let line, col = position st in
+      raise (Error { line; col; message }))
+    fmt
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let expect st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st "expected %S" s
+
+let is_ws = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let skip_ws st =
+  while (not (eof st)) && is_ws (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Resolve one entity/char reference; cursor sits just past '&'. *)
+let parse_reference st buf =
+  if peek st = '#' then begin
+    advance st;
+    let hex = peek st = 'x' in
+    if hex then advance st;
+    let start = st.pos in
+    let digit c =
+      if hex then
+        (c >= '0' && c <= '9')
+        || (c >= 'a' && c <= 'f')
+        || (c >= 'A' && c <= 'F')
+      else c >= '0' && c <= '9'
+    in
+    while (not (eof st)) && digit (peek st) do
+      advance st
+    done;
+    if st.pos = start then fail st "empty character reference";
+    let digits = String.sub st.src start (st.pos - start) in
+    expect st ";";
+    let code =
+      try int_of_string (if hex then "0x" ^ digits else digits)
+      with Failure _ -> fail st "bad character reference &#%s;" digits
+    in
+    match Uchar.of_int code with
+    | u -> Buffer.add_utf_8_uchar buf u
+    | exception Invalid_argument _ ->
+        fail st "character reference out of range: %d" code
+  end
+  else begin
+    let name = parse_name st in
+    expect st ";";
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "apos" -> Buffer.add_char buf '\''
+    | "quot" -> Buffer.add_char buf '"'
+    | other -> fail st "unknown entity &%s;" other
+  end
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value";
+    let c = peek st in
+    if c = quote then advance st
+    else if c = '&' then begin
+      advance st;
+      parse_reference st buf;
+      go ()
+    end
+    else if c = '<' then fail st "'<' in attribute value"
+    else begin
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let skip_comment st =
+  expect st "<!--";
+  let rec go () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "-->" then st.pos <- st.pos + 3
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_pi st =
+  expect st "<?";
+  let rec go () =
+    if eof st then fail st "unterminated processing instruction"
+    else if looking_at st "?>" then st.pos <- st.pos + 2
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_doctype st =
+  expect st "<!DOCTYPE";
+  (* Skip to the matching '>', honouring an internal subset in brackets. *)
+  let rec go depth in_subset =
+    if eof st then fail st "unterminated DOCTYPE"
+    else
+      match peek st with
+      | '[' ->
+          advance st;
+          go depth true
+      | ']' ->
+          advance st;
+          go depth false
+      | '<' when in_subset ->
+          advance st;
+          go (depth + 1) in_subset
+      | '>' ->
+          advance st;
+          if depth > 0 then go (depth - 1) in_subset
+      | _ ->
+          advance st;
+          go depth in_subset
+  in
+  go 0 false
+
+let parse_cdata st buf =
+  expect st "<![CDATA[";
+  let rec go () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then st.pos <- st.pos + 3
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let is_blank s =
+  let n = String.length s in
+  let rec go i = i >= n || (is_ws s.[i] && go (i + 1)) in
+  go 0
+
+let parse_attributes st =
+  let rec go acc =
+    skip_ws st;
+    let c = peek st in
+    if c = '>' || c = '/' || c = '?' then List.rev acc
+    else begin
+      let name = parse_name st in
+      skip_ws st;
+      expect st "=";
+      skip_ws st;
+      let value = parse_attr_value st in
+      go (Xml_tree.attr name value :: acc)
+    end
+  in
+  go []
+
+let rec parse_element st =
+  expect st "<";
+  let tag = parse_name st in
+  let attrs = parse_attributes st in
+  skip_ws st;
+  if looking_at st "/>" then begin
+    st.pos <- st.pos + 2;
+    Xml_tree.element ~attrs tag []
+  end
+  else begin
+    expect st ">";
+    let children = parse_content st tag in
+    Xml_tree.element ~attrs tag children
+  end
+
+(* Children of [tag] up to and including its end tag. *)
+and parse_content st tag =
+  let out = ref [] in
+  let textbuf = Buffer.create 64 in
+  let flush_text () =
+    if Buffer.length textbuf > 0 then begin
+      let s = Buffer.contents textbuf in
+      Buffer.clear textbuf;
+      if st.keep_ws || not (is_blank s) then out := Xml_tree.Text s :: !out
+    end
+  in
+  let rec go () =
+    if eof st then fail st "unterminated element <%s>" tag
+    else if looking_at st "</" then begin
+      flush_text ();
+      st.pos <- st.pos + 2;
+      let close = parse_name st in
+      skip_ws st;
+      expect st ">";
+      if not (String.equal close tag) then
+        fail st "mismatched end tag </%s>, expected </%s>" close tag
+    end
+    else if looking_at st "<![CDATA[" then begin
+      parse_cdata st textbuf;
+      go ()
+    end
+    else if looking_at st "<!--" then begin
+      skip_comment st;
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      skip_pi st;
+      go ()
+    end
+    else if peek st = '<' then begin
+      if not (is_name_start (peek2 st)) then fail st "malformed markup";
+      flush_text ();
+      let e = parse_element st in
+      out := Xml_tree.Element e :: !out;
+      go ()
+    end
+    else if peek st = '&' then begin
+      advance st;
+      parse_reference st textbuf;
+      go ()
+    end
+    else begin
+      Buffer.add_char textbuf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  List.rev !out
+
+let parse_prolog st =
+  (* Optional UTF-8 BOM. *)
+  if looking_at st "\xef\xbb\xbf" then st.pos <- st.pos + 3;
+  let rec go () =
+    skip_ws st;
+    if looking_at st "<?" then begin
+      skip_pi st;
+      go ()
+    end
+    else if looking_at st "<!--" then begin
+      skip_comment st;
+      go ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      skip_doctype st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_string_exn ?(keep_ws = false) src =
+  let st = { src; pos = 0; keep_ws } in
+  parse_prolog st;
+  skip_ws st;
+  if not (peek st = '<' && is_name_start (peek2 st)) then
+    fail st "expected root element";
+  let root = parse_element st in
+  let rec trailer () =
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      skip_comment st;
+      trailer ()
+    end
+    else if looking_at st "<?" then begin
+      skip_pi st;
+      trailer ()
+    end
+    else if not (eof st) then fail st "content after root element"
+  in
+  trailer ();
+  { Xml_tree.root }
+
+let parse_string ?keep_ws src =
+  match parse_string_exn ?keep_ws src with
+  | doc -> Ok doc
+  | exception Error e -> Error e
+
+let parse_file ?keep_ws path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string ?keep_ws s
+
+let parse_file_exn ?keep_ws path =
+  match parse_file ?keep_ws path with
+  | Ok d -> d
+  | Error e -> raise (Error e)

@@ -1,0 +1,102 @@
+(* In-memory XML document model.
+
+   The model is deliberately small: elements, attributes and character data
+   are all the paper's pipeline consumes.  Attribute values take part in
+   keyword indexing just like text nodes, so they are kept verbatim. *)
+
+type attribute = { attr_name : string; attr_value : string }
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : attribute list;
+  children : node list;
+}
+
+type document = { root : element }
+
+let element ?(attrs = []) tag children = { tag; attrs; children }
+
+let text s = Text s
+
+let elem ?attrs tag children = Element (element ?attrs tag children)
+
+let attr attr_name attr_value = { attr_name; attr_value }
+
+let rec node_count_of_element (e : element) =
+  List.fold_left
+    (fun acc child ->
+      match child with
+      | Element e' -> acc + node_count_of_element e'
+      | Text _ -> acc + 1)
+    1 e.children
+
+(* Number of labelled nodes: one per element plus one per text node. *)
+let node_count (d : document) = node_count_of_element d.root
+
+let rec depth_of_element (e : element) =
+  1
+  + List.fold_left
+      (fun acc child ->
+        match child with
+        | Element e' -> max acc (depth_of_element e')
+        | Text _ -> max acc 1)
+      0 e.children
+
+let depth (d : document) = depth_of_element d.root
+
+(* Depth-first, document-order fold over elements and text nodes.  [f] sees
+   the 1-based depth of the visited node. *)
+let fold_nodes (f : 'a -> int -> node -> 'a) (init : 'a) (d : document) =
+  let rec go acc d_lvl n =
+    let acc = f acc d_lvl n in
+    match n with
+    | Text _ -> acc
+    | Element e ->
+        List.fold_left (fun acc c -> go acc (d_lvl + 1) c) acc e.children
+  in
+  go init 1 (Element d.root)
+
+let iter_nodes f d = fold_nodes (fun () depth n -> f depth n) () d
+
+(* All character data beneath an element, in document order, separated by
+   single spaces.  Used for presenting result subtrees. *)
+let text_content (e : element) =
+  let buf = Buffer.create 64 in
+  let rec go n =
+    match n with
+    | Text s ->
+        if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf s
+    | Element e ->
+        List.iter
+          (fun a ->
+            if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+            Buffer.add_string buf a.attr_value)
+          e.attrs;
+        List.iter go e.children
+  in
+  go (Element e);
+  Buffer.contents buf
+
+let rec equal_element (a : element) (b : element) =
+  String.equal a.tag b.tag
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2
+       (fun x y ->
+         String.equal x.attr_name y.attr_name
+         && String.equal x.attr_value y.attr_value)
+       a.attrs b.attrs
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal_node a.children b.children
+
+and equal_node a b =
+  match (a, b) with
+  | Text x, Text y -> String.equal x y
+  | Element x, Element y -> equal_element x y
+  | Text _, Element _ | Element _, Text _ -> false
+
+let equal (a : document) (b : document) = equal_element a.root b.root

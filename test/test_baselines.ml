@@ -1,0 +1,153 @@
+(* Baseline algorithms (stack-based, index-based, RDIL) validated against
+   the definitional oracle on random trees and hand cases. *)
+
+open Xk_core
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let vs_oracle algorithm semantics name =
+  QCheck.Test.make ~count:300 ~name
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4))
+    (fun (seed, k) ->
+      let eng = Tutil.random_engine seed in
+      let rng = Xk_datagen.Rng.create (seed + 31) in
+      let q = Tutil.random_query rng ~k ~alphabet:4 in
+      let expected = Engine.query ~semantics ~algorithm:Engine.Oracle eng q in
+      let actual = Engine.query ~semantics ~algorithm eng q in
+      Tutil.check_same_hits name expected actual;
+      true)
+
+let rdil_vs_oracle =
+  QCheck.Test.make ~count:300 ~name:"RDIL top-K = oracle top-K (random trees)"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 3))
+    (fun (seed, k) ->
+      let eng = Tutil.random_engine seed in
+      let rng = Xk_datagen.Rng.create (seed + 41) in
+      let q = Tutil.random_query rng ~k ~alphabet:4 in
+      let want = 1 + Xk_datagen.Rng.int rng 6 in
+      let full = Engine.query ~algorithm:Engine.Oracle eng q in
+      let actual = Engine.query_topk ~algorithm:Engine.Rdil_baseline eng q ~k:want in
+      Tutil.check_topk "rdil" ~k:want full actual;
+      true)
+
+let all_complete_algorithms_agree =
+  QCheck.Test.make ~count:200
+    ~name:"join = stack = indexed = oracle on the same query"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let eng = Tutil.random_engine seed in
+      let rng = Xk_datagen.Rng.create (seed + 77) in
+      let q = Tutil.random_query rng ~k:3 ~alphabet:4 in
+      List.iter
+        (fun semantics ->
+          let oracle = Engine.query ~semantics ~algorithm:Engine.Oracle eng q in
+          List.iter
+            (fun (name, algorithm) ->
+              Tutil.check_same_hits name oracle
+                (Engine.query ~semantics ~algorithm eng q))
+            [
+              ("join", Engine.Join_based);
+              ("stack", Engine.Stack_based);
+              ("indexed", Engine.Index_based);
+            ])
+        [ Engine.Elca; Engine.Slca ];
+      true)
+
+let stack_doc_order () =
+  (* The stack baseline must produce results in document order before the
+     engine re-sorts: check via the raw API. *)
+  let doc =
+    Xk_xml.Xml_parser.parse_string_exn
+      "<r><a>xml data</a><b>xml data</b><c>xml data</c></r>"
+  in
+  let idx = Xk_index.Index.build (Xk_encoding.Labeling.label doc) in
+  let ids = Xk_index.Index.term_ids_exn idx [ "xml"; "data" ] in
+  let hits = Xk_baselines.Stack.elca idx ids in
+  let nodes = Xk_baselines.Hit.nodes hits in
+  check Alcotest.(list int) "document order" (List.sort Int.compare nodes) nodes
+
+let rdil_stats_report () =
+  let doc = Tutil.random_doc 2024 in
+  let idx = Xk_index.Index.build (Xk_encoding.Labeling.label doc) in
+  match Xk_index.Index.term_id idx "kw0", Xk_index.Index.term_id idx "kw1" with
+  | Some a, Some b ->
+      let stats = { Xk_baselines.Rdil.pulled = 0; verified = 0 } in
+      ignore (Xk_baselines.Rdil.topk ~stats idx [ a; b ] ~k:3);
+      check Alcotest.bool "pulled counted" true (stats.pulled > 0)
+  | _ -> ()
+
+(* Naive LCA semantics: characterization vs brute force, and the
+   containment chain ELCA, SLCA subseteq LCA-set. *)
+let naive_lca_prop =
+  QCheck.Test.make ~count:300 ~name:"naive LCA: lca_set = brute; ELCA/SLCA subsets"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 3))
+    (fun (seed, k) ->
+      let eng = Tutil.random_engine seed in
+      let idx = Engine.index eng in
+      let rng = Xk_datagen.Rng.create (seed + 51) in
+      let q = Tutil.random_query rng ~k ~alphabet:3 in
+      match List.map (Xk_index.Index.term_id idx) q with
+      | ids when List.for_all Option.is_some ids ->
+          let ids = List.sort_uniq Int.compare (List.map Option.get ids) in
+          let fast = List.sort Int.compare (Xk_baselines.Naive_lca.lca_set idx ids) in
+          let slow = Xk_baselines.Naive_lca.brute idx ids in
+          if fast <> slow then
+            QCheck.Test.fail_reportf "lca_set [%s] <> brute [%s]"
+              (String.concat ";" (List.map string_of_int fast))
+              (String.concat ";" (List.map string_of_int slow));
+          let subset hits =
+            List.for_all
+              (fun (h : Xk_baselines.Hit.t) -> List.mem h.node fast)
+              hits
+          in
+          subset (Engine.query ~algorithm:Engine.Oracle eng q)
+          && subset (Engine.query ~semantics:Engine.Slca ~algorithm:Engine.Oracle eng q)
+      | _ -> true)
+
+let naive_lca_blowup () =
+  (* Two keywords spread over m and n leaves with a common root: m*n
+     combinations but the LCA set stays small - the paper's motivating
+     observation. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<r>";
+  for _ = 1 to 30 do
+    Buffer.add_string buf "<a>alpha</a><b>beta</b>"
+  done;
+  Buffer.add_string buf "</r>";
+  let eng = Engine.of_string (Buffer.contents buf) in
+  let idx = Engine.index eng in
+  let ids = Xk_index.Index.term_ids_exn idx [ "alpha"; "beta" ] in
+  check (Alcotest.float 0.5) "combinations" 900.
+    (Xk_baselines.Naive_lca.combination_count idx ids);
+  check Alcotest.int "distinct LCAs" 1
+    (List.length (Xk_baselines.Naive_lca.lca_set idx ids));
+  check Alcotest.int "elcas" 1 (List.length (Engine.query eng [ "alpha"; "beta" ]))
+
+let oracle_empty_query () =
+  let eng = Tutil.random_engine 5 in
+  Alcotest.check_raises "empty query rejected"
+    (Invalid_argument "Oracle.run: 1..62 keywords") (fun () ->
+      ignore (Xk_baselines.Oracle.elca (Engine.index eng) []))
+
+let suite =
+  [
+    ( "baselines",
+      [
+        tc "stack emits in document order" `Quick stack_doc_order;
+        tc "rdil stats" `Quick rdil_stats_report;
+        tc "naive LCA blowup" `Quick naive_lca_blowup;
+        tc "oracle rejects empty query" `Quick oracle_empty_query;
+        QCheck_alcotest.to_alcotest naive_lca_prop;
+        QCheck_alcotest.to_alcotest
+          (vs_oracle Engine.Stack_based Engine.Elca "stack ELCA = oracle");
+        QCheck_alcotest.to_alcotest
+          (vs_oracle Engine.Stack_based Engine.Slca "stack SLCA = oracle");
+        QCheck_alcotest.to_alcotest
+          (vs_oracle Engine.Index_based Engine.Elca "indexed ELCA = oracle");
+        QCheck_alcotest.to_alcotest
+          (vs_oracle Engine.Index_based Engine.Slca "indexed SLCA = oracle");
+        QCheck_alcotest.to_alcotest rdil_vs_oracle;
+        QCheck_alcotest.to_alcotest all_complete_algorithms_agree;
+      ] );
+  ]

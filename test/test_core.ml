@@ -1,0 +1,508 @@
+(* Core algorithms: erased-interval set, level joins, Algorithm 1 (ELCA and
+   SLCA) against the oracle, the top-K star join against a naive join, and
+   the join-based top-K against complete evaluation. *)
+
+open Xk_core
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Erased intervals                                                    *)
+
+let erased_basics () =
+  let e = Erased.create () in
+  check Alcotest.bool "empty alive" false (Erased.is_dead e 5);
+  Erased.add e ~lo:10 ~hi:20;
+  check Alcotest.bool "dead inside" true (Erased.is_dead e 15);
+  check Alcotest.bool "alive at hi" false (Erased.is_dead e 20);
+  check Alcotest.bool "alive before" false (Erased.is_dead e 9);
+  check Alcotest.int "covered" 10 (Erased.covered e ~lo:0 ~hi:100);
+  check Alcotest.int "partial" 5 (Erased.covered e ~lo:15 ~hi:30);
+  check Alcotest.int "alive" 20 (Erased.alive e ~lo:15 ~hi:40)
+
+let erased_merge () =
+  let e = Erased.create () in
+  Erased.add e ~lo:10 ~hi:20;
+  Erased.add e ~lo:30 ~hi:40;
+  Erased.add e ~lo:50 ~hi:60;
+  check Alcotest.int "three intervals" 3 (Erased.length e);
+  (* Bridge them all. *)
+  Erased.add e ~lo:15 ~hi:55;
+  check Alcotest.int "merged to one" 1 (Erased.length e);
+  check Alcotest.(list (pair int int)) "span" [ (10, 60) ] (Erased.to_list e);
+  check Alcotest.int "covered total" 50 (Erased.covered_total e)
+
+let erased_nested () =
+  let e = Erased.create () in
+  Erased.add e ~lo:0 ~hi:100;
+  Erased.add e ~lo:10 ~hi:20;
+  check Alcotest.int "still one" 1 (Erased.length e);
+  check Alcotest.int "covered total" 100 (Erased.covered_total e)
+
+let erased_add_batch () =
+  let e = Erased.create () in
+  Erased.add e ~lo:5 ~hi:8;
+  Erased.add e ~lo:50 ~hi:60;
+  Erased.add_batch e [ (0, 2); (6, 12); (20, 30); (28, 40); (90, 95) ];
+  check
+    Alcotest.(list (pair int int))
+    "merged"
+    [ (0, 2); (5, 12); (20, 40); (50, 60); (90, 95) ]
+    (Erased.to_list e);
+  check Alcotest.int "covered total" (2 + 7 + 20 + 10 + 5) (Erased.covered_total e);
+  (* Empty batch and empty intervals are no-ops. *)
+  Erased.add_batch e [];
+  Erased.add_batch e [ (3, 3) ];
+  check Alcotest.int "unchanged" 5 (Erased.length e)
+
+let erased_iter_alive () =
+  let e = Erased.create () in
+  Erased.add e ~lo:10 ~hi:20;
+  Erased.add e ~lo:30 ~hi:35;
+  let collect ~lo ~hi =
+    let acc = ref [] in
+    Erased.iter_alive e ~lo ~hi (fun a b -> acc := (a, b) :: !acc);
+    List.rev !acc
+  in
+  check Alcotest.(list (pair int int)) "spanning" [ (0, 10); (20, 30); (35, 40) ]
+    (collect ~lo:0 ~hi:40);
+  check Alcotest.(list (pair int int)) "inside dead" [] (collect ~lo:12 ~hi:18);
+  check Alcotest.(list (pair int int)) "all alive" [ (21, 29) ] (collect ~lo:21 ~hi:29);
+  check Alcotest.(list (pair int int)) "edges" [ (20, 30) ] (collect ~lo:15 ~hi:30)
+
+(* add_batch must agree with repeated single adds; iter_alive must cover
+   exactly the complement. *)
+let erased_batch_prop =
+  QCheck.Test.make ~count:500 ~name:"add_batch = repeated add; iter_alive complements"
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 30))
+    (fun (seed, nb) ->
+      let rng = Xk_datagen.Rng.create seed in
+      let size = 150 in
+      let a = Erased.create () and b = Erased.create () in
+      (* Pre-existing intervals. *)
+      for _ = 1 to 5 do
+        let lo = Xk_datagen.Rng.int rng size in
+        let hi = lo + Xk_datagen.Rng.int rng (size - lo) in
+        Erased.add a ~lo ~hi;
+        Erased.add b ~lo ~hi
+      done;
+      (* A sorted batch. *)
+      let batch =
+        List.init nb (fun _ ->
+            let lo = Xk_datagen.Rng.int rng size in
+            (lo, lo + Xk_datagen.Rng.int rng (size - lo)))
+        |> List.sort compare
+      in
+      Erased.add_batch a batch;
+      List.iter (fun (lo, hi) -> Erased.add b ~lo ~hi) batch;
+      let ok = ref (Erased.to_list a = Erased.to_list b) in
+      (* iter_alive vs is_dead. *)
+      let alive = Array.make size false in
+      Erased.iter_alive a ~lo:0 ~hi:size (fun l h ->
+          for x = l to h - 1 do
+            alive.(x) <- true
+          done);
+      for x = 0 to size - 1 do
+        if alive.(x) = Erased.is_dead a x then ok := false
+      done;
+      !ok)
+
+(* Reference implementation: a boolean array. *)
+let erased_prop =
+  QCheck.Test.make ~count:500 ~name:"erased intervals vs boolean array"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 60))
+    (fun (seed, ops) ->
+      let rng = Xk_datagen.Rng.create seed in
+      let size = 200 in
+      let reference = Array.make size false in
+      let e = Erased.create () in
+      let ok = ref true in
+      for _ = 1 to ops do
+        let lo = Xk_datagen.Rng.int rng size in
+        let hi = lo + Xk_datagen.Rng.int rng (size - lo) in
+        Erased.add e ~lo ~hi;
+        Array.fill reference lo (hi - lo) true;
+        (* Spot-check queries. *)
+        for _ = 1 to 5 do
+          let qlo = Xk_datagen.Rng.int rng size in
+          let qhi = qlo + Xk_datagen.Rng.int rng (size - qlo) in
+          let expect = ref 0 in
+          for x = qlo to qhi - 1 do
+            if reference.(x) then incr expect
+          done;
+          if Erased.covered e ~lo:qlo ~hi:qhi <> !expect then ok := false;
+          let row = Xk_datagen.Rng.int rng size in
+          if Erased.is_dead e row <> reference.(row) then ok := false
+        done
+      done;
+      let total = Array.fold_left (fun a b -> if b then a + 1 else a) 0 reference in
+      !ok && Erased.covered_total e = total)
+
+(* ------------------------------------------------------------------ *)
+(* Level join                                                          *)
+
+let column_of_values values =
+  Xk_index.Column.build (Array.map (fun v -> [| v |]) values) ~level:1
+
+let naive_intersection (cols : Xk_index.Column.t array) =
+  let values c =
+    Array.to_list (Array.map (fun (r : Xk_index.Column.run) -> r.value) (Xk_index.Column.runs c))
+  in
+  match Array.to_list cols with
+  | [] -> []
+  | first :: rest ->
+      List.filter
+        (fun v -> List.for_all (fun c -> List.mem v (values c)) rest)
+        (values first)
+
+let level_join_matches_naive plan () =
+  let rng = Xk_datagen.Rng.create 99 in
+  for _ = 1 to 50 do
+    let k = 2 + Xk_datagen.Rng.int rng 3 in
+    let cols =
+      Array.init k (fun _ ->
+          let n = Xk_datagen.Rng.int rng 30 in
+          let v = ref 0 in
+          column_of_values
+            (Array.init n (fun _ ->
+                 v := !v + 1 + Xk_datagen.Rng.int rng 4;
+                 !v)))
+    in
+    let expected = naive_intersection cols in
+    let got =
+      List.map (fun (m : Level_join.match_) -> m.value) (Level_join.join ~plan cols)
+    in
+    check Alcotest.(list int) "match values" expected (List.sort Int.compare got)
+  done
+
+let level_join_runs_aligned () =
+  let cols =
+    [|
+      column_of_values [| 1; 3; 5; 7 |];
+      column_of_values [| 2; 3; 4; 5; 6; 7; 8; 9; 10 |];
+    |]
+  in
+  let ms = Level_join.join ~plan:Level_join.Dynamic cols in
+  List.iter
+    (fun (m : Level_join.match_) ->
+      Array.iteri
+        (fun i (r : Xk_index.Column.run) ->
+          (* The run in slot i must come from column i and hold the value. *)
+          check Alcotest.int "run value" m.value r.value;
+          match Xk_index.Column.find cols.(i) m.value with
+          | Some r' -> check Alcotest.int "run start" r'.start_row r.start_row
+          | None -> Alcotest.fail "value missing from column")
+        m.runs)
+    ms;
+  check Alcotest.(list int) "values" [ 3; 5; 7 ]
+    (List.sort Int.compare (List.map (fun (m : Level_join.match_) -> m.value) ms))
+
+let level_join_stats () =
+  let small = column_of_values (Array.init 3 (fun i -> (i * 100) + 1)) in
+  let big = column_of_values (Array.init 1000 (fun i -> i + 1)) in
+  let stats = Level_join.new_stats () in
+  ignore (Level_join.join ~stats ~plan:Level_join.Dynamic [| small; big |]);
+  check Alcotest.int "dynamic chose index join" 1 stats.index_joins;
+  let stats = Level_join.new_stats () in
+  ignore (Level_join.join ~stats ~plan:Level_join.Force_merge [| small; big |]);
+  check Alcotest.int "forced merge" 1 stats.merge_joins
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1 vs oracle                                               *)
+
+let join_vs_oracle semantics name =
+  QCheck.Test.make ~count:300 ~name
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4))
+    (fun (seed, k) ->
+      let eng = Tutil.random_engine seed in
+      let rng = Xk_datagen.Rng.create (seed + 13) in
+      let q = Tutil.random_query rng ~k ~alphabet:4 in
+      let expected = Engine.query ~semantics ~algorithm:Engine.Oracle eng q in
+      let actual = Engine.query ~semantics ~algorithm:Engine.Join_based eng q in
+      Tutil.check_same_hits "join vs oracle" expected actual;
+      true)
+
+let join_plans_agree =
+  QCheck.Test.make ~count:150 ~name:"forced merge/index plans give same ELCAs"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let eng = Tutil.random_engine seed in
+      let rng = Xk_datagen.Rng.create (seed + 3) in
+      let q = Tutil.random_query rng ~k:2 ~alphabet:3 in
+      let m = Engine.query ~algorithm:Engine.Join_based ~plan:Level_join.Force_merge eng q in
+      let i = Engine.query ~algorithm:Engine.Join_based ~plan:Level_join.Force_index eng q in
+      let d = Engine.query ~algorithm:Engine.Join_based ~plan:Level_join.Dynamic eng q in
+      Tutil.check_same_hits "merge vs index" m i;
+      Tutil.check_same_hits "merge vs dynamic" m d;
+      true)
+
+let join_empty_keyword () =
+  let eng = Engine.of_string "<r><a>xml</a></r>" in
+  check Alcotest.int "missing keyword empty" 0
+    (List.length (Engine.query eng [ "xml"; "ghost" ]))
+
+let join_single_keyword () =
+  let eng = Engine.of_string "<r><a>xml <b>xml</b></a><c>xml</c></r>" in
+  (* k=1: every occurrence node is an ELCA. *)
+  let hits = Engine.query ~algorithm:Engine.Join_based eng [ "xml" ] in
+  let oracle = Engine.query ~algorithm:Engine.Oracle eng [ "xml" ] in
+  Tutil.check_same_hits "k=1" oracle hits;
+  check Alcotest.int "three occurrences" 3 (List.length hits)
+
+let paper_example () =
+  (* A hand-checked instance of the running example's structure: two
+     keywords whose deepest co-occurrences exclude their ancestors. *)
+  let eng =
+    Engine.of_string
+      {|<db>
+          <conf>
+            <paper><title>xml data</title></paper>
+            <paper><title>data mining</title></paper>
+          </conf>
+          <conf>
+            <paper><title>xml</title></paper>
+            <paper><title>data</title></paper>
+          </conf>
+        </db>|}
+  in
+  let nodes hits = List.sort Int.compare (Xk_baselines.Hit.nodes hits) in
+  (* Node numbering (doc order): 0 db, 1 conf1, 2 paper, 3 title, 4 "xml
+     data", 5 paper, 6 title, 7 "data mining", 8 conf2, 9 paper, 10 title,
+     11 "xml", 12 paper, 13 title, 14 "data". *)
+  let elca = Engine.query ~semantics:Engine.Elca eng [ "xml"; "data" ] in
+  check Alcotest.(list int) "ELCAs" [ 4; 8 ] (nodes elca);
+  let slca = Engine.query ~semantics:Engine.Slca eng [ "xml"; "data" ] in
+  check Alcotest.(list int) "SLCAs" [ 4; 8 ] (nodes slca);
+  (* conf2 (node 8) scores lower: its witnesses sit 3 levels down. *)
+  (match Xk_baselines.Hit.sort_desc elca with
+  | [ first; second ] ->
+      check Alcotest.int "text node wins" 4 first.node;
+      check Alcotest.int "conf second" 8 second.node
+  | _ -> Alcotest.fail "expected two results");
+  (* With "mining" added, only conf1 subsumes all three keywords. *)
+  let three = Engine.query eng [ "xml"; "data"; "mining" ] in
+  check Alcotest.(list int) "three keywords" [ 1 ] (nodes three)
+
+(* ------------------------------------------------------------------ *)
+(* Star join                                                           *)
+
+let naive_star_topk (rels : Star_join.relation array) ~k =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (r : Star_join.relation) ->
+      Array.iteri
+        (fun p key ->
+          let slots =
+            match Hashtbl.find_opt tbl key with
+            | Some s -> s
+            | None ->
+                let s = Array.make (Array.length rels) neg_infinity in
+                Hashtbl.add tbl key s;
+                s
+          in
+          if r.scores.(p) > slots.(i) then slots.(i) <- r.scores.(p))
+        r.keys)
+    rels;
+  let all =
+    Hashtbl.fold
+      (fun key slots acc ->
+        if Array.for_all (fun s -> s > neg_infinity) slots then
+          { Star_join.key; total = Array.fold_left ( +. ) 0. slots } :: acc
+        else acc)
+      tbl []
+  in
+  let sorted =
+    List.sort
+      (fun (a : Star_join.result) b -> Float.compare b.total a.total)
+      all
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+let random_relation rng ~n ~key_space =
+  let keys = Xk_datagen.Rng.sample rng ~n:key_space ~k:(min n key_space) in
+  let scores =
+    Array.init (Array.length keys) (fun _ -> Xk_datagen.Rng.float rng)
+  in
+  Array.sort (fun a b -> Float.compare b a) scores;
+  Star_join.relation ~keys ~scores
+
+let star_join_prop threshold name =
+  QCheck.Test.make ~count:300 ~name
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 4))
+    (fun (seed, k) ->
+      let rng = Xk_datagen.Rng.create seed in
+      let rels =
+        Array.init k (fun _ ->
+            random_relation rng ~n:(5 + Xk_datagen.Rng.int rng 40) ~key_space:30)
+      in
+      let want = 1 + Xk_datagen.Rng.int rng 8 in
+      let expected = naive_star_topk rels ~k:want in
+      let actual = Star_join.topk ~threshold rels ~k:want in
+      List.length expected = List.length actual
+      && List.for_all2
+           (fun (e : Star_join.result) (a : Star_join.result) ->
+             Float.abs (e.total -. a.total) < 1e-9)
+           expected actual)
+
+let star_join_tight_reads_less () =
+  (* On a workload with matching keys near the top, the paper's threshold
+     must terminate with no more sorted accesses than HRJN's. *)
+  let rng = Xk_datagen.Rng.create 4242 in
+  let trials = ref 0 and tight_wins = ref 0 and ties = ref 0 in
+  for _ = 1 to 50 do
+    let rels =
+      Array.init 3 (fun _ -> random_relation rng ~n:60 ~key_space:80)
+    in
+    let s_classic = Star_join.new_stats () in
+    ignore (Star_join.topk ~stats:s_classic ~threshold:Star_join.Classic rels ~k:5);
+    let s_tight = Star_join.new_stats () in
+    ignore (Star_join.topk ~stats:s_tight ~threshold:Star_join.Tight rels ~k:5);
+    incr trials;
+    if s_tight.pulled < s_classic.pulled then incr tight_wins
+    else if s_tight.pulled = s_classic.pulled then incr ties
+  done;
+  check Alcotest.bool "tight never loses" true (!tight_wins + !ties = !trials);
+  check Alcotest.bool "tight wins sometimes" true (!tight_wins > 0)
+
+let star_join_early_termination () =
+  (* A matching pair at the very top must be emitted after a handful of
+     accesses, not after draining the inputs. *)
+  let keys = Array.init 1000 (fun i -> i) in
+  let scores = Array.init 1000 (fun i -> 1. /. float_of_int (i + 1)) in
+  let r1 = Star_join.relation ~keys ~scores in
+  let r2 = Star_join.relation ~keys ~scores in
+  let stats = Star_join.new_stats () in
+  let out = Star_join.topk ~stats [| r1; r2 |] ~k:1 in
+  (match out with
+  | [ r ] ->
+      check Alcotest.int "key" 0 r.key;
+      check (Alcotest.float 1e-9) "total" 2. r.total
+  | _ -> Alcotest.fail "expected one result");
+  check Alcotest.bool "early termination" true (stats.pulled < 100)
+
+(* ------------------------------------------------------------------ *)
+(* Join-based top-K vs complete evaluation                             *)
+
+let topk_vs_complete ?(semantics = Engine.Elca) threshold name =
+  QCheck.Test.make ~count:300 ~name
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4))
+    (fun (seed, k) ->
+      let eng = Tutil.random_engine seed in
+      let rng = Xk_datagen.Rng.create (seed + 21) in
+      let q = Tutil.random_query rng ~k ~alphabet:4 in
+      let want = 1 + Xk_datagen.Rng.int rng 6 in
+      let full = Engine.query ~semantics ~algorithm:Engine.Oracle eng q in
+      let ids =
+        List.filter_map (Xk_index.Index.term_id (Engine.index eng)) q
+      in
+      let topk =
+        if List.length ids < List.length q then []
+        else begin
+          let slists =
+            Array.of_list
+              (List.map (Xk_index.Index.score_list (Engine.index eng))
+                 (List.sort_uniq Int.compare ids))
+          in
+          let sem =
+            match semantics with
+            | Engine.Elca -> Topk_keyword.Elca
+            | Engine.Slca -> Topk_keyword.Slca
+          in
+          Topk_keyword.topk ~threshold ~semantics:sem slists
+            (Xk_index.Index.damping (Engine.index eng))
+            ~k:want
+          |> List.map (fun (h : Join_query.hit) ->
+                 match
+                   Xk_encoding.Labeling.find (Engine.label eng) ~depth:h.level
+                     ~jnum:h.value
+                 with
+                 | Some node -> { Xk_baselines.Hit.node; score = h.score }
+                 | None -> assert false)
+        end
+      in
+      Tutil.check_topk name ~k:want full topk;
+      true)
+
+let hybrid_matches_topk =
+  QCheck.Test.make ~count:200 ~name:"hybrid top-K matches oracle top-K"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let eng = Tutil.random_engine seed in
+      let rng = Xk_datagen.Rng.create (seed + 5) in
+      let q = Tutil.random_query rng ~k:2 ~alphabet:3 in
+      let full = Engine.query ~algorithm:Engine.Oracle eng q in
+      let actual = Engine.query_topk ~algorithm:Engine.Hybrid eng q ~k:5 in
+      Tutil.check_topk "hybrid" ~k:5 full actual;
+      true)
+
+let topk_stats_early_exit () =
+  (* Correlated keywords at a deep level: the top-K join must not visit
+     every column. *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<db>";
+  for i = 0 to 199 do
+    Buffer.add_string buf
+      (Printf.sprintf "<x><y><z>alpha beta gamma%d</z></y></x>" i)
+  done;
+  Buffer.add_string buf "</db>";
+  let eng = Engine.of_string (Buffer.contents buf) in
+  let stats = Topk_keyword.new_stats () in
+  let hits = Engine.query_topk ~stats eng [ "alpha"; "beta" ] ~k:5 in
+  check Alcotest.int "five results" 5 (List.length hits);
+  check Alcotest.bool "early exit happened" true (stats.early_exit_level > 1);
+  check Alcotest.bool "did not pull everything" true (stats.pulled < 2 * 200)
+
+let suite =
+  [
+    ( "core.erased",
+      [
+        tc "basics" `Quick erased_basics;
+        tc "merge" `Quick erased_merge;
+        tc "nested" `Quick erased_nested;
+        tc "add_batch" `Quick erased_add_batch;
+        tc "iter_alive" `Quick erased_iter_alive;
+        QCheck_alcotest.to_alcotest erased_prop;
+        QCheck_alcotest.to_alcotest erased_batch_prop;
+      ] );
+    ( "core.level_join",
+      [
+        tc "dynamic vs naive" `Quick (level_join_matches_naive Level_join.Dynamic);
+        tc "merge vs naive" `Quick (level_join_matches_naive Level_join.Force_merge);
+        tc "index vs naive" `Quick (level_join_matches_naive Level_join.Force_index);
+        tc "runs aligned" `Quick level_join_runs_aligned;
+        tc "plan statistics" `Quick level_join_stats;
+      ] );
+    ( "core.join_query",
+      [
+        tc "missing keyword" `Quick join_empty_keyword;
+        tc "single keyword" `Quick join_single_keyword;
+        tc "paper-style example" `Quick paper_example;
+        QCheck_alcotest.to_alcotest
+          (join_vs_oracle Engine.Elca "join ELCA = oracle (random trees)");
+        QCheck_alcotest.to_alcotest
+          (join_vs_oracle Engine.Slca "join SLCA = oracle (random trees)");
+        QCheck_alcotest.to_alcotest join_plans_agree;
+      ] );
+    ( "core.star_join",
+      [
+        tc "tight threshold reads less" `Quick star_join_tight_reads_less;
+        tc "early termination" `Quick star_join_early_termination;
+        QCheck_alcotest.to_alcotest
+          (star_join_prop Star_join.Tight "star join tight = naive");
+        QCheck_alcotest.to_alcotest
+          (star_join_prop Star_join.Classic "star join classic = naive");
+      ] );
+    ( "core.topk",
+      [
+        tc "early exit on correlated data" `Quick topk_stats_early_exit;
+        QCheck_alcotest.to_alcotest
+          (topk_vs_complete Topk_keyword.Tight "top-K join = oracle top-K (tight)");
+        QCheck_alcotest.to_alcotest
+          (topk_vs_complete Topk_keyword.Classic "top-K join = oracle top-K (classic)");
+        QCheck_alcotest.to_alcotest
+          (topk_vs_complete ~semantics:Engine.Slca Topk_keyword.Tight
+             "SLCA top-K join = oracle SLCA top-K");
+        QCheck_alcotest.to_alcotest hybrid_matches_topk;
+      ] );
+  ]

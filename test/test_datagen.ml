@@ -1,0 +1,170 @@
+(* Generators and workload: determinism, planted frequencies, bucket
+   selection. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let rng_deterministic () =
+  let a = Xk_datagen.Rng.create 7 and b = Xk_datagen.Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Xk_datagen.Rng.int a 1000)
+      (Xk_datagen.Rng.int b 1000)
+  done
+
+let rng_bounds () =
+  let rng = Xk_datagen.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Xk_datagen.Rng.int rng 10 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 10);
+    let f = Xk_datagen.Rng.float rng in
+    check Alcotest.bool "float range" true (f >= 0. && f < 1.);
+    let r = Xk_datagen.Rng.range rng 5 9 in
+    check Alcotest.bool "range incl" true (r >= 5 && r <= 9)
+  done
+
+let rng_sample () =
+  let rng = Xk_datagen.Rng.create 11 in
+  let s = Xk_datagen.Rng.sample rng ~n:50 ~k:20 in
+  check Alcotest.int "size" 20 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort Int.compare sorted;
+  for i = 1 to Array.length sorted - 1 do
+    check Alcotest.bool "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done
+
+let zipf_shape () =
+  let rng = Xk_datagen.Rng.create 23 in
+  let z = Xk_datagen.Zipf.make ~n:1000 ~exponent:1.1 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let r = Xk_datagen.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check Alcotest.bool "rank0 most frequent" true (counts.(0) > counts.(10));
+  check Alcotest.bool "heavy head" true (counts.(0) > 50_000 / 25);
+  check Alcotest.bool "long tail sampled" true
+    (Array.exists (fun c -> c > 0) (Array.sub counts 500 500))
+
+let dblp_deterministic () =
+  let c1 = Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled 0.05) in
+  let c2 = Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled 0.05) in
+  check Alcotest.bool "same corpus" true (Xk_xml.Xml_tree.equal c1.doc c2.doc)
+
+let small_dblp = lazy (Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled 0.1))
+
+let dblp_structure () =
+  let c = Lazy.force small_dblp in
+  check Alcotest.string "root" "dblp" c.doc.root.tag;
+  check Alcotest.bool "papers counted" true (c.total_papers > 100);
+  check Alcotest.bool "reasonable depth" true (Xk_xml.Xml_tree.depth c.doc >= 6)
+
+let dblp_planted_frequencies () =
+  let c = Lazy.force small_dblp in
+  let idx = Xk_index.Index.build (Xk_encoding.Labeling.label c.doc) in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun w ->
+          match Xk_index.Index.term_id idx w with
+          | Some id ->
+              check Alcotest.bool
+                (Printf.sprintf "planted term %s present" w)
+                true
+                (Xk_index.Index.df idx id > 0)
+          | None -> Alcotest.failf "planted term %s missing" w)
+        q)
+    (c.correlated_queries @ c.uncorrelated_queries)
+
+let dblp_correlation_contrast () =
+  (* Correlated pairs must co-occur at the paper level (depth >= 4) far
+     more than the frequency-matched uncorrelated pairs - whose
+     co-occurrences live at the conference/year levels only.  This is the
+     context-bound-correlation effect of Section III-C. *)
+  let c = Lazy.force small_dblp in
+  let eng =
+    Xk_core.Engine.of_index
+      (Xk_index.Index.build (Xk_encoding.Labeling.label c.doc))
+  in
+  let lab = Xk_core.Engine.label eng in
+  let deep_results q =
+    List.length
+      (List.filter
+         (fun (h : Xk_baselines.Hit.t) -> Xk_encoding.Labeling.depth lab h.node >= 4)
+         (Xk_core.Engine.query eng q))
+  in
+  let corr = deep_results (List.nth c.correlated_queries 2) in
+  let uncorr = deep_results (List.nth c.uncorrelated_queries 2) in
+  check Alcotest.bool
+    (Printf.sprintf "deep correlated (%d) >> deep uncorrelated (%d)" corr uncorr)
+    true
+    (corr > 4 * max 1 uncorr)
+
+let xmark_basics () =
+  let c = Xk_datagen.Xmark_gen.generate (Xk_datagen.Xmark_gen.scaled 0.1) in
+  check Alcotest.string "root" "site" c.doc.root.tag;
+  check Alcotest.bool "deep" true (Xk_xml.Xml_tree.depth c.doc >= 8);
+  let idx = Xk_index.Index.build (Xk_encoding.Labeling.label c.doc) in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun w ->
+          check Alcotest.bool (w ^ " planted") true
+            (Xk_index.Index.term_id idx w <> None))
+        q)
+    c.correlated_queries
+
+let workload_buckets () =
+  let c = Lazy.force small_dblp in
+  let idx = Xk_index.Index.build (Xk_encoding.Labeling.label c.doc) in
+  let rng = Xk_datagen.Rng.create 31 in
+  let high = Xk_workload.Workload.max_df idx in
+  check Alcotest.bool "corpus has frequent terms" true (high > 100);
+  let qs = Xk_workload.Workload.random_queries rng idx ~k:3 ~high ~low:10 ~n:20 in
+  check Alcotest.int "twenty queries" 20 (List.length qs);
+  List.iter
+    (fun q ->
+      check Alcotest.int "three keywords" 3 (List.length q);
+      check Alcotest.int "distinct" 3 (List.length (List.sort_uniq compare q));
+      (* One keyword near the high frequency, others near low. *)
+      let dfs =
+        List.map
+          (fun w -> Xk_index.Index.df idx (Option.get (Xk_index.Index.term_id idx w)))
+          q
+      in
+      let sorted = List.sort Int.compare dfs in
+      check Alcotest.bool "high present" true
+        (List.nth sorted 2 >= high / 4);
+      check Alcotest.bool "lows low" true (List.hd sorted <= 40))
+    qs
+
+let workload_no_control_terms () =
+  let c = Lazy.force small_dblp in
+  let idx = Xk_index.Index.build (Xk_encoding.Labeling.label c.doc) in
+  let rng = Xk_datagen.Rng.create 13 in
+  let qs = Xk_workload.Workload.equal_freq_queries rng idx ~k:2 ~freq:50 ~n:30 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun w ->
+          check Alcotest.bool (w ^ " is not a control term") false
+            (Xk_workload.Workload.has_digit w))
+        q)
+    qs
+
+let suite =
+  [
+    ( "datagen",
+      [
+        tc "rng deterministic" `Quick rng_deterministic;
+        tc "rng bounds" `Quick rng_bounds;
+        tc "rng sample distinct" `Quick rng_sample;
+        tc "zipf shape" `Quick zipf_shape;
+        tc "dblp deterministic" `Slow dblp_deterministic;
+        tc "dblp structure" `Quick dblp_structure;
+        tc "dblp planted terms" `Quick dblp_planted_frequencies;
+        tc "dblp correlation contrast" `Quick dblp_correlation_contrast;
+        tc "xmark basics" `Quick xmark_basics;
+        tc "workload buckets" `Quick workload_buckets;
+        tc "workload avoids control terms" `Quick workload_no_control_terms;
+      ] );
+  ]

@@ -1,0 +1,285 @@
+(* Columns, JDewey lists, score lists, postings, sparse index and the
+   index builder. *)
+
+open Xk_index
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let seqs_of l = Array.of_list (List.map Array.of_list l)
+
+let column_runs () =
+  let seqs = seqs_of [ [ 1; 1 ]; [ 1; 1; 3 ]; [ 1; 2 ]; [ 1; 2 ]; [ 1; 5; 9 ] ] in
+  let c1 = Column.build seqs ~level:1 in
+  check Alcotest.int "level1 one run" 1 (Column.num_runs c1);
+  check Alcotest.int "level1 entries" 5 (Column.entries c1);
+  let c2 = Column.build seqs ~level:2 in
+  check Alcotest.int "level2 runs" 3 (Column.num_runs c2);
+  (match Column.find c2 2 with
+  | Some r ->
+      check Alcotest.int "run start" 2 r.start_row;
+      check Alcotest.int "run count" 2 r.count
+  | None -> Alcotest.fail "find 2");
+  check Alcotest.bool "missing value" true (Column.find c2 4 = None);
+  let c3 = Column.build seqs ~level:3 in
+  check Alcotest.int "level3 skips short rows" 2 (Column.entries c3);
+  check Alcotest.(option int) "max value" (Some 9) (Column.max_value c3)
+
+let column_lower_bound () =
+  let seqs = seqs_of [ [ 2 ]; [ 4 ]; [ 7 ] ] in
+  let c = Column.build seqs ~level:1 in
+  check Alcotest.int "lb 1" 0 (Column.lower_bound c 1);
+  check Alcotest.int "lb 4" 1 (Column.lower_bound c 4);
+  check Alcotest.int "lb 5" 2 (Column.lower_bound c 5);
+  check Alcotest.int "lb 99" 3 (Column.lower_bound c 99)
+
+(* The run-contiguity property behind the range checking: in a labeled
+   random tree, every column built from a term's rows must consist of runs
+   over consecutive row indexes with strictly increasing values (this is
+   asserted inside Column.build; here we rebuild columns for many random
+   corpora to exercise it). *)
+let run_contiguity_prop =
+  QCheck.Test.make ~count:200 ~name:"column runs contiguous on random trees"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Xk_datagen.Rng.create seed in
+      let doc = Xk_datagen.Random_tree.generate rng in
+      let lab = Xk_encoding.Labeling.label doc in
+      let idx = Index.build lab in
+      let ok = ref true in
+      for id = 0 to Index.term_count idx - 1 do
+        let jl = Index.jlist idx id in
+        for level = 1 to Jlist.max_len jl do
+          let c = Jlist.column jl ~level in
+          let runs = Column.runs c in
+          Array.iteri
+            (fun i (r : Column.run) ->
+              if i > 0 then begin
+                let p = runs.(i - 1) in
+                if r.value <= p.value then ok := false
+              end;
+              (* Every row in the run really has this value at the level. *)
+              for row = r.start_row to r.start_row + r.count - 1 do
+                let s = Jlist.seq jl row in
+                if Array.length s < level || s.(level - 1) <> r.value then
+                  ok := false
+              done)
+            runs
+        done
+      done;
+      !ok)
+
+let small_index () =
+  let doc =
+    Xk_xml.Xml_parser.parse_string_exn
+      "<r><a>xml data xml</a><b>data</b><c>other</c></r>"
+  in
+  Index.build (Xk_encoding.Labeling.label doc)
+
+let index_stats () =
+  let idx = small_index () in
+  (match Index.term_id idx "xml" with
+  | Some id ->
+      check Alcotest.int "df xml" 1 (Index.df idx id);
+      let _, tfs = Index.raw_rows idx id in
+      check Alcotest.(array int) "tf" [| 2 |] tfs
+  | None -> Alcotest.fail "xml missing");
+  (match Index.term_id idx "data" with
+  | Some id -> check Alcotest.int "df data" 2 (Index.df idx id)
+  | None -> Alcotest.fail "data missing");
+  check Alcotest.bool "case insensitive" true (Index.term_id idx "XML" <> None);
+  check Alcotest.bool "unknown" true (Index.term_id idx "absent" = None)
+
+let index_attributes_indexed () =
+  let doc =
+    Xk_xml.Xml_parser.parse_string_exn {|<r><conf name="sigmod record"/></r>|}
+  in
+  let idx = Index.build (Xk_encoding.Labeling.label doc) in
+  (match Index.term_id idx "sigmod" with
+  | Some id ->
+      check Alcotest.int "attribute term df" 1 (Index.df idx id);
+      let nodes, _ = Index.raw_rows idx id in
+      (* The occurrence is attributed to the element node itself. *)
+      check Alcotest.int "element node" 1 nodes.(0)
+  | None -> Alcotest.fail "attribute text not indexed")
+
+let posting_probes () =
+  let doc =
+    Xk_xml.Xml_parser.parse_string_exn
+      "<r><a>kw</a><b><c>kw</c><d>kw</d></b><e>kw</e></r>"
+  in
+  let idx = Index.build (Xk_encoding.Labeling.label doc) in
+  let id = Option.get (Index.term_id idx "kw") in
+  let p = Index.posting idx id in
+  check Alcotest.int "length" 4 (Posting.length p);
+  (* Occurrences are the text nodes, doc-ordered. *)
+  let b = Xk_encoding.Dewey.of_string "1.2" in
+  let lo, hi = Posting.subtree_range p b in
+  check Alcotest.int "two under b" 2 (hi - lo);
+  check Alcotest.int "count" 2 (Posting.count_in_subtree p b);
+  (match Posting.pred p b with
+  | Some r ->
+      check Alcotest.string "pred" "1.1.1" (Xk_encoding.Dewey.to_string (Posting.dewey p r))
+  | None -> Alcotest.fail "pred");
+  (match Posting.succ p b with
+  | Some r ->
+      check Alcotest.string "succ" "1.2.1.1"
+        (Xk_encoding.Dewey.to_string (Posting.dewey p r))
+  | None -> Alcotest.fail "succ");
+  check Alcotest.bool "pred of first" true
+    (Posting.pred p (Xk_encoding.Dewey.of_string "1.1") = None);
+  check Alcotest.bool "succ past last" true
+    (Posting.succ p (Xk_encoding.Dewey.of_string "1.9") = None)
+
+let score_list_groups () =
+  let idx = small_index () in
+  let id = Option.get (Index.term_id idx "data") in
+  let sl = Index.score_list idx id in
+  let groups = Score_list.groups sl in
+  check Alcotest.bool "at least one group" true (Array.length groups >= 1);
+  Array.iter
+    (fun (g : Score_list.group) ->
+      let jl = Score_list.jlist sl in
+      Array.iteri
+        (fun i r ->
+          check Alcotest.int "group row length" g.len (Jlist.row_len jl r);
+          if i > 0 then
+            check Alcotest.bool "descending scores" true
+              (Jlist.score jl r <= Jlist.score jl g.rows.(i - 1)))
+        g.rows)
+    groups
+
+let score_list_max_damped () =
+  let idx = small_index () in
+  let id = Option.get (Index.term_id idx "data") in
+  let sl = Index.score_list idx id in
+  let jl = Score_list.jlist sl in
+  let damping = Index.damping idx in
+  for level = 1 to Jlist.max_len jl do
+    let ceiling = Score_list.max_damped sl ~level in
+    (* No row may beat the ceiling at this level. *)
+    for r = 0 to Jlist.length jl - 1 do
+      if Jlist.row_len jl r >= level then begin
+        let v =
+          Jlist.score jl r
+          *. Xk_score.Damping.apply damping (Jlist.row_len jl r - level)
+        in
+        check Alcotest.bool "ceiling holds" true (v <= ceiling +. 1e-12)
+      end
+    done
+  done
+
+let sparse_index_probe () =
+  let seqs = seqs_of (List.init 1000 (fun i -> [ (2 * i) + 1 ])) in
+  let c = Column.build seqs ~level:1 in
+  let sp = Sparse_index.build ~stride:32 c in
+  let runs = Column.runs c in
+  let num_runs = Column.num_runs c in
+  Array.iteri
+    (fun i (r : Column.run) ->
+      let lo, hi = Sparse_index.probe sp ~num_runs r.value in
+      check Alcotest.bool "window contains run" true (lo <= i && i < hi);
+      check Alcotest.bool "window narrow" true (hi - lo <= 32))
+    runs;
+  check Alcotest.bool "size accounted" true (Sparse_index.encoded_size sp > 0)
+
+let jlist_encoded_size () =
+  let idx = small_index () in
+  let id = Option.get (Index.term_id idx "data") in
+  let jl = Index.jlist idx id in
+  check Alcotest.bool "positive size" true (Jlist.encoded_size jl > 0)
+
+let sizes_report () =
+  let corpus = Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled 0.05) in
+  let idx = Index.build (Xk_encoding.Labeling.label corpus.doc) in
+  let r = Index_sizes.report idx in
+  check Alcotest.bool "join IL positive" true (r.join_based.inverted_lists > 0);
+  check Alcotest.bool "index-based largest" true
+    (r.index_based.inverted_lists > r.join_based.inverted_lists
+    && r.index_based.inverted_lists > r.stack_based.inverted_lists);
+  check Alcotest.bool "topk IL >= join IL" true
+    (r.topk_join.inverted_lists >= r.join_based.inverted_lists);
+  check Alcotest.bool "rdil aux positive" true (r.rdil.auxiliary > 0);
+  check Alcotest.bool "sparse much smaller than IL" true
+    (r.join_based.auxiliary * 4 < r.join_based.inverted_lists)
+
+(* Index persistence. *)
+
+let tmpfile name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let index_io_roundtrip () =
+  let corpus = Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled 0.05) in
+  let label = Xk_encoding.Labeling.label corpus.doc in
+  let idx = Index.build label in
+  let path = tmpfile "xk_index_io_test.idx" in
+  Index_io.save idx path;
+  check Alcotest.bool "file written" true (Index_io.file_size path > 0);
+  let label2 = Xk_encoding.Labeling.label corpus.doc in
+  let idx2 = Index_io.load label2 path in
+  check Alcotest.int "term count" (Index.term_count idx) (Index.term_count idx2);
+  (* Same dfs and same rows for every term. *)
+  for id = 0 to Index.term_count idx - 1 do
+    let term = Index.term idx id in
+    match Index.term_id idx2 term with
+    | None -> Alcotest.failf "term %s lost" term
+    | Some id2 ->
+        check Alcotest.int ("df " ^ term) (Index.df idx id) (Index.df idx2 id2);
+        let n1, t1 = Index.raw_rows idx id and n2, t2 = Index.raw_rows idx2 id2 in
+        if n1 <> n2 || t1 <> t2 then Alcotest.failf "rows differ for %s" term
+  done;
+  (* Query results identical through the reloaded index. *)
+  let e1 = Xk_core.Engine.of_index idx and e2 = Xk_core.Engine.of_index idx2 in
+  let q = List.nth corpus.correlated_queries 0 in
+  Tutil.check_same_hits "reloaded query" (Xk_core.Engine.query e1 q)
+    (Xk_core.Engine.query e2 q);
+  Sys.remove path
+
+let index_io_rejects_garbage () =
+  let path = tmpfile "xk_index_io_garbage.idx" in
+  let oc = open_out_bin path in
+  output_string oc "NOTANIDX and some more bytes";
+  close_out oc;
+  let corpus = Xk_datagen.Random_tree.generate (Xk_datagen.Rng.create 3) in
+  let label = Xk_encoding.Labeling.label corpus in
+  (match Index_io.load label path with
+  | exception Index_io.Format_error _ -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  Sys.remove path
+
+let index_io_rejects_mismatch () =
+  let c1 = Xk_datagen.Random_tree.generate (Xk_datagen.Rng.create 4) in
+  let c2 = Xk_datagen.Random_tree.generate (Xk_datagen.Rng.create 5) in
+  let l1 = Xk_encoding.Labeling.label c1 and l2 = Xk_encoding.Labeling.label c2 in
+  if Xk_encoding.Labeling.node_count l1 <> Xk_encoding.Labeling.node_count l2
+  then begin
+    let path = tmpfile "xk_index_io_mismatch.idx" in
+    Index_io.save (Index.build l1) path;
+    (match Index_io.load l2 path with
+    | exception Index_io.Format_error _ -> ()
+    | _ -> Alcotest.fail "mismatched document accepted");
+    Sys.remove path
+  end
+
+let suite =
+  [
+    ( "index",
+      [
+        tc "column runs" `Quick column_runs;
+        tc "column lower_bound" `Quick column_lower_bound;
+        tc "index stats" `Quick index_stats;
+        tc "attributes indexed on elements" `Quick index_attributes_indexed;
+        tc "posting probes" `Quick posting_probes;
+        tc "score list groups" `Quick score_list_groups;
+        tc "score list ceilings" `Quick score_list_max_damped;
+        tc "sparse index probe" `Quick sparse_index_probe;
+        tc "jlist encoded size" `Quick jlist_encoded_size;
+        tc "index sizes report" `Slow sizes_report;
+        QCheck_alcotest.to_alcotest run_contiguity_prop;
+      ] );
+    ( "index.io",
+      [
+        tc "save/load roundtrip" `Quick index_io_roundtrip;
+        tc "rejects garbage" `Quick index_io_rejects_garbage;
+        tc "rejects mismatched document" `Quick index_io_rejects_mismatch;
+      ] );
+  ]

@@ -1,0 +1,166 @@
+(* Varint, column codec, Dewey codec and the B-tree size model. *)
+
+open Xk_storage
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let varint_roundtrip () =
+  let values = [ 0; 1; 127; 128; 300; 16_383; 16_384; 1_000_000; max_int ] in
+  let buf = Buffer.create 64 in
+  List.iter (Varint.write buf) values;
+  let c = Varint.cursor (Buffer.contents buf) in
+  List.iter (fun v -> check Alcotest.int "value" v (Varint.read c)) values;
+  check Alcotest.bool "at end" true (Varint.at_end c)
+
+let varint_signed () =
+  let values = [ 0; -1; 1; -64; 64; -1_000_000; 1_000_000 ] in
+  let buf = Buffer.create 64 in
+  List.iter (Varint.write_signed buf) values;
+  let c = Varint.cursor (Buffer.contents buf) in
+  List.iter (fun v -> check Alcotest.int "signed" v (Varint.read_signed c)) values
+
+let varint_negative () =
+  let buf = Buffer.create 4 in
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Varint.write: negative") (fun () -> Varint.write buf (-1))
+
+let varint_size () =
+  check Alcotest.int "1 byte" 1 (Varint.size 127);
+  check Alcotest.int "2 bytes" 2 (Varint.size 128);
+  check Alcotest.int "3 bytes" 3 (Varint.size 16_384)
+
+let truncated () =
+  let buf = Buffer.create 4 in
+  Varint.write buf 1_000_000;
+  let s = Buffer.contents buf in
+  let c = Varint.cursor (String.sub s 0 (String.length s - 1)) in
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Varint.read: truncated input") (fun () ->
+      ignore (Varint.read c))
+
+let runs_of_list l =
+  Array.of_list (List.map (fun (v, c) -> { Column_codec.value = v; count = c }) l)
+
+let column_roundtrip_cases () =
+  let cases =
+    [
+      [];
+      [ (1, 1) ];
+      [ (1, 5); (2, 1); (9, 3) ];
+      [ (5, 1); (6, 1); (7, 1); (8, 1) ];
+      [ (1, 100); (2, 200); (1000, 1) ];
+      List.init 500 (fun i -> ((i * 3) + 1, 1 + (i mod 4)));
+    ]
+  in
+  List.iter
+    (fun case ->
+      let runs = runs_of_list case in
+      let buf = Buffer.create 64 in
+      let (_ : Column_codec.scheme) = Column_codec.encode buf runs in
+      let decoded = Column_codec.decode (Varint.cursor (Buffer.contents buf)) in
+      check Alcotest.bool "roundtrip" true (runs = decoded))
+    cases
+
+let column_scheme_choice () =
+  (* Many duplicates -> RLE; all distinct -> Delta. *)
+  check Alcotest.bool "rle" true
+    (Column_codec.choose_scheme (runs_of_list [ (1, 10); (2, 20) ]) = Column_codec.Rle);
+  check Alcotest.bool "delta" true
+    (Column_codec.choose_scheme (runs_of_list [ (1, 1); (2, 1); (3, 1) ])
+    = Column_codec.Delta)
+
+let column_rle_compresses () =
+  (* A highly duplicated column must be much smaller than raw entries. *)
+  let runs = runs_of_list (List.init 50 (fun i -> (i + 1, 1000))) in
+  let bytes = Column_codec.encoded_size runs in
+  check Alcotest.bool "compressed below one byte per row" true (bytes < 50_000 / 8)
+
+let column_codec_prop =
+  QCheck.Test.make ~count:300 ~name:"column codec roundtrip (random runs)"
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 400))
+    (fun (seed, n) ->
+      let rng = Xk_datagen.Rng.create seed in
+      let v = ref 0 in
+      let runs =
+        Array.init n (fun _ ->
+            v := !v + 1 + Xk_datagen.Rng.int rng 50;
+            { Column_codec.value = !v; count = 1 + Xk_datagen.Rng.int rng 20 })
+      in
+      let buf = Buffer.create 64 in
+      let scheme =
+        if Xk_datagen.Rng.bool rng then Column_codec.Delta else Column_codec.Rle
+      in
+      Column_codec.encode_with buf scheme runs;
+      Column_codec.decode (Varint.cursor (Buffer.contents buf)) = runs)
+
+let dewey_codec_roundtrip () =
+  let ids =
+    Array.of_list
+      (List.map Xk_encoding.Dewey.of_string
+         [ "1"; "1.1"; "1.1.4"; "1.1.5"; "1.2.3.4.5"; "1.10" ])
+  in
+  let buf = Buffer.create 64 in
+  Dewey_codec.encode buf ids;
+  let back = Dewey_codec.decode (Varint.cursor (Buffer.contents buf)) in
+  check Alcotest.bool "roundtrip" true (ids = back)
+
+let dewey_codec_prop =
+  QCheck.Test.make ~count:200 ~name:"dewey codec roundtrip (random trees)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Xk_datagen.Rng.create seed in
+      let d = Xk_datagen.Random_tree.generate rng in
+      let lab = Xk_encoding.Labeling.label d in
+      let ids =
+        Array.init (Xk_encoding.Labeling.node_count lab) (fun i ->
+            Xk_encoding.Labeling.dewey lab i)
+      in
+      let buf = Buffer.create 256 in
+      Dewey_codec.encode buf ids;
+      Dewey_codec.decode (Varint.cursor (Buffer.contents buf)) = ids)
+
+let dewey_codec_compresses () =
+  (* Shared prefixes must be stored once: a long chain of siblings under a
+     deep path should cost far less than re-encoding full paths. *)
+  let deep = Xk_encoding.Dewey.of_string "1.2.3.4.5.6.7.8" in
+  let ids = Array.init 1000 (fun i -> Xk_encoding.Dewey.child deep (i + 1)) in
+  let bytes = Dewey_codec.encoded_size ids in
+  check Alcotest.bool "prefix sharing" true (bytes < 1000 * 6)
+
+let btree_sizes () =
+  let mk n = Array.init n (fun i -> Xk_encoding.Dewey.of_string (Printf.sprintf "1.%d.2" (i + 1))) in
+  let postings = [ ("alpha", mk 1000); ("beta", mk 10) ] in
+  let composite = Btree_sim.composite_btree_size postings in
+  let per_list = Btree_sim.per_list_btree_size postings in
+  check Alcotest.bool "composite dominated by big term" true (composite > 1000 * 10);
+  (* The B+-tree must cost more than the raw prefix-compressed list but not
+     orders of magnitude more. *)
+  let raw = Array.fold_left (fun a d -> a + Btree_sim.dewey_bytes d) 0 (snd (List.hd postings)) in
+  check Alcotest.bool "per-list above raw bytes" true (per_list > raw);
+  check Alcotest.bool "per-list within 10x of raw" true (per_list < 10 * raw);
+  (* The composite B-tree repeats keyword bytes per occurrence: doubling
+     the long list should roughly double the size. *)
+  let composite2 = Btree_sim.composite_btree_size [ ("alpha", mk 2000); ("beta", mk 10) ] in
+  check Alcotest.bool "grows linearly" true
+    (float_of_int composite2 /. float_of_int composite > 1.6)
+
+let suite =
+  [
+    ( "storage",
+      [
+        tc "varint roundtrip" `Quick varint_roundtrip;
+        tc "varint signed" `Quick varint_signed;
+        tc "varint negative rejected" `Quick varint_negative;
+        tc "varint size" `Quick varint_size;
+        tc "varint truncated input" `Quick truncated;
+        tc "column codec roundtrips" `Quick column_roundtrip_cases;
+        tc "column scheme choice" `Quick column_scheme_choice;
+        tc "rle compresses duplicates" `Quick column_rle_compresses;
+        tc "dewey codec roundtrip" `Quick dewey_codec_roundtrip;
+        tc "dewey codec shares prefixes" `Quick dewey_codec_compresses;
+        tc "btree size model" `Quick btree_sizes;
+        QCheck_alcotest.to_alcotest column_codec_prop;
+        QCheck_alcotest.to_alcotest dewey_codec_prop;
+      ] );
+  ]

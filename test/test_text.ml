@@ -1,0 +1,95 @@
+(* Tokenizer and dictionary. *)
+
+open Xk_text
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let basic_tokens () =
+  check
+    Alcotest.(list string)
+    "tokens"
+    [ "top"; "keyword"; "search"; "xml" ]
+    (Tokenizer.tokens "Top-K keyword search (XML)!")
+
+let min_length () =
+  check Alcotest.(list string) "short dropped" [ "ab" ] (Tokenizer.tokens "a ab x")
+
+let numbers_kept () =
+  check Alcotest.(list string) "numbers" [ "2004"; "vldb" ] (Tokenizer.tokens "2004 VLDB")
+
+let lowercasing () =
+  check Alcotest.(list string) "lower" [ "icde" ] (Tokenizer.tokens "ICDE")
+
+let unicode_words () =
+  check
+    Alcotest.(list string)
+    "utf8 words stay whole"
+    [ "caf\xc3\xa9" ]
+    (Tokenizer.tokens "caf\xc3\xa9")
+
+let max_length () =
+  let long = String.make 50 'a' in
+  check Alcotest.(list string) "too long dropped" [] (Tokenizer.tokens long)
+
+let stopwords () =
+  check Alcotest.bool "the" true (Tokenizer.is_stopword "the");
+  check Alcotest.bool "xml" false (Tokenizer.is_stopword "xml");
+  let out = ref [] in
+  Tokenizer.iter_indexed "the quick fox" (fun t -> out := t :: !out);
+  check Alcotest.(list string) "indexed skips stopwords" [ "quick"; "fox" ]
+    (List.rev !out)
+
+let dictionary_basics () =
+  let d = Dictionary.create () in
+  let a = Dictionary.intern d "xml" in
+  let b = Dictionary.intern d "data" in
+  let a' = Dictionary.intern d "xml" in
+  check Alcotest.int "stable id" a a';
+  check Alcotest.bool "distinct ids" true (a <> b);
+  check Alcotest.(option int) "find" (Some b) (Dictionary.find d "data");
+  check Alcotest.(option int) "missing" None (Dictionary.find d "nope");
+  check Alcotest.string "term" "xml" (Dictionary.term d a);
+  check Alcotest.int "size" 2 (Dictionary.size d);
+  Dictionary.bump_df d a;
+  Dictionary.bump_cf d a 3;
+  check Alcotest.int "df" 1 (Dictionary.df d a);
+  check Alcotest.int "cf" 3 (Dictionary.cf d a)
+
+let dictionary_growth () =
+  let d = Dictionary.create () in
+  for i = 0 to 4999 do
+    ignore (Dictionary.intern d (Printf.sprintf "term%d" i))
+  done;
+  check Alcotest.int "size" 5000 (Dictionary.size d);
+  check Alcotest.string "term 4321" "term4321" (Dictionary.term d 4321);
+  check Alcotest.bool "bytes accounted" true (Dictionary.approx_bytes d > 5000 * 8)
+
+let vocab_distinct () =
+  let seen = Hashtbl.create 1024 in
+  for r = 0 to 9999 do
+    let w = Xk_datagen.Vocab.word r in
+    if Hashtbl.mem seen w then Alcotest.failf "duplicate word %s at rank %d" w r;
+    Hashtbl.add seen w ();
+    (* Words must survive tokenization unchanged (indexable). *)
+    match Tokenizer.tokens w with
+    | [ t ] when String.equal t w -> ()
+    | _ -> Alcotest.failf "word %s not tokenizer-stable" w
+  done
+
+let suite =
+  [
+    ( "text",
+      [
+        tc "basic tokens" `Quick basic_tokens;
+        tc "minimum length" `Quick min_length;
+        tc "numbers kept" `Quick numbers_kept;
+        tc "lowercasing" `Quick lowercasing;
+        tc "unicode words" `Quick unicode_words;
+        tc "maximum length" `Quick max_length;
+        tc "stopwords" `Quick stopwords;
+        tc "dictionary basics" `Quick dictionary_basics;
+        tc "dictionary growth" `Quick dictionary_growth;
+        tc "vocab words distinct and indexable" `Quick vocab_distinct;
+      ] );
+  ]
