@@ -4,6 +4,7 @@
      xkq index corpus.xml --out corpus.idx
      xkq search corpus.xml xml keyword --semantics elca --algo join
      xkq search corpus.xml xml keyword --index corpus.idx --top 10
+     xkq batch corpus.xml queries.txt --domains 4 --top 10 --check
      xkq stats corpus.xml
      xkq terms corpus.xml --near 100                                  *)
 
@@ -165,6 +166,170 @@ let search_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* Batch mode: execute a whole query workload in parallel on a domain
+   pool, reporting aggregate latency/throughput and cache behavior. *)
+
+let read_queries file =
+  let ic = open_in file in
+  let queries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if String.length line > 0 && line.[0] <> '#' then
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [] -> ()
+         | words -> queries := words :: !queries
+     done
+   with End_of_file -> close_in ic);
+  List.rev !queries
+
+let generate_queries eng n k seed =
+  let idx = Xk_core.Engine.index eng in
+  let rng = Xk_datagen.Rng.create seed in
+  let high = Xk_workload.Workload.max_df idx in
+  let low = max 2 (high / 20) in
+  Xk_workload.Workload.random_queries rng idx ~k ~high ~low ~n
+
+let batch path queries_file semantics algo top topk_algo domains repeat gen
+    gen_k seed check index_file =
+  let eng = load_engine ?index_file path in
+  let queries =
+    match queries_file with
+    | Some qf -> read_queries qf
+    | None -> generate_queries eng gen gen_k seed
+  in
+  if queries = [] then failwith "empty workload";
+  let reqs =
+    List.map
+      (fun words ->
+        match top with
+        | Some k ->
+            Xk_core.Engine.topk_request ~semantics ~algorithm:topk_algo ~k words
+        | None -> Xk_core.Engine.complete_request ~semantics ~algorithm:algo words)
+      queries
+  in
+  let svc = Xk_exec.Query_service.create ~domains eng in
+  let n = List.length reqs in
+  let t0 = Unix.gettimeofday () in
+  let last = ref [] in
+  for run = 1 to repeat do
+    let r0 = Unix.gettimeofday () in
+    last := Xk_exec.Query_service.exec_batch svc reqs;
+    let dt = Unix.gettimeofday () -. r0 in
+    Printf.printf "run %d/%d: %d queries in %.3fs (%.1f q/s)\n%!" run repeat n
+      dt
+      (float_of_int n /. dt)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let total = n * repeat in
+  Printf.printf
+    "batch done: %d queries (%d x %d) on %d domain(s) in %.3fs\n"
+    total repeat n domains wall;
+  Printf.printf "throughput: %.1f q/s, mean latency %.3f ms/query\n"
+    (float_of_int total /. wall)
+    (wall *. 1000. /. float_of_int total);
+  let st = Xk_exec.Query_service.stats svc in
+  Printf.printf
+    "cache: %d hits, %d misses, %d evictions, %d/%d entries\n"
+    st.cache.hits st.cache.misses st.cache.evictions st.cache.entries
+    st.cache.capacity;
+  let ok =
+    if not check then true
+    else begin
+      let seq = Xk_core.Engine.query_batch eng reqs in
+      let same =
+        List.for_all2
+          (fun a b ->
+            List.length a = List.length b
+            && List.for_all2
+                 (fun (x : Xk_baselines.Hit.t) (y : Xk_baselines.Hit.t) ->
+                   x.node = y.node && x.score = y.score)
+                 a b)
+          seq !last
+      in
+      if same then
+        Printf.printf "check: parallel results identical to sequential execution\n"
+      else prerr_endline "check FAILED: parallel results differ from sequential";
+      same
+    end
+  in
+  Xk_exec.Query_service.shutdown svc;
+  if not ok then exit 1
+
+let batch_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let queries_file =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"QUERIES"
+          ~doc:
+            "Query file: one query per line, keywords separated by spaces, \
+             '#' starts a comment.  Omitted: a random workload is generated \
+             (see $(b,--gen)).")
+  in
+  let semantics =
+    Arg.(
+      value
+      & opt semantics_conv Xk_core.Engine.Elca
+      & info [ "semantics" ] ~doc:"elca or slca.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv Xk_core.Engine.Join_based
+      & info [ "algo" ] ~doc:"Complete-mode algorithm.")
+  in
+  let top =
+    Arg.(
+      value & opt (some int) None & info [ "top" ] ~doc:"Top-K mode with K results.")
+  in
+  let topk_algo =
+    Arg.(
+      value
+      & opt topk_algo_conv Xk_core.Engine.Topk_join
+      & info [ "topk-algo" ] ~doc:"Top-K-mode algorithm.")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc:"Worker domains.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~doc:"Repetitions of the batch.")
+  in
+  let gen =
+    Arg.(
+      value & opt int 100
+      & info [ "gen" ] ~doc:"Generated queries when QUERIES is omitted.")
+  in
+  let gen_k =
+    Arg.(
+      value & opt int 2
+      & info [ "gen-k" ] ~doc:"Keywords per generated query.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload generation seed.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Verify parallel results against sequential execution.")
+  in
+  let index_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "index" ] ~doc:"Saved index file (from `xkq index`).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Execute a query workload in parallel on a domain pool.")
+    Term.(
+      const batch $ path $ queries_file $ semantics $ algo $ top $ topk_algo
+      $ domains $ repeat $ gen $ gen_k $ seed $ check $ index_file)
+
+(* ------------------------------------------------------------------ *)
+
 let stats path =
   let eng = load_engine path in
   let idx = Xk_core.Engine.index eng in
@@ -224,4 +389,7 @@ let () =
     Cmd.info "xkq" ~version:"1.0.0"
       ~doc:"Top-K keyword search in XML databases (ICDE 2010 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; index_cmd; search_cmd; stats_cmd; terms_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; index_cmd; search_cmd; batch_cmd; stats_cmd; terms_cmd ]))

@@ -114,6 +114,33 @@ let query_topk ?(semantics = Elca) ?(algorithm = Topk_join) ?stats t words ~k :
       in
       Xk_baselines.Hit.sort_desc hits
 
+(* Batched requests: one self-contained query each, so heterogeneous
+   workloads travel through a single batch.  [query_batch] is the
+   sequential reference that the parallel service (Xk_exec) reproduces. *)
+
+type mode = Complete of algorithm | Topk of topk_algorithm * int
+
+type request = {
+  req_words : string list;
+  req_semantics : semantics;
+  req_mode : mode;
+}
+
+let complete_request ?(semantics = Elca) ?(algorithm = Join_based) words =
+  { req_words = words; req_semantics = semantics; req_mode = Complete algorithm }
+
+let topk_request ?(semantics = Elca) ?(algorithm = Topk_join) ~k words =
+  { req_words = words; req_semantics = semantics; req_mode = Topk (algorithm, k) }
+
+let run_request t (r : request) =
+  match r.req_mode with
+  | Complete algorithm ->
+      query ~semantics:r.req_semantics ~algorithm t r.req_words
+  | Topk (algorithm, k) ->
+      query_topk ~semantics:r.req_semantics ~algorithm t r.req_words ~k
+
+let query_batch t reqs = List.map (run_request t) reqs
+
 let element_of_hit t (h : Xk_baselines.Hit.t) =
   Xk_encoding.Labeling.element_of (label t) h.node
 

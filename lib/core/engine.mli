@@ -53,6 +53,42 @@ val query_topk :
   Xk_baselines.Hit.t list
 (** The K best results, best first. *)
 
+(** {1 Batched requests}
+
+    A [request] is one self-contained query — keywords, semantics and
+    evaluation mode — so heterogeneous workloads (complete and top-K,
+    ELCA and SLCA, any algorithm) can travel through one batch. *)
+
+type mode =
+  | Complete of algorithm
+  | Topk of topk_algorithm * int  (** algorithm and K *)
+
+type request = {
+  req_words : string list;
+  req_semantics : semantics;
+  req_mode : mode;
+}
+
+val complete_request :
+  ?semantics:semantics -> ?algorithm:algorithm -> string list -> request
+(** Defaults: ELCA, join-based. *)
+
+val topk_request :
+  ?semantics:semantics ->
+  ?algorithm:topk_algorithm ->
+  k:int ->
+  string list ->
+  request
+(** Defaults: ELCA, the paper's join-based top-K. *)
+
+val run_request : t -> request -> Xk_baselines.Hit.t list
+(** Dispatch one request through {!query} or {!query_topk}. *)
+
+val query_batch : t -> request list -> Xk_baselines.Hit.t list list
+(** Sequential batch evaluation, one result list per request in order —
+    the reference semantics that [Xk_exec.Query_service] must reproduce
+    when it executes the same batch on a domain pool. *)
+
 val element_of_hit : t -> Xk_baselines.Hit.t -> Xk_xml.Xml_tree.element option
 (** The element to present for a result (a text-node result maps to its
     parent element). *)

@@ -1,0 +1,122 @@
+(* A fixed-size domain pool over one Mutex/Condition-guarded MPMC queue.
+
+   Workers loop: wait for the queue to be non-empty (or the pool to be
+   closed), pop one job with the lock held, run it with the lock
+   released.  Shutdown flips [closed] and broadcasts; workers keep
+   draining the queue until it is empty, so every job submitted before
+   shutdown runs exactly once. *)
+
+type job = unit -> unit
+
+type t = {
+  lock : Mutex.t;
+  has_work : Condition.t;
+  jobs : job Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array; (* [||] once joined *)
+}
+
+let size t = Array.length t.workers
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.jobs && not pool.closed do
+      Condition.wait pool.has_work pool.lock
+    done;
+    if Queue.is_empty pool.jobs then Mutex.unlock pool.lock (* closed: exit *)
+    else begin
+      let job = Queue.pop pool.jobs in
+      Mutex.unlock pool.lock;
+      (try job () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Domain_pool.create: domains < 1";
+        d
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      has_work = Condition.create ();
+      jobs = Queue.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init n (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let submit t job =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  Queue.push job t.jobs;
+  Condition.signal t.has_work;
+  Mutex.unlock t.lock
+
+(* Futures: a one-shot mailbox with its own lock, filled by the worker
+   and emptied by any number of awaiters. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+let async t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  submit t (fun () ->
+      let outcome =
+        match f () with
+        | v -> Done v
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock fut.fm;
+      fut.state <- outcome;
+      Condition.broadcast fut.fc;
+      Mutex.unlock fut.fm);
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec settled () =
+    match fut.state with
+    | Pending ->
+        Condition.wait fut.fc fut.fm;
+        settled ()
+    | s -> s
+  in
+  let s = settled () in
+  Mutex.unlock fut.fm;
+  match s with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let map_array t f xs =
+  let futs = Array.map (fun x -> async t (fun () -> f x)) xs in
+  Array.map await futs
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let workers = t.workers in
+  t.closed <- true;
+  t.workers <- [||];
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join workers

@@ -1,0 +1,48 @@
+(* Batched parallel query execution over one shared engine.  Each request
+   becomes one pool job; Domain_pool.map_array preserves request order,
+   so the output is positionally identical to the sequential
+   Engine.query_batch reference. *)
+
+type stats = {
+  domains : int;
+  batches : int;
+  queries : int;
+  cache : Xk_index.Shard_cache.stats;
+}
+
+type t = {
+  engine : Xk_core.Engine.t;
+  pool : Domain_pool.t;
+  batches : int Atomic.t;
+  queries : int Atomic.t;
+}
+
+let create ?domains engine =
+  {
+    engine;
+    pool = Domain_pool.create ?domains ();
+    batches = Atomic.make 0;
+    queries = Atomic.make 0;
+  }
+
+let engine t = t.engine
+let domains t = Domain_pool.size t.pool
+
+let exec_batch t (reqs : Xk_core.Engine.request list) =
+  let arr = Array.of_list reqs in
+  Atomic.incr t.batches;
+  ignore (Atomic.fetch_and_add t.queries (Array.length arr));
+  Domain_pool.map_array t.pool
+    (fun r -> Xk_core.Engine.run_request t.engine r)
+    arr
+  |> Array.to_list
+
+let stats t =
+  {
+    domains = domains t;
+    batches = Atomic.get t.batches;
+    queries = Atomic.get t.queries;
+    cache = Xk_index.Index.cache_stats (Xk_core.Engine.index t.engine);
+  }
+
+let shutdown t = Domain_pool.shutdown t.pool

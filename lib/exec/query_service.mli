@@ -1,0 +1,37 @@
+(** Concurrent query serving: one shared {!Xk_core.Engine.t}, one
+    {!Domain_pool}, batches of heterogeneous requests executed in
+    parallel.
+
+    Sharing is safe because the engine's only mutable query-path state —
+    the index's per-term shape caches — sits behind sharded locks
+    ({!Xk_index.Shard_cache}); every result is bit-identical to the
+    sequential {!Xk_core.Engine.query_batch} on the same batch.
+    [exec_batch] may itself be called concurrently from several client
+    domains: their requests interleave on the pool. *)
+
+type t
+
+val create : ?domains:int -> Xk_core.Engine.t -> t
+(** Spawn a service over the engine.  [domains] as in
+    {!Domain_pool.create}. *)
+
+val engine : t -> Xk_core.Engine.t
+val domains : t -> int
+
+val exec_batch :
+  t -> Xk_core.Engine.request list -> Xk_baselines.Hit.t list list
+(** Execute every request on the pool and return the result lists in
+    request order.  Blocks until the whole batch is done. *)
+
+type stats = {
+  domains : int;
+  batches : int;  (** [exec_batch] calls so far *)
+  queries : int;  (** individual requests executed *)
+  cache : Xk_index.Shard_cache.stats;
+      (** hit/miss/eviction counters of the engine's shape caches *)
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Shut the underlying pool down (finishing any in-flight batch). *)

@@ -2,9 +2,16 @@
    one pass over the labeled tree.  The algorithm-specific list shapes —
    Dewey postings, JDewey column lists, score-ordered lists — are
    materialized per term on demand and cached, which mirrors the paper's
-   hot-cache experimental setting. *)
+   hot-cache experimental setting.
+
+   The three shape caches are sharded, bounded LRU caches (Shard_cache),
+   so one index can be shared by concurrent query domains: everything
+   else in [t] is immutable after construction (the dictionary is only
+   written during build/of_raw). *)
 
 type raw = { r_nodes : int array; r_tfs : int array }
+
+let default_cache_capacity = 8192
 
 type t = {
   label : Xk_encoding.Labeling.t;
@@ -12,9 +19,9 @@ type t = {
   raws : raw array;
   scorer : Xk_score.Scorer.t;
   damping : Xk_score.Damping.t;
-  jcache : (int, Jlist.t) Hashtbl.t;
-  pcache : (int, Posting.t) Hashtbl.t;
-  scache : (int, Score_list.t) Hashtbl.t;
+  jcache : Jlist.t Shard_cache.t;
+  pcache : Posting.t Shard_cache.t;
+  scache : Score_list.t Shard_cache.t;
 }
 
 (* Text a node "directly contains": its own character data for text nodes,
@@ -29,8 +36,15 @@ let direct_text (x : Xk_xml.Xml_tree.node) =
           String.concat " "
             (List.map (fun (a : Xk_xml.Xml_tree.attribute) -> a.attr_value) attrs))
 
-let build ?(damping = Xk_score.Damping.default) (label : Xk_encoding.Labeling.t)
-    =
+let make_caches capacity =
+  if capacity < 1 then invalid_arg "Index: cache_capacity < 1";
+  ( Shard_cache.create ~capacity (),
+    Shard_cache.create ~capacity (),
+    Shard_cache.create ~capacity () )
+
+let build ?(damping = Xk_score.Damping.default)
+    ?(cache_capacity = default_cache_capacity)
+    (label : Xk_encoding.Labeling.t) =
   let dict = Xk_text.Dictionary.create () in
   let nodes_bufs : Ibuf.t array ref = ref (Array.make 1024 (Ibuf.create ())) in
   let tfs_bufs : Ibuf.t array ref = ref (Array.make 1024 (Ibuf.create ())) in
@@ -79,19 +93,22 @@ let build ?(damping = Xk_score.Damping.default) (label : Xk_encoding.Labeling.t)
             r_tfs = Ibuf.contents !tfs_bufs.(id) }
         else { r_nodes = [||]; r_tfs = [||] })
   in
+  let jcache, pcache, scache = make_caches cache_capacity in
   {
     label;
     dict;
     raws;
     scorer = Xk_score.Scorer.make ~total_nodes:n;
     damping;
-    jcache = Hashtbl.create 64;
-    pcache = Hashtbl.create 64;
-    scache = Hashtbl.create 64;
+    jcache;
+    pcache;
+    scache;
   }
 
 (* Reassemble an index from persisted raw postings (see Index_io). *)
-let of_raw ?(damping = Xk_score.Damping.default) (label : Xk_encoding.Labeling.t)
+let of_raw ?(damping = Xk_score.Damping.default)
+    ?(cache_capacity = default_cache_capacity)
+    (label : Xk_encoding.Labeling.t)
     (entries : (string * int array * int array) list) =
   let dict = Xk_text.Dictionary.create () in
   let raws =
@@ -107,6 +124,7 @@ let of_raw ?(damping = Xk_score.Damping.default) (label : Xk_encoding.Labeling.t
         { r_nodes = nodes; r_tfs = tfs })
       entries
   in
+  let jcache, pcache, scache = make_caches cache_capacity in
   {
     label;
     dict;
@@ -114,9 +132,9 @@ let of_raw ?(damping = Xk_score.Damping.default) (label : Xk_encoding.Labeling.t
     scorer =
       Xk_score.Scorer.make ~total_nodes:(Xk_encoding.Labeling.node_count label);
     damping;
-    jcache = Hashtbl.create 64;
-    pcache = Hashtbl.create 64;
-    scache = Hashtbl.create 64;
+    jcache;
+    pcache;
+    scache;
   }
 
 let label t = t.label
@@ -134,38 +152,33 @@ let scores_of_raw t (r : raw) =
   Array.map (fun tf -> Xk_score.Scorer.local_score t.scorer ~tf ~df) r.r_tfs
 
 let jlist t id =
-  match Hashtbl.find_opt t.jcache id with
-  | Some jl -> jl
-  | None ->
+  Shard_cache.find_or_add t.jcache id ~compute:(fun id ->
       let r = t.raws.(id) in
       let seqs =
         Array.map (fun n -> Xk_encoding.Labeling.jdewey_seq t.label n) r.r_nodes
       in
       let scores = scores_of_raw t r in
-      let jl = Jlist.make ~seqs ~nodes:r.r_nodes ~scores in
-      Hashtbl.replace t.jcache id jl;
-      jl
+      Jlist.make ~seqs ~nodes:r.r_nodes ~scores)
 
 let posting t id =
-  match Hashtbl.find_opt t.pcache id with
-  | Some p -> p
-  | None ->
+  Shard_cache.find_or_add t.pcache id ~compute:(fun id ->
       let r = t.raws.(id) in
       let deweys =
         Array.map (fun n -> Xk_encoding.Labeling.dewey t.label n) r.r_nodes
       in
       let scores = scores_of_raw t r in
-      let p = Posting.make ~deweys ~nodes:r.r_nodes ~scores in
-      Hashtbl.replace t.pcache id p;
-      p
+      Posting.make ~deweys ~nodes:r.r_nodes ~scores)
 
+(* Note: the compute step takes the jcache shard lock from inside the
+   scache shard lock.  Safe, because jlist's compute never locks scache
+   (no cyclic lock order across the three caches). *)
 let score_list t id =
-  match Hashtbl.find_opt t.scache id with
-  | Some s -> s
-  | None ->
-      let s = Score_list.make (jlist t id) t.damping in
-      Hashtbl.replace t.scache id s;
-      s
+  Shard_cache.find_or_add t.scache id ~compute:(fun id ->
+      Score_list.make (jlist t id) t.damping)
+
+let cache_stats t =
+  Shard_cache.(
+    add_stats (stats t.jcache) (add_stats (stats t.pcache) (stats t.scache)))
 
 (* Pre-materialize every list shape for the given terms: the benches call
    this before timing so measurements reflect the paper's hot cache. *)

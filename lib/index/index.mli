@@ -1,15 +1,27 @@
 (** The corpus index: dictionary plus raw postings, with the
     algorithm-specific list shapes (Dewey postings, JDewey column lists,
-    score-ordered lists) materialized per term on demand and cached. *)
+    score-ordered lists) materialized per term on demand and cached.
+
+    The shape caches are sharded, bounded LRU caches ({!Shard_cache}), so
+    a built index is safe to share across domains: {!jlist}, {!posting},
+    {!score_list} and {!warm} may be called concurrently, and each term's
+    shape is materialized exactly once per cache residency. *)
 
 type t
 
-val build : ?damping:Xk_score.Damping.t -> Xk_encoding.Labeling.t -> t
+val build :
+  ?damping:Xk_score.Damping.t ->
+  ?cache_capacity:int ->
+  Xk_encoding.Labeling.t ->
+  t
 (** One pass over the labeled tree; text nodes contribute their character
-    data, elements their attribute values. *)
+    data, elements their attribute values.  [cache_capacity] (default
+    8192) bounds each of the three shape caches; the least recently used
+    term is evicted when a cache is full. *)
 
 val of_raw :
   ?damping:Xk_score.Damping.t ->
+  ?cache_capacity:int ->
   Xk_encoding.Labeling.t ->
   (string * int array * int array) list ->
   t
@@ -38,6 +50,10 @@ val score_list : t -> int -> Score_list.t
 
 val warm : t -> int list -> unit
 (** Materialize every list shape for the given terms (hot-cache setting). *)
+
+val cache_stats : t -> Shard_cache.stats
+(** Hit/miss/eviction counters and occupancy summed over the three shape
+    caches (so [capacity] is three times the per-shape bound). *)
 
 val raw_rows : t -> int -> int array * int array
 (** Uncached (nodes, tfs) rows of a term, for whole-dictionary sweeps. *)

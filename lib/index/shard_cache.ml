@@ -1,0 +1,119 @@
+(* A sharded, mutex-guarded, bounded LRU cache keyed by term id.
+
+   The per-term list shapes (Jlist, Posting, Score_list) are cheap to
+   look up and expensive to materialize, so a miss computes under the
+   shard lock: two domains racing for the same term produce one
+   materialization, and the shape a query observes is always a fully
+   constructed value.  Recency is a per-shard logical clock stamped on
+   every access; eviction scans the shard for the smallest stamp, which
+   is O(shard size) but shards stay small (capacity / #shards). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let zero_stats = { hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
+
+let add_stats a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    evictions = a.evictions + b.evictions;
+    entries = a.entries + b.entries;
+    capacity = a.capacity + b.capacity;
+  }
+
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a shard = {
+  lock : Mutex.t;
+  tbl : (int, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type 'a t = { shards : 'a shard array; shard_capacity : int }
+
+let create ?(shards = 16) ~capacity () =
+  if capacity < 1 then invalid_arg "Shard_cache.create: capacity < 1";
+  let shards = max 1 (min shards capacity) in
+  let shard_capacity = (capacity + shards - 1) / shards in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            clock = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
+    shard_capacity;
+  }
+
+let shard_of t key = t.shards.((key land max_int) mod Array.length t.shards)
+
+(* Remove the entry with the smallest recency stamp. *)
+let evict_lru s =
+  let victim = ref (-1) and oldest = ref max_int in
+  Hashtbl.iter
+    (fun k (e : _ entry) ->
+      if e.stamp < !oldest then begin
+        oldest := e.stamp;
+        victim := k
+      end)
+    s.tbl;
+  if !victim >= 0 then begin
+    Hashtbl.remove s.tbl !victim;
+    s.evictions <- s.evictions + 1
+  end
+
+let find_or_add t key ~compute =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.lock)
+    (fun () ->
+      s.clock <- s.clock + 1;
+      match Hashtbl.find_opt s.tbl key with
+      | Some e ->
+          s.hits <- s.hits + 1;
+          e.stamp <- s.clock;
+          e.value
+      | None ->
+          s.misses <- s.misses + 1;
+          let v = compute key in
+          if Hashtbl.length s.tbl >= t.shard_capacity then evict_lru s;
+          Hashtbl.replace s.tbl key { value = v; stamp = s.clock };
+          v)
+
+let mem t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let present = Hashtbl.mem s.tbl key in
+  Mutex.unlock s.lock;
+  present
+
+let stats t =
+  Array.fold_left
+    (fun acc (s : _ shard) ->
+      Mutex.lock s.lock;
+      let st =
+        {
+          hits = s.hits;
+          misses = s.misses;
+          evictions = s.evictions;
+          entries = Hashtbl.length s.tbl;
+          capacity = t.shard_capacity;
+        }
+      in
+      Mutex.unlock s.lock;
+      add_stats acc st)
+    zero_stats t.shards

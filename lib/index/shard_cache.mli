@@ -1,0 +1,44 @@
+(** A thread-safe, sharded, bounded LRU cache keyed by non-negative
+    integers (term ids).
+
+    Each shard is guarded by its own [Mutex], so lookups of terms that
+    fall in different shards never contend.  A miss computes the value
+    {e while holding the shard lock}: concurrent requests for the same
+    term therefore materialize it exactly once, and requests for other
+    terms of the same shard wait — deliberate, so an expensive list
+    materialization is never duplicated.  When a shard exceeds its share
+    of the capacity the least-recently-used entry is evicted.
+
+    Hit, miss and eviction counters are maintained per shard and
+    aggregated by {!stats}. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;   (** live cached values *)
+  capacity : int;  (** maximum live values (rounded up to a shard multiple) *)
+}
+
+val create : ?shards:int -> capacity:int -> unit -> 'a t
+(** [create ~capacity ()] makes a cache holding at most [capacity] values
+    spread over [shards] (default 16, clamped to [capacity]) lock shards.
+    Raises [Invalid_argument] when [capacity < 1]. *)
+
+val find_or_add : 'a t -> int -> compute:(int -> 'a) -> 'a
+(** [find_or_add t key ~compute] returns the cached value for [key], or
+    runs [compute key] under the shard lock, caches the result (evicting
+    the shard's LRU entry when full) and returns it.  An exception from
+    [compute] is re-raised and nothing is cached. *)
+
+val mem : 'a t -> int -> bool
+(** Presence test; does not touch the LRU order or the counters. *)
+
+val stats : 'a t -> stats
+(** Counters and occupancy summed over all shards. *)
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+(** Pointwise sum, for aggregating several caches into one report. *)

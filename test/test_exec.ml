@@ -1,0 +1,187 @@
+(* The concurrent serving layer: domain pool primitives, batch-vs-
+   sequential equivalence (same hits, same order, across semantics and
+   modes) and a multi-client hammer against one shared engine. *)
+
+open Xk_exec
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* --- Domain_pool primitives --------------------------------------- *)
+
+let pool_map_array () =
+  let pool = Domain_pool.create ~domains:3 () in
+  let xs = Array.init 100 (fun i -> i) in
+  let ys = Domain_pool.map_array pool (fun x -> x * x) xs in
+  Domain_pool.shutdown pool;
+  check Alcotest.(array int) "squares" (Array.map (fun x -> x * x) xs) ys
+
+exception Boom of int
+
+let pool_exception_propagates () =
+  let pool = Domain_pool.create ~domains:2 () in
+  let fut = Domain_pool.async pool (fun () -> raise (Boom 7)) in
+  (match Domain_pool.await fut with
+  | exception Boom 7 -> ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "no exception");
+  (* The worker survived the raising job. *)
+  check Alcotest.int "pool still alive" 5
+    (Domain_pool.await (Domain_pool.async pool (fun () -> 5)));
+  Domain_pool.shutdown pool
+
+let pool_shutdown_drains () =
+  let pool = Domain_pool.create ~domains:2 () in
+  let counter = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Domain_pool.submit pool (fun () -> Atomic.incr counter)
+  done;
+  Domain_pool.shutdown pool;
+  check Alcotest.int "all jobs ran" 50 (Atomic.get counter);
+  Domain_pool.shutdown pool (* idempotent *);
+  match Domain_pool.submit pool (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "submit after shutdown accepted"
+
+(* --- Batch equivalence -------------------------------------------- *)
+
+let hits_equal (a : Xk_baselines.Hit.t list) (b : Xk_baselines.Hit.t list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Xk_baselines.Hit.t) (y : Xk_baselines.Hit.t) ->
+         x.node = y.node && x.score = y.score)
+       a b
+
+let check_batches msg expected actual =
+  check Alcotest.int (msg ^ ": batch size") (List.length expected)
+    (List.length actual);
+  List.iteri
+    (fun i (e, a) ->
+      if not (hits_equal e a) then
+        Alcotest.failf "%s: request %d differs (same hits, same order required)"
+          msg i)
+    (List.combine expected actual)
+
+(* A heterogeneous batch: both semantics, complete and top-K, several
+   algorithms, over random 2- and 3-keyword queries. *)
+let mixed_requests rng ~queries ~alphabet =
+  List.concat_map
+    (fun i ->
+      let q = Tutil.random_query rng ~k:(2 + (i mod 2)) ~alphabet in
+      Xk_core.Engine.
+        [
+          complete_request ~semantics:Elca q;
+          complete_request ~semantics:Slca q;
+          complete_request ~semantics:Elca ~algorithm:Stack_based q;
+          topk_request ~semantics:Elca ~k:5 q;
+          topk_request ~semantics:Slca ~k:5 q;
+          topk_request ~semantics:Elca ~algorithm:Complete_then_sort ~k:3 q;
+        ])
+    (List.init queries (fun i -> i))
+
+let batch_equivalence () =
+  let eng = Tutil.random_engine 1234 in
+  let rng = Xk_datagen.Rng.create 7 in
+  let reqs = mixed_requests rng ~queries:10 ~alphabet:40 in
+  let expected = Xk_core.Engine.query_batch eng reqs in
+  let svc = Query_service.create ~domains:4 eng in
+  let actual = Query_service.exec_batch svc reqs in
+  let st = Query_service.stats svc in
+  Query_service.shutdown svc;
+  check_batches "parallel vs sequential" expected actual;
+  check Alcotest.int "one batch counted" 1 st.batches;
+  check Alcotest.int "queries counted" (List.length reqs) st.queries;
+  check Alcotest.int "four domains" 4 st.domains
+
+let batch_empty_and_unknown () =
+  let eng = Tutil.random_engine 55 in
+  let reqs =
+    Xk_core.Engine.
+      [
+        complete_request [ "zzz-not-a-keyword" ];
+        topk_request ~k:4 [ "also"; "absent" ];
+      ]
+  in
+  let svc = Query_service.create ~domains:2 eng in
+  let out = Query_service.exec_batch svc reqs in
+  let empty = Query_service.exec_batch svc [] in
+  Query_service.shutdown svc;
+  check Alcotest.int "empty batch" 0 (List.length empty);
+  List.iter (fun hits -> check Alcotest.int "no hits" 0 (List.length hits)) out
+
+(* --- Hammer: many concurrent clients, one engine ------------------- *)
+
+let hammer () =
+  (* Fresh engine over a term-rich corpus, with a deliberately tiny cache
+     so concurrent batches keep materializing and evicting under
+     contention. *)
+  let doc =
+    Tutil.random_doc
+      ~config:
+        {
+          Xk_datagen.Random_tree.default with
+          max_depth = 7;
+          max_children = 5;
+          keywords = 24;
+        }
+      43
+  in
+  let idx =
+    Xk_index.Index.build ~cache_capacity:4 (Xk_encoding.Labeling.label doc)
+  in
+  let eng = Xk_core.Engine.of_index idx in
+  (* Queries over terms that actually occur, so every request
+     materializes shapes and the tiny cache is forced to evict. *)
+  let ids = Xk_index.Index.terms_by_df idx in
+  let take = min 12 (Array.length ids) in
+  let word i = Xk_index.Index.term idx ids.(i) in
+  let reqs =
+    List.concat_map
+      (fun i ->
+        let q = [ word i; word (i + 1) ] in
+        Xk_core.Engine.
+          [
+            complete_request ~semantics:Elca q;
+            complete_request ~semantics:Slca q;
+            topk_request ~semantics:Elca ~k:5 q;
+          ])
+      (List.init (take - 1) (fun i -> i))
+  in
+  let expected = Xk_core.Engine.query_batch eng reqs in
+  let svc = Query_service.create ~domains:4 eng in
+  let clients = 4 and rounds = 5 in
+  let workers =
+    Array.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to rounds do
+              let got = Query_service.exec_batch svc reqs in
+              if not (List.for_all2 hits_equal expected got) then
+                failwith "hammer: results diverged from sequential"
+            done))
+  in
+  Array.iter Domain.join workers;
+  let st = Query_service.stats svc in
+  Query_service.shutdown svc;
+  check Alcotest.int "batches counted" (clients * rounds) st.batches;
+  check Alcotest.int "queries counted"
+    (clients * rounds * List.length reqs)
+    st.queries;
+  check Alcotest.bool "cache under pressure" true (st.cache.evictions > 0);
+  check Alcotest.bool "occupancy bounded" true
+    (st.cache.entries <= st.cache.capacity)
+
+let suite =
+  [
+    ( "exec.pool",
+      [
+        tc "map_array" `Quick pool_map_array;
+        tc "exception propagates" `Quick pool_exception_propagates;
+        tc "shutdown drains and closes" `Quick pool_shutdown_drains;
+      ] );
+    ( "exec.service",
+      [
+        tc "batch equals sequential" `Quick batch_equivalence;
+        tc "empty and unknown keywords" `Quick batch_empty_and_unknown;
+        tc "concurrent clients hammer" `Slow hammer;
+      ] );
+  ]

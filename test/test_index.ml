@@ -203,6 +203,138 @@ let sizes_report () =
   check Alcotest.bool "sparse much smaller than IL" true
     (r.join_based.auxiliary * 4 < r.join_based.inverted_lists)
 
+(* The sharded LRU cache behind the shape accessors. *)
+
+let shard_cache_lru () =
+  (* One shard of capacity 2 so the LRU order is observable. *)
+  let c = Shard_cache.create ~shards:1 ~capacity:2 () in
+  let computes = ref 0 in
+  let get k =
+    Shard_cache.find_or_add c k ~compute:(fun k ->
+        incr computes;
+        k * 10)
+  in
+  check Alcotest.int "miss computes" 10 (get 1);
+  check Alcotest.int "second miss" 20 (get 2);
+  check Alcotest.int "hit" 10 (get 1);
+  (* 2 is now LRU; inserting 3 evicts it. *)
+  check Alcotest.int "third key" 30 (get 3);
+  check Alcotest.bool "1 retained" true (Shard_cache.mem c 1);
+  check Alcotest.bool "2 evicted" false (Shard_cache.mem c 2);
+  check Alcotest.int "computed thrice" 3 !computes;
+  let st = Shard_cache.stats c in
+  check Alcotest.int "hits" 1 st.hits;
+  check Alcotest.int "misses" 3 st.misses;
+  check Alcotest.int "evictions" 1 st.evictions;
+  check Alcotest.int "entries" 2 st.entries
+
+let shard_cache_compute_failure () =
+  let c = Shard_cache.create ~shards:1 ~capacity:4 () in
+  (match Shard_cache.find_or_add c 1 ~compute:(fun _ -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "no exception");
+  check Alcotest.bool "nothing cached" false (Shard_cache.mem c 1);
+  (* The shard lock was released by the failing compute. *)
+  check Alcotest.int "recovers" 7
+    (Shard_cache.find_or_add c 1 ~compute:(fun _ -> 7))
+
+let cache_eviction_consistency () =
+  (* A capacity-1 cache refetches shapes constantly; results must not
+     change, and the counters must reflect the thrashing. *)
+  let doc =
+    Xk_xml.Xml_parser.parse_string_exn
+      "<r><a>alpha beta</a><b>beta gamma</b><c>gamma alpha</c></r>"
+  in
+  let lab = Xk_encoding.Labeling.label doc in
+  let idx = Index.build ~cache_capacity:1 lab in
+  let ref_idx = Index.build lab in
+  for _ = 1 to 3 do
+    for id = 0 to Index.term_count idx - 1 do
+      let jl = Index.jlist idx id and jr = Index.jlist ref_idx id in
+      check Alcotest.int "jlist length stable" (Jlist.length jr) (Jlist.length jl);
+      let p = Index.posting idx id and pr = Index.posting ref_idx id in
+      check Alcotest.int "posting length stable" (Posting.length pr)
+        (Posting.length p)
+    done
+  done;
+  let st = Index.cache_stats idx in
+  check Alcotest.bool "evictions happened" true (st.evictions > 0);
+  check Alcotest.bool "occupancy bounded" true (st.entries <= st.capacity)
+
+(* Interleaved warm/jlist/posting/score_list calls from several domains
+   must never disagree with a cold single-threaded materialization - the
+   service-path invariant behind Xk_exec. *)
+
+let jlist_agrees jc jh =
+  Jlist.length jc = Jlist.length jh
+  && Jlist.max_len jc = Jlist.max_len jh
+  &&
+  let ok = ref true in
+  for r = 0 to Jlist.length jc - 1 do
+    if
+      Jlist.node jc r <> Jlist.node jh r
+      || Jlist.score jc r <> Jlist.score jh r
+      || Jlist.seq jc r <> Jlist.seq jh r
+    then ok := false
+  done;
+  !ok
+
+let posting_agrees pc ph =
+  Posting.length pc = Posting.length ph
+  &&
+  let ok = ref true in
+  for r = 0 to Posting.length pc - 1 do
+    if
+      Posting.node pc r <> Posting.node ph r
+      || Posting.score pc r <> Posting.score ph r
+      || Posting.dewey pc r <> Posting.dewey ph r
+    then ok := false
+  done;
+  !ok
+
+let concurrent_materialization_prop =
+  QCheck.Test.make ~count:15
+    ~name:"concurrent warm/jlist/posting matches cold materialization"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Xk_datagen.Rng.create seed in
+      let doc = Xk_datagen.Random_tree.generate rng in
+      let cold = Index.build (Xk_encoding.Labeling.label doc) in
+      (* Tiny cache so the domains also race through evictions. *)
+      let hot =
+        Index.build ~cache_capacity:8 (Xk_encoding.Labeling.label doc)
+      in
+      let n = Index.term_count hot in
+      n = 0
+      ||
+      begin
+        let workers =
+          Array.init 3 (fun w ->
+              Domain.spawn (fun () ->
+                  (* Each domain walks the terms in a different order and
+                     mixes the three access paths. *)
+                  for round = 0 to 1 do
+                    for i = 0 to n - 1 do
+                      let id = (i * ((2 * w) + 1) + (round * 7)) mod n in
+                      match (id + w + round) mod 4 with
+                      | 0 -> ignore (Index.jlist hot id)
+                      | 1 -> ignore (Index.posting hot id)
+                      | 2 -> ignore (Index.score_list hot id)
+                      | _ -> Index.warm hot [ id ]
+                    done
+                  done))
+        in
+        Array.iter Domain.join workers;
+        let ok = ref true in
+        for id = 0 to n - 1 do
+          if not (jlist_agrees (Index.jlist cold id) (Index.jlist hot id)) then
+            ok := false;
+          if not (posting_agrees (Index.posting cold id) (Index.posting hot id))
+          then ok := false
+        done;
+        !ok
+      end)
+
 (* Index persistence. *)
 
 let tmpfile name = Filename.concat (Filename.get_temp_dir_name ()) name
@@ -275,6 +407,13 @@ let suite =
         tc "jlist encoded size" `Quick jlist_encoded_size;
         tc "index sizes report" `Slow sizes_report;
         QCheck_alcotest.to_alcotest run_contiguity_prop;
+      ] );
+    ( "index.cache",
+      [
+        tc "shard cache LRU" `Quick shard_cache_lru;
+        tc "shard cache compute failure" `Quick shard_cache_compute_failure;
+        tc "eviction keeps results consistent" `Quick cache_eviction_consistency;
+        QCheck_alcotest.to_alcotest concurrent_materialization_prop;
       ] );
     ( "index.io",
       [

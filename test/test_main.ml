@@ -3,4 +3,5 @@ let () =
     (Test_xml.suite @ Test_encoding.suite @ Test_text.suite @ Test_storage.suite
    @ Test_score.suite @ Test_index.suite @ Test_core.suite
    @ Test_baselines.suite @ Test_datagen.suite @ Test_engine.suite
-   @ Test_edge.suite @ Test_jstore.suite @ Test_workload.suite)
+   @ Test_edge.suite @ Test_jstore.suite @ Test_workload.suite
+   @ Test_exec.suite)
