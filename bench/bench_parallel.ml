@@ -45,35 +45,65 @@ let same_results a b =
            xs ys)
     a b
 
+(* Outcome counters accumulated across the whole sweep.  On a clean run
+   (no deadlines, no faults, no admission bound) everything lands in
+   [completed] and the rest stay zero — the JSON records that. *)
+type totals = {
+  mutable completed : int;
+  mutable partials : int;
+  mutable timeouts : int;
+  mutable rejected : int;
+  mutable failed : int;
+}
+
 let run_sweep eng reqs ~runs ~sweep =
   let reference = Xk_core.Engine.query_batch eng reqs in
   let n = List.length reqs in
-  List.map
-    (fun domains ->
-      let svc = Xk_exec.Query_service.create ~domains eng in
-      (* One warmup run, then [runs] timed runs. *)
-      let first = Xk_exec.Query_service.exec_batch svc reqs in
-      if not (same_results reference first) then
-        failwith
-          (Printf.sprintf "domains=%d: parallel results differ from sequential"
-             domains);
-      let t0 = now () in
-      for _ = 1 to runs do
-        ignore (Xk_exec.Query_service.exec_batch svc reqs)
-      done;
-      let wall_s = (now () -. t0) /. float_of_int runs in
-      Xk_exec.Query_service.shutdown svc;
-      let qps = float_of_int n /. wall_s in
-      Printf.printf "  domains=%d: %.3fs/batch, %.1f q/s\n%!" domains wall_s qps;
-      { domains; wall_s; qps; speedup = 0. })
-    sweep
-  |> fun points ->
+  let totals =
+    { completed = 0; partials = 0; timeouts = 0; rejected = 0; failed = 0 }
+  in
+  let points =
+    List.map
+      (fun domains ->
+        let svc = Xk_exec.Query_service.create ~domains eng in
+        (* One warmup run, then [runs] timed runs. *)
+        let first = Xk_exec.Query_service.exec_batch svc reqs in
+        let all_ok =
+          List.for_all
+            (function Xk_exec.Query_service.Ok _ -> true | _ -> false)
+            first
+        in
+        if
+          (not all_ok)
+          || not (same_results reference (List.map Xk_exec.Query_service.hits first))
+        then
+          failwith
+            (Printf.sprintf "domains=%d: parallel results differ from sequential"
+               domains);
+        let t0 = now () in
+        for _ = 1 to runs do
+          ignore (Xk_exec.Query_service.exec_batch svc reqs)
+        done;
+        let wall_s = (now () -. t0) /. float_of_int runs in
+        let st = Xk_exec.Query_service.stats svc in
+        totals.completed <- totals.completed + st.completed;
+        totals.partials <- totals.partials + st.partials;
+        totals.timeouts <- totals.timeouts + st.timeouts;
+        totals.rejected <- totals.rejected + st.rejected;
+        totals.failed <- totals.failed + st.failed;
+        Xk_exec.Query_service.shutdown svc;
+        let qps = float_of_int n /. wall_s in
+        Printf.printf "  domains=%d: %.3fs/batch, %.1f q/s\n%!" domains wall_s
+          qps;
+        { domains; wall_s; qps; speedup = 0. })
+      sweep
+  in
   let base =
     match points with [] -> 1. | p :: _ -> p.qps
   in
-  List.map (fun p -> { p with speedup = p.qps /. base }) points
+  (List.map (fun p -> { p with speedup = p.qps /. base }) points, totals)
 
-let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms points cache =
+let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms points totals cache =
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -93,6 +123,10 @@ let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms points cache =
         (if i = List.length points - 1 then "" else ","))
     points;
   p "  ],\n";
+  p
+    "  \"outcomes\": {\"completed\": %d, \"partials\": %d, \"timeouts\": %d, \"rejected\": %d, \"failed\": %d},\n"
+    totals.completed totals.partials totals.timeouts totals.rejected
+    totals.failed;
   let c : Xk_index.Shard_cache.stats = cache in
   p
     "  \"cache\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \"entries\": %d, \"capacity\": %d}\n"
@@ -116,8 +150,8 @@ let run scale queries runs seed out =
     (List.length reqs);
   let cores = Domain.recommended_domain_count () in
   Printf.printf "host: %d recommended domain(s)\n%!" cores;
-  let points = run_sweep eng reqs ~runs ~sweep:[ 1; 2; 4; 8 ] in
-  emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms points
+  let points, totals = run_sweep eng reqs ~runs ~sweep:[ 1; 2; 4; 8 ] in
+  emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms points totals
     (Xk_index.Index.cache_stats idx)
 
 open Cmdliner

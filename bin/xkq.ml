@@ -191,7 +191,13 @@ let generate_queries eng n k seed =
   Xk_workload.Workload.random_queries rng idx ~k ~high ~low ~n
 
 let batch path queries_file semantics algo top topk_algo domains repeat gen
-    gen_k seed check index_file =
+    gen_k seed check index_file deadline_ms max_queue faults =
+  (match faults with
+  | None -> ()
+  | Some spec -> (
+      match Xk_resilience.Fault_injection.of_spec spec with
+      | Ok config -> Xk_resilience.Fault_injection.configure config
+      | Error msg -> failwith (Printf.sprintf "--faults: %s" msg)));
   let eng = load_engine ?index_file path in
   let queries =
     match queries_file with
@@ -208,13 +214,13 @@ let batch path queries_file semantics algo top topk_algo domains repeat gen
         | None -> Xk_core.Engine.complete_request ~semantics ~algorithm:algo words)
       queries
   in
-  let svc = Xk_exec.Query_service.create ~domains eng in
+  let svc = Xk_exec.Query_service.create ~domains ?max_queue eng in
   let n = List.length reqs in
   let t0 = Unix.gettimeofday () in
   let last = ref [] in
   for run = 1 to repeat do
     let r0 = Unix.gettimeofday () in
-    last := Xk_exec.Query_service.exec_batch svc reqs;
+    last := Xk_exec.Query_service.exec_batch ?deadline_ms svc reqs;
     let dt = Unix.gettimeofday () -. r0 in
     Printf.printf "run %d/%d: %d queries in %.3fs (%.1f q/s)\n%!" run repeat n
       dt
@@ -230,21 +236,36 @@ let batch path queries_file semantics algo top topk_algo domains repeat gen
     (wall *. 1000. /. float_of_int total);
   let st = Xk_exec.Query_service.stats svc in
   Printf.printf
+    "outcomes: %d ok, %d partial, %d timeout, %d rejected, %d failed\n"
+    st.completed st.partials st.timeouts st.rejected st.failed;
+  Printf.printf
     "cache: %d hits, %d misses, %d evictions, %d/%d entries\n"
     st.cache.hits st.cache.misses st.cache.evictions st.cache.entries
     st.cache.capacity;
+  List.iter
+    (fun o ->
+      match o with
+      | Xk_exec.Query_service.Failed f ->
+          Printf.eprintf "failed request: %s\n" f.message
+      | _ -> ())
+    !last;
   let ok =
     if not check then true
     else begin
+      (* Only completed requests are comparable; deadline/admission
+         policy legitimately degrades the rest. *)
       let seq = Xk_core.Engine.query_batch eng reqs in
       let same =
         List.for_all2
-          (fun a b ->
-            List.length a = List.length b
-            && List.for_all2
-                 (fun (x : Xk_baselines.Hit.t) (y : Xk_baselines.Hit.t) ->
-                   x.node = y.node && x.score = y.score)
-                 a b)
+          (fun a o ->
+            match o with
+            | Xk_exec.Query_service.Ok b ->
+                List.length a = List.length b
+                && List.for_all2
+                     (fun (x : Xk_baselines.Hit.t) (y : Xk_baselines.Hit.t) ->
+                       x.node = y.node && x.score = y.score)
+                     a b
+            | _ -> true)
           seq !last
       in
       if same then
@@ -254,7 +275,10 @@ let batch path queries_file semantics algo top topk_algo domains repeat gen
     end
   in
   Xk_exec.Query_service.shutdown svc;
-  if not ok then exit 1
+  (* Exit code reflects hard failures only: timeouts and rejections are
+     service policy, not errors. *)
+  let hard_failures = List.exists Xk_exec.Query_service.is_failure !last in
+  if (not ok) || hard_failures then exit 1
 
 let batch_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -321,12 +345,40 @@ let batch_cmd =
       & opt (some file) None
       & info [ "index" ] ~doc:"Saved index file (from `xkq index`).")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Per-request deadline in milliseconds.  Expired top-K requests \
+             degrade to partial results; complete requests time out.")
+  in
+  let max_queue =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-queue" ]
+          ~doc:
+            "Admission bound: maximum in-flight requests; excess requests \
+             are rejected without executing.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ]
+          ~doc:
+            "Fault-injection spec (comma-separated: io, corrupt, latency, \
+             query), as in \\$(b,XK_FAULTS).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Execute a query workload in parallel on a domain pool.")
     Term.(
       const batch $ path $ queries_file $ semantics $ algo $ top $ topk_algo
-      $ domains $ repeat $ gen $ gen_k $ seed $ check $ index_file)
+      $ domains $ repeat $ gen $ gen_k $ seed $ check $ index_file
+      $ deadline_ms $ max_queue $ faults)
 
 (* ------------------------------------------------------------------ *)
 

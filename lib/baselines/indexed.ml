@@ -19,7 +19,8 @@ let range_best damping p ~lo ~hi ~depth =
   done;
   !best
 
-let slca (idx : Xk_index.Index.t) (terms : int list) =
+let slca ?(budget = Xk_resilience.Budget.unlimited) (idx : Xk_index.Index.t)
+    (terms : int list) =
   let k = List.length terms in
   if k = 0 then invalid_arg "Indexed.slca";
   let label = Xk_index.Index.label idx in
@@ -30,6 +31,7 @@ let slca (idx : Xk_index.Index.t) (terms : int list) =
   (* Candidate per driver occurrence: its deepest all-containing ancestor. *)
   let cands = ref [] in
   for r = 0 to Xk_index.Posting.length p1 - 1 do
+    Xk_resilience.Budget.check budget;
     let x = Xk_index.Posting.dewey p1 r in
     let depth = Elca_verify.cand_depth posts drv x in
     if depth >= 1 then cands := Array.sub x 0 depth :: !cands
@@ -40,6 +42,7 @@ let slca (idx : Xk_index.Index.t) (terms : int list) =
   let out = ref [] in
   let n = Array.length cands in
   for i = 0 to n - 1 do
+    Xk_resilience.Budget.check budget;
     let c = cands.(i) in
     let minimal =
       i = n - 1 || not (Xk_encoding.Dewey.is_ancestor c cands.(i + 1))
@@ -68,7 +71,8 @@ let slca (idx : Xk_index.Index.t) (terms : int list) =
   done;
   List.rev !out
 
-let elca (idx : Xk_index.Index.t) (terms : int list) =
+let elca ?(budget = Xk_resilience.Budget.unlimited) (idx : Xk_index.Index.t)
+    (terms : int list) =
   let k = List.length terms in
   if k = 0 then invalid_arg "Indexed.elca";
   let label = Xk_index.Index.label idx in
@@ -79,6 +83,7 @@ let elca (idx : Xk_index.Index.t) (terms : int list) =
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let out = ref [] in
   for r = 0 to Xk_index.Posting.length p1 - 1 do
+    Xk_resilience.Budget.check budget;
     let x = Xk_index.Posting.dewey p1 r in
     let depth = Elca_verify.cand_depth posts drv x in
     if depth >= 1 then begin

@@ -1,6 +1,9 @@
 (** Index-based baseline: Indexed Lookup Eager SLCA [6] and indexed ELCA
     with candidate verification [8].  Drives off the shortest list with
-    binary-search probes into the others - O(d k |L1| log |L|). *)
+    binary-search probes into the others - O(d k |L1| log |L|).
 
-val slca : Xk_index.Index.t -> int list -> Hit.t list
-val elca : Xk_index.Index.t -> int list -> Hit.t list
+    Both evaluators poll the budget per driver occurrence / candidate and
+    raise [Xk_resilience.Budget.Expired] on expiry. *)
+
+val slca : ?budget:Xk_resilience.Budget.t -> Xk_index.Index.t -> int list -> Hit.t list
+val elca : ?budget:Xk_resilience.Budget.t -> Xk_index.Index.t -> int list -> Hit.t list

@@ -17,7 +17,8 @@
 
 type stats = { mutable pulled : int; mutable verified : int }
 
-let topk ?stats (idx : Xk_index.Index.t) (terms : int list) ~k:want =
+let topk ?stats ?(budget = Xk_resilience.Budget.unlimited)
+    (idx : Xk_index.Index.t) (terms : int list) ~k:want =
   let k = List.length terms in
   if k = 0 then invalid_arg "Rdil.topk";
   let label = Xk_index.Index.label idx in
@@ -71,6 +72,7 @@ let topk ?stats (idx : Xk_index.Index.t) (terms : int list) ~k:want =
   in
   let exhausted () = Array.for_all2 (fun c o -> c >= Array.length o) cursors orders in
   while !emitted < want && not (exhausted ()) do
+    Xk_resilience.Budget.check budget;
     (* Sorted access on the list with the highest next local score. *)
     let besti = ref 0 in
     for i = 1 to k - 1 do

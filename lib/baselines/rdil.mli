@@ -4,8 +4,16 @@
 
 type stats = { mutable pulled : int; mutable verified : int }
 
-val topk : ?stats:stats -> Xk_index.Index.t -> int list -> k:int -> Hit.t list
+val topk :
+  ?stats:stats ->
+  ?budget:Xk_resilience.Budget.t ->
+  Xk_index.Index.t ->
+  int list ->
+  k:int ->
+  Hit.t list
 (** The K best ELCAs, best first.  Exact (same results as the oracle's top
     K), but pays the costs the paper describes: candidate verification
     re-derives the semantic pruning per candidate, and the undamped
-    threshold converges slowly. *)
+    threshold converges slowly.  Polls the budget per sorted access and
+    raises [Xk_resilience.Budget.Expired] on expiry (RDIL candidates are
+    not confirmed incrementally, so no partial prefix is available). *)

@@ -23,7 +23,8 @@ let fresh k repr =
 
 type semantics = Elca | Slca
 
-let run semantics (idx : Xk_index.Index.t) (terms : int list) =
+let run ?(budget = Xk_resilience.Budget.unlimited) semantics
+    (idx : Xk_index.Index.t) (terms : int list) =
   let k = List.length terms in
   if k = 0 || k > 62 then invalid_arg "Stack.run: 1..62 keywords";
   let label = Xk_index.Index.label idx in
@@ -110,6 +111,7 @@ let run semantics (idx : Xk_index.Index.t) (terms : int list) =
   in
   let exhausted = ref false in
   while not !exhausted do
+    Xk_resilience.Budget.check budget;
     (* Smallest unconsumed Dewey id across the k cursors. *)
     let besti = ref (-1) and bestd = ref [||] in
     for i = 0 to k - 1 do
@@ -136,5 +138,5 @@ let run semantics (idx : Xk_index.Index.t) (terms : int list) =
   done;
   List.rev !results
 
-let elca idx terms = run Elca idx terms
-let slca idx terms = run Slca idx terms
+let elca ?budget idx terms = run ?budget Elca idx terms
+let slca ?budget idx terms = run ?budget Slca idx terms

@@ -1,9 +1,13 @@
 (** Stack-based baseline (XRank/DIL-style [5], [6]): all posting lists are
     merged in document order and a stack over the current root-to-node
     path aggregates containment bottom-up.  Results come in document
-    order - the property that blocks top-K early termination. *)
+    order - the property that blocks top-K early termination.
 
-val elca : Xk_index.Index.t -> int list -> Hit.t list
+    The merge loop polls the budget per consumed occurrence and raises
+    [Xk_resilience.Budget.Expired] on expiry (complete-result semantics
+    admit no partial answer). *)
+
+val elca : ?budget:Xk_resilience.Budget.t -> Xk_index.Index.t -> int list -> Hit.t list
 (** Complete ELCA set for a list of term ids, document order. *)
 
-val slca : Xk_index.Index.t -> int list -> Hit.t list
+val slca : ?budget:Xk_resilience.Budget.t -> Xk_index.Index.t -> int list -> Hit.t list

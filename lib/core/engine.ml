@@ -41,7 +41,7 @@ let node_of_join_hit t (h : Join_query.hit) =
   | Some node -> { Xk_baselines.Hit.node; score = h.score }
   | None -> assert false
 
-let query ?(semantics = Elca) ?(algorithm = Join_based) ?plan t words :
+let query ?(semantics = Elca) ?(algorithm = Join_based) ?plan ?budget t words :
     Xk_baselines.Hit.t list =
   match resolve t words with
   | None -> []
@@ -58,16 +58,16 @@ let query ?(semantics = Elca) ?(algorithm = Join_based) ?plan t words :
               | Elca -> Join_query.Elca
               | Slca -> Join_query.Slca
             in
-            Join_query.run ?plan jls (Xk_index.Index.damping t.index) sem
+            Join_query.run ?plan ?budget jls (Xk_index.Index.damping t.index) sem
             |> List.map (node_of_join_hit t)
         | Stack_based -> (
             match semantics with
-            | Elca -> Xk_baselines.Stack.elca t.index ids
-            | Slca -> Xk_baselines.Stack.slca t.index ids)
+            | Elca -> Xk_baselines.Stack.elca ?budget t.index ids
+            | Slca -> Xk_baselines.Stack.slca ?budget t.index ids)
         | Index_based -> (
             match semantics with
-            | Elca -> Xk_baselines.Indexed.elca t.index ids
-            | Slca -> Xk_baselines.Indexed.slca t.index ids)
+            | Elca -> Xk_baselines.Indexed.elca ?budget t.index ids
+            | Slca -> Xk_baselines.Indexed.slca ?budget t.index ids)
         | Oracle -> (
             match semantics with
             | Elca -> Xk_baselines.Oracle.elca t.index ids
@@ -78,8 +78,8 @@ let query ?(semantics = Elca) ?(algorithm = Join_based) ?plan t words :
 (* Top-K.  All algorithms support ELCA; the join-based ones also support
    SLCA (RDIL is ELCA-only and routes SLCA requests through complete
    evaluation). *)
-let query_topk ?(semantics = Elca) ?(algorithm = Topk_join) ?stats t words ~k :
-    Xk_baselines.Hit.t list =
+let query_topk ?(semantics = Elca) ?(algorithm = Topk_join) ?stats ?budget t
+    words ~k : Xk_baselines.Hit.t list =
   match resolve t words with
   | None -> []
   | Some [] -> []
@@ -94,22 +94,24 @@ let query_topk ?(semantics = Elca) ?(algorithm = Topk_join) ?stats t words ~k :
       in
       let level_width l = Xk_encoding.Labeling.level_width (label t) ~depth:l in
       let complete_then_sort () =
-        Join_query.run jls damping sem
+        Join_query.run ?budget jls damping sem
         |> List.map (node_of_join_hit t)
         |> Xk_baselines.Hit.top_k k
       in
       let hits =
         match algorithm with
         | Topk_join ->
-            Topk_keyword.topk ?stats ~semantics:sem (slists ()) damping ~k
+            Topk_keyword.topk ?stats ~semantics:sem ?budget (slists ()) damping
+              ~k
             |> List.map (node_of_join_hit t)
         | Complete_then_sort -> complete_then_sort ()
         | Rdil_baseline -> (
             match semantics with
-            | Elca -> Xk_baselines.Rdil.topk t.index ids ~k
+            | Elca -> Xk_baselines.Rdil.topk ?budget t.index ids ~k
             | Slca -> complete_then_sort ())
         | Hybrid ->
-            Hybrid.topk ?stats ~semantics:sem (slists ()) damping ~level_width ~k
+            Hybrid.topk ?stats ~semantics:sem ?budget (slists ()) damping
+              ~level_width ~k
             |> List.map (node_of_join_hit t)
       in
       Xk_baselines.Hit.sort_desc hits
@@ -124,13 +126,18 @@ type request = {
   req_words : string list;
   req_semantics : semantics;
   req_mode : mode;
+  req_deadline_ms : float option;
 }
 
-let complete_request ?(semantics = Elca) ?(algorithm = Join_based) words =
-  { req_words = words; req_semantics = semantics; req_mode = Complete algorithm }
+let complete_request ?(semantics = Elca) ?(algorithm = Join_based) ?deadline_ms
+    words =
+  { req_words = words; req_semantics = semantics;
+    req_mode = Complete algorithm; req_deadline_ms = deadline_ms }
 
-let topk_request ?(semantics = Elca) ?(algorithm = Topk_join) ~k words =
-  { req_words = words; req_semantics = semantics; req_mode = Topk (algorithm, k) }
+let topk_request ?(semantics = Elca) ?(algorithm = Topk_join) ?deadline_ms ~k
+    words =
+  { req_words = words; req_semantics = semantics;
+    req_mode = Topk (algorithm, k); req_deadline_ms = deadline_ms }
 
 let run_request t (r : request) =
   match r.req_mode with
@@ -140,6 +147,45 @@ let run_request t (r : request) =
       query_topk ~semantics:r.req_semantics ~algorithm t r.req_words ~k
 
 let query_batch t reqs = List.map (run_request t) reqs
+
+(* Budget-aware dispatch.  The join-based top-K algorithms are anytime:
+   an exhausted budget makes them return the confirmed prefix of the full
+   top-K, reported as [Partial].  Complete evaluations (and RDIL, whose
+   blocked candidates are unconfirmed) cannot return a meaningful prefix,
+   so budget expiry there surfaces as [Timed_out]. *)
+type run_outcome =
+  | Done of Xk_baselines.Hit.t list
+  | Partial of Xk_baselines.Hit.t list
+  | Timed_out
+
+let budget_of_request (r : request) =
+  match r.req_deadline_ms with
+  | None -> Xk_resilience.Budget.unlimited
+  | Some deadline_ms -> Xk_resilience.Budget.create ~deadline_ms ()
+
+let run_request_outcome ?budget t (r : request) =
+  let budget =
+    match budget with Some b -> b | None -> budget_of_request r
+  in
+  let anytime f =
+    let hits = f () in
+    if Xk_resilience.Budget.exhausted budget then Partial hits else Done hits
+  in
+  let complete f =
+    match f () with
+    | hits -> Done hits
+    | exception Xk_resilience.Budget.Expired -> Timed_out
+  in
+  let sem = r.req_semantics in
+  match r.req_mode with
+  | Complete algorithm ->
+      complete (fun () -> query ~semantics:sem ~algorithm ~budget t r.req_words)
+  | Topk (((Topk_join | Hybrid) as algorithm), k) ->
+      anytime (fun () ->
+          query_topk ~semantics:sem ~algorithm ~budget t r.req_words ~k)
+  | Topk (((Complete_then_sort | Rdil_baseline) as algorithm), k) ->
+      complete (fun () ->
+          query_topk ~semantics:sem ~algorithm ~budget t r.req_words ~k)
 
 let element_of_hit t (h : Xk_baselines.Hit.t) =
   Xk_encoding.Labeling.element_of (label t) h.node

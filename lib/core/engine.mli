@@ -37,21 +37,29 @@ val query :
   ?semantics:semantics ->
   ?algorithm:algorithm ->
   ?plan:Level_join.plan ->
+  ?budget:Xk_resilience.Budget.t ->
   t ->
   string list ->
   Xk_baselines.Hit.t list
 (** Complete result set, best score first.  Unknown keywords yield an empty
-    result; duplicate keywords collapse; matching is case-insensitive. *)
+    result; duplicate keywords collapse; matching is case-insensitive.
+    All algorithms except [Oracle] poll [budget] in their hot loops and
+    raise [Xk_resilience.Budget.Expired] on expiry (a complete result set
+    has no meaningful prefix). *)
 
 val query_topk :
   ?semantics:semantics ->
   ?algorithm:topk_algorithm ->
   ?stats:Topk_keyword.stats ->
+  ?budget:Xk_resilience.Budget.t ->
   t ->
   string list ->
   k:int ->
   Xk_baselines.Hit.t list
-(** The K best results, best first. *)
+(** The K best results, best first.  [Topk_join] and [Hybrid] are anytime:
+    on budget expiry they return the confirmed results emitted so far — a
+    prefix of the full top-K — without raising.  [Complete_then_sort] and
+    [Rdil_baseline] raise [Xk_resilience.Budget.Expired] instead. *)
 
 (** {1 Batched requests}
 
@@ -67,22 +75,46 @@ type request = {
   req_words : string list;
   req_semantics : semantics;
   req_mode : mode;
+  req_deadline_ms : float option;
+      (** wall-clock budget for this request; [None] = unlimited *)
 }
 
 val complete_request :
-  ?semantics:semantics -> ?algorithm:algorithm -> string list -> request
-(** Defaults: ELCA, join-based. *)
+  ?semantics:semantics ->
+  ?algorithm:algorithm ->
+  ?deadline_ms:float ->
+  string list ->
+  request
+(** Defaults: ELCA, join-based, no deadline. *)
 
 val topk_request :
   ?semantics:semantics ->
   ?algorithm:topk_algorithm ->
+  ?deadline_ms:float ->
   k:int ->
   string list ->
   request
-(** Defaults: ELCA, the paper's join-based top-K. *)
+(** Defaults: ELCA, the paper's join-based top-K, no deadline. *)
 
 val run_request : t -> request -> Xk_baselines.Hit.t list
-(** Dispatch one request through {!query} or {!query_topk}. *)
+(** Dispatch one request through {!query} or {!query_topk}, ignoring
+    [req_deadline_ms] — the unbudgeted sequential reference. *)
+
+(** {2 Budget-aware dispatch} *)
+
+type run_outcome =
+  | Done of Xk_baselines.Hit.t list  (** ran to completion *)
+  | Partial of Xk_baselines.Hit.t list
+      (** budget expired mid-run; the hits are the confirmed prefix of the
+          full top-K (anytime algorithms only) *)
+  | Timed_out
+      (** budget expired and the algorithm cannot return a partial result *)
+
+val run_request_outcome :
+  ?budget:Xk_resilience.Budget.t -> t -> request -> run_outcome
+(** Run one request under a budget ([budget] overrides the one implied by
+    [req_deadline_ms]).  Top-K via [Topk_join] or [Hybrid] degrades to
+    [Partial]; all other modes report [Timed_out] on expiry. *)
 
 val query_batch : t -> request list -> Xk_baselines.Hit.t list list
 (** Sequential batch evaluation, one result list per request in order —

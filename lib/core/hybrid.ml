@@ -46,22 +46,27 @@ let choose ?(margin = default_margin) (lists : Xk_index.Jlist.t array)
   let est = estimate_results lists ~level_width in
   if est >= margin *. float_of_int want then Use_topk else Use_complete
 
-let topk ?stats ?margin ?(semantics = Join_query.Elca)
+let topk ?stats ?margin ?(semantics = Join_query.Elca) ?budget
     (slists : Xk_index.Score_list.t array) damping ~level_width ~k:want :
     Join_query.hit list =
   let jls = Array.map Xk_index.Score_list.jlist slists in
   match choose ?margin jls ~level_width ~k:want with
-  | Use_topk -> Topk_keyword.topk ?stats ~semantics slists damping ~k:want
-  | Use_complete ->
-      let all = Join_query.run jls damping semantics in
-      let sorted =
-        List.sort
-          (fun (a : Join_query.hit) b ->
-            let c = Float.compare b.score a.score in
-            if c <> 0 then c
-            else
-              let c = Int.compare a.level b.level in
-              if c <> 0 then c else Int.compare a.value b.value)
-          all
-      in
-      List.filteri (fun i _ -> i < want) sorted
+  | Use_topk ->
+      Topk_keyword.topk ?stats ~semantics ?budget slists damping ~k:want
+  | Use_complete -> (
+      (* The complete route has no confirmed prefix mid-run; on expiry the
+         anytime contract degrades to the empty partial result. *)
+      match Join_query.run ?budget jls damping semantics with
+      | exception Xk_resilience.Budget.Expired -> []
+      | all ->
+          let sorted =
+            List.sort
+              (fun (a : Join_query.hit) b ->
+                let c = Float.compare b.score a.score in
+                if c <> 0 then c
+                else
+                  let c = Int.compare a.level b.level in
+                  if c <> 0 then c else Int.compare a.value b.value)
+              all
+          in
+          List.filteri (fun i _ -> i < want) sorted)

@@ -24,8 +24,13 @@ val topk :
   ?stats:Topk_keyword.stats ->
   ?margin:float ->
   ?semantics:Join_query.semantics ->
+  ?budget:Xk_resilience.Budget.t ->
   Xk_index.Score_list.t array ->
   Xk_score.Damping.t ->
   level_width:(int -> int) ->
   k:int ->
   Join_query.hit list
+(** Anytime like {!Topk_keyword.topk} (never raises [Budget.Expired]):
+    the top-K route returns its confirmed prefix on expiry; the complete
+    route, which confirms nothing until it finishes, degrades to the
+    empty partial result. *)

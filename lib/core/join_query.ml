@@ -42,8 +42,9 @@ let max_damped (jl : Xk_index.Jlist.t) damping (run : Xk_index.Column.run)
   done;
   !best
 
-let run ?(plan = Level_join.Dynamic) ?join_stats (lists : Xk_index.Jlist.t array)
-    damping semantics : hit list =
+let run ?(plan = Level_join.Dynamic) ?join_stats
+    ?(budget = Xk_resilience.Budget.unlimited)
+    (lists : Xk_index.Jlist.t array) damping semantics : hit list =
   let k = Array.length lists in
   if k = 0 then invalid_arg "Join_query.run: no lists";
   if Array.exists (fun jl -> Xk_index.Jlist.length jl = 0) lists then []
@@ -56,13 +57,14 @@ let run ?(plan = Level_join.Dynamic) ?join_stats (lists : Xk_index.Jlist.t array
     let out = ref [] in
     for level = lmin downto 1 do
       let cols = Array.map (fun jl -> Xk_index.Jlist.column jl ~level) lists in
-      let matches = Level_join.join ?stats:join_stats ~plan cols in
+      let matches = Level_join.join ?stats:join_stats ~budget ~plan cols in
       (* Exclusions of this level are applied in one batch once the level's
          join finishes (Section III-E); matches at one level never share
          rows, so checks within the level only depend on deeper levels. *)
       let kills = Array.make k [] in
       List.iter
         (fun (m : Level_join.match_) ->
+          Xk_resilience.Budget.check budget;
           (match semantics with
           | Elca ->
               (* Range check: every list needs an alive row in N's run. *)

@@ -23,9 +23,12 @@ val max_alive_damped :
 val run :
   ?plan:Level_join.plan ->
   ?join_stats:Level_join.stats ->
+  ?budget:Xk_resilience.Budget.t ->
   Xk_index.Jlist.t array ->
   Xk_score.Damping.t ->
   semantics ->
   hit list
 (** All results, deepest level first; scores follow Section II-B (per
-    keyword the best damped non-excluded witness, summed). *)
+    keyword the best damped non-excluded witness, summed).  Raises
+    {!Xk_resilience.Budget.Expired} if the budget runs out: a complete
+    result set has no valid partial prefix. *)

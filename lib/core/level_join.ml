@@ -28,8 +28,9 @@ type stats = {
 let new_stats () = { merge_joins = 0; index_joins = 0; probes = 0; scanned = 0 }
 
 (* Values (with their runs) surviving a two-way merge between the current
-   intermediate and a column. *)
-let merge_step stats inter (col : Xk_index.Column.t) =
+   intermediate and a column.  The budget is polled once per intermediate
+   value - granular enough to stop a long scan within milliseconds. *)
+let merge_step budget stats inter (col : Xk_index.Column.t) =
   stats.merge_joins <- stats.merge_joins + 1;
   let runs = Xk_index.Column.runs col in
   let n = Array.length runs in
@@ -37,6 +38,7 @@ let merge_step stats inter (col : Xk_index.Column.t) =
   let j = ref 0 in
   List.iter
     (fun (value, acc) ->
+      Xk_resilience.Budget.check budget;
       while !j < n && runs.(!j).Xk_index.Column.value < value do
         incr j;
         stats.scanned <- stats.scanned + 1
@@ -46,17 +48,19 @@ let merge_step stats inter (col : Xk_index.Column.t) =
     inter;
   List.rev !out
 
-let index_step stats inter (col : Xk_index.Column.t) =
+let index_step budget stats inter (col : Xk_index.Column.t) =
   stats.index_joins <- stats.index_joins + 1;
   List.filter_map
     (fun (value, acc) ->
+      Xk_resilience.Budget.check budget;
       stats.probes <- stats.probes + 1;
       match Xk_index.Column.find col value with
       | Some r -> Some (value, r :: acc)
       | None -> None)
     inter
 
-let join ?stats ~plan (cols : Xk_index.Column.t array) : match_ list =
+let join ?stats ?(budget = Xk_resilience.Budget.unlimited) ~plan
+    (cols : Xk_index.Column.t array) : match_ list =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let k = Array.length cols in
   if k = 0 then invalid_arg "Level_join.join: no columns";
@@ -88,8 +92,8 @@ let join ?stats ~plan (cols : Xk_index.Column.t array) : match_ list =
             inter_size * index_join_ratio < Xk_index.Column.num_runs col
       in
       inter :=
-        if use_index then index_step stats !inter col
-        else merge_step stats !inter col
+        if use_index then index_step budget stats !inter col
+        else merge_step budget stats !inter col
     done;
     (* Re-align each match's runs with the original column order.  The
        accumulators were consed in processing order, so they are reversed

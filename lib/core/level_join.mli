@@ -23,6 +23,12 @@ type stats = {
 val new_stats : unit -> stats
 
 val join :
-  ?stats:stats -> plan:plan -> Xk_index.Column.t array -> match_ list
+  ?stats:stats ->
+  ?budget:Xk_resilience.Budget.t ->
+  plan:plan ->
+  Xk_index.Column.t array ->
+  match_ list
 (** Values present in every column, ascending, with set semantics (runs
-    already group duplicate numbers). *)
+    already group duplicate numbers).  The budget is polled once per
+    intermediate value; raises {!Xk_resilience.Budget.Expired} when it
+    runs out (complete-result semantics admit no partial answer). *)

@@ -40,8 +40,9 @@ let relation ~keys ~scores =
   done;
   { keys; scores }
 
-let topk ?stats ?(threshold = Tight) (rels : relation array) ~k:want :
-    result list =
+let topk ?stats ?(threshold = Tight)
+    ?(budget = Xk_resilience.Budget.unlimited) (rels : relation array)
+    ~k:want : result list =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let k = Array.length rels in
   if k = 0 then invalid_arg "Star_join.topk: no relations";
@@ -114,7 +115,11 @@ let topk ?stats ?(threshold = Tight) (rels : relation array) ~k:want :
     !all
   in
   let rr = ref 0 in
-  while !emitted < want && not (exhausted ()) do
+  (* Anytime loop: when the budget trips, stop pulling - everything
+     emitted so far beat the unseen-results bound and remains a valid
+     top-|out| prefix. *)
+  while !emitted < want && not (exhausted ()) && Xk_resilience.Budget.alive budget
+  do
     (* Relation choice (Section IV-B): round-robin until K results exist,
        then the relation with the highest next score. *)
     let generated = !emitted + Xk_util.Heap.size blocked in
@@ -173,8 +178,14 @@ let topk ?stats ?(threshold = Tight) (rels : relation array) ~k:want :
     end;
     flush ()
   done;
-  (* Inputs exhausted: everything joinable has joined; drain the heap. *)
-  while !emitted < want && not (Xk_util.Heap.is_empty blocked) do
+  (* Inputs exhausted: everything joinable has joined; drain the heap -
+     unless the budget tripped, in which case blocked results were never
+     confirmed against the threshold and must not be emitted. *)
+  while
+    !emitted < want
+    && not (Xk_util.Heap.is_empty blocked)
+    && not (Xk_resilience.Budget.exhausted budget)
+  do
     match Xk_util.Heap.pop blocked with
     | Some (_, r) ->
         out := r :: !out;

@@ -22,6 +22,16 @@ val relation : keys:int array -> scores:float array -> relation
 (** Validates that scores are descending; keys must be unique within one
     relation. *)
 
-val topk : ?stats:stats -> ?threshold:threshold -> relation array -> k:int -> result list
+val topk :
+  ?stats:stats ->
+  ?threshold:threshold ->
+  ?budget:Xk_resilience.Budget.t ->
+  relation array ->
+  k:int ->
+  result list
 (** The K best star-join results (sum aggregate), best first.  Emits a
-    result as soon as its total reaches the unseen-results bound. *)
+    result as soon as its total reaches the unseen-results bound.
+
+    Anytime: if the budget expires mid-run the pull loop stops and the
+    results emitted so far - a valid prefix of the full top-K - are
+    returned; check [Budget.exhausted] to distinguish a partial return. *)

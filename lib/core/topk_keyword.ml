@@ -48,6 +48,7 @@ type cursor = {
 type entry = { slots : float array; mutable mask : int; mutable filled : int }
 
 let topk ?stats ?(threshold = Tight) ?(semantics = Elca)
+    ?(budget = Xk_resilience.Budget.unlimited)
     (slists : Xk_index.Score_list.t array) damping ~k:want : hit list =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let k = Array.length slists in
@@ -79,7 +80,11 @@ let topk ?stats ?(threshold = Tight) ?(semantics = Elca)
     let out = ref [] and emitted = ref 0 in
     let finished = ref false in
     let level = ref lmin in
-    while not !finished && !level >= 1 do
+    (* Anytime execution: the budget is polled at column entry and on
+       every pull; once it trips, the loops unwind and the results already
+       emitted - each confirmed against the unseen-results threshold - are
+       returned as a valid prefix of the full top-K. *)
+    while not !finished && !level >= 1 && Xk_resilience.Budget.alive budget do
       let l = !level in
       stats.columns <- stats.columns + 1;
       (* Dynamic refinement of the cross-column ceilings: with the
@@ -216,7 +221,11 @@ let topk ?stats ?(threshold = Tight) ?(semantics = Elca)
       in
       let column_exhausted () = Array.for_all (fun b -> b < 0) cbest in
       let rr = ref 0 in
-      while !emitted < want && not (column_exhausted ()) do
+      while
+        !emitted < want
+        && not (column_exhausted ())
+        && Xk_resilience.Budget.alive budget
+      do
         (* List choice (Section IV-B): round-robin until K results are
            generated, then the list with the highest next score. *)
         let generated = !emitted + Xk_util.Heap.size blocked in
@@ -322,25 +331,36 @@ let topk ?stats ?(threshold = Tight) ?(semantics = Elca)
         finished := true
       end
       else begin
-        (* Column drained: apply the range exclusion before moving up. *)
+        (* Column drained: apply the range exclusion before moving up.
+           The exclusion scan itself is budgeted; if it expires mid-join
+           the kills are discarded and the outer loop unwinds with the
+           confirmed results. *)
         let cols = Array.map (fun jl -> Xk_index.Jlist.column jl ~level:l) jls in
-        let matches = Level_join.join ~plan:Level_join.Force_merge cols in
-        let kills = Array.make k [] in
-        List.iter
-          (fun (m : Level_join.match_) ->
+        match Level_join.join ~budget ~plan:Level_join.Force_merge cols with
+        | exception Xk_resilience.Budget.Expired -> ()
+        | matches ->
+            let kills = Array.make k [] in
+            List.iter
+              (fun (m : Level_join.match_) ->
+                for i = 0 to k - 1 do
+                  let r = m.runs.(i) in
+                  kills.(i) <- (r.start_row, r.start_row + r.count) :: kills.(i)
+                done)
+              matches;
             for i = 0 to k - 1 do
-              let r = m.runs.(i) in
-              kills.(i) <- (r.start_row, r.start_row + r.count) :: kills.(i)
-            done)
-          matches;
-        for i = 0 to k - 1 do
-          Erased.add_batch erased.(i) (List.rev kills.(i))
-        done;
-        level := l - 1
+              Erased.add_batch erased.(i) (List.rev kills.(i))
+            done;
+            level := l - 1
       end
     done;
-    (* All columns processed: no unseen results remain. *)
-    while !emitted < want && not (Xk_util.Heap.is_empty blocked) do
+    (* All columns processed: no unseen results remain - but a tripped
+       budget means blocked results were never confirmed, so they stay
+       unemitted and the prefix property is preserved. *)
+    while
+      !emitted < want
+      && not (Xk_util.Heap.is_empty blocked)
+      && not (Xk_resilience.Budget.exhausted budget)
+    do
       match Xk_util.Heap.pop blocked with
       | Some (_, h) ->
           out := h :: !out;

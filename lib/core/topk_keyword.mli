@@ -24,10 +24,18 @@ val topk :
   ?stats:stats ->
   ?threshold:threshold ->
   ?semantics:semantics ->
+  ?budget:Xk_resilience.Budget.t ->
   Xk_index.Score_list.t array ->
   Xk_score.Damping.t ->
   k:int ->
   hit list
 (** The K best results, best first, identical (up to ties) to running
     {!Join_query.run} and keeping the K top scores - property-tested in
-    [test/test_core.ml]. *)
+    [test/test_core.ml].
+
+    Anytime: every emitted result was confirmed against the
+    unseen-results threshold, so when the budget expires mid-run the
+    function returns early with the results emitted so far - a valid
+    prefix of the full top-K under the same scores (never raises
+    [Budget.Expired]).  Use [Budget.exhausted] to detect the partial
+    case. *)

@@ -104,13 +104,18 @@ let await fut =
   let s = settled () in
   Mutex.unlock fut.fm;
   match s with
-  | Done v -> v
-  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Done v -> Ok v
+  | Failed (e, bt) -> Error (e, bt)
   | Pending -> assert false
+
+let await_exn fut =
+  match await fut with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
 
 let map_array t f xs =
   let futs = Array.map (fun x -> async t (fun () -> f x)) xs in
-  Array.map await futs
+  Array.map await_exn futs
 
 let shutdown t =
   Mutex.lock t.lock;

@@ -29,9 +29,14 @@ type 'a future
 val async : t -> (unit -> 'a) -> 'a future
 (** Enqueue a job and return a handle to its eventual result. *)
 
-val await : 'a future -> 'a
-(** Block until the job finishes.  Re-raises (with its backtrace) any
-    exception the job raised. *)
+val await : 'a future -> ('a, exn * Printexc.raw_backtrace) result
+(** Block until the job finishes.  An exception raised by the job is
+    delivered as [Error] with the backtrace captured at the raise site —
+    the worker domain itself never dies. *)
+
+val await_exn : 'a future -> 'a
+(** Like {!await} but re-raises the job's exception (with its original
+    backtrace) in the awaiting domain. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Evaluate [f] over all elements on the pool, preserving order.  All

@@ -1,19 +1,36 @@
-(* Index persistence: the dictionary and raw postings in one binary file,
-   so a corpus only pays tokenization once.  Loading re-attaches the
-   postings to a freshly labeled document (labels are deterministic in the
-   document, so node ids line up; a node-count check guards against
-   mismatched files).
+(* Index persistence, version 2: a checksummed segment so that storage
+   faults surface as typed errors instead of opaque crashes.
 
-   Layout: magic, node count, term count, then per term the term bytes,
-   the row count, delta-coded node ids and tf values. *)
+   Layout:  magic "XKIDX002" | version varint | payload-length varint |
+   payload CRC-32 varint | payload.  The payload is the v1 body: node
+   count, term count, then per term the term bytes, the row count,
+   delta-coded node ids and tf values.
 
-let magic = "XKIDX001"
+   The read path classifies failures (truncation vs. corruption vs.
+   transient IO) and retries the transient class - OS errors, injected
+   faults, and checksum mismatches, which a re-read distinguishes from
+   media corruption (a torn read heals, a corrupt file does not).  Saving
+   goes through a temp file + rename, so a crashed writer never leaves a
+   half-written segment under the live name. *)
+
+let magic = "XKIDX002"
+let magic_v1 = "XKIDX001"
+let version = 2
+
+type error =
+  | Truncated of string
+  | Corrupted of string
+  | Io_failed of string
+
+let error_message = function
+  | Truncated msg -> "truncated segment: " ^ msg
+  | Corrupted msg -> "corrupted segment: " ^ msg
+  | Io_failed msg -> "io error: " ^ msg
 
 exception Format_error of string
 
-let save (idx : Index.t) path =
+let encode_payload (idx : Index.t) =
   let buf = Buffer.create (1 lsl 20) in
-  Buffer.add_string buf magic;
   let label = Index.label idx in
   Xk_storage.Varint.write buf (Xk_encoding.Labeling.node_count label);
   let terms = Index.term_count idx in
@@ -32,22 +49,39 @@ let save (idx : Index.t) path =
       nodes;
     Array.iter (fun tf -> Xk_storage.Varint.write buf tf) tfs
   done;
-  let oc = open_out_bin path in
-  Buffer.output_buffer oc buf;
-  close_out oc
+  Buffer.contents buf
 
-let load ?damping (label : Xk_encoding.Labeling.t) path : Index.t =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let data = really_input_string ic len in
-  close_in ic;
-  if len < String.length magic || String.sub data 0 (String.length magic) <> magic
-  then raise (Format_error "bad magic");
-  let c = Xk_storage.Varint.cursor_at data (String.length magic) in
+let save (idx : Index.t) path =
+  let payload = encode_payload idx in
+  let header = Buffer.create 32 in
+  Buffer.add_string header magic;
+  Xk_storage.Varint.write header version;
+  Xk_storage.Varint.write header (String.length payload);
+  Xk_storage.Varint.write header (Xk_storage.Crc32.string payload);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Buffer.output_buffer oc header;
+     output_string oc payload;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* Payload decoding.  The CRC has already been verified when this runs, so
+   structural errors indicate a logic-level mismatch and are classified as
+   corruption (with the node-count check carrying its own message). *)
+
+exception Decode of string
+
+let decode_payload ?damping (label : Xk_encoding.Labeling.t) data ~pos : Index.t =
+  let c = Xk_storage.Varint.cursor_at data pos in
   let nodes_expected = Xk_storage.Varint.read c in
   if nodes_expected <> Xk_encoding.Labeling.node_count label then
     raise
-      (Format_error
+      (Decode
          (Printf.sprintf "index built over %d nodes, document has %d"
             nodes_expected
             (Xk_encoding.Labeling.node_count label)));
@@ -56,23 +90,101 @@ let load ?damping (label : Xk_encoding.Labeling.t) path : Index.t =
   (try
      for _ = 1 to terms do
        let tlen = Xk_storage.Varint.read c in
-       if c.pos + tlen > String.length data then
-         raise (Format_error "truncated term");
+       if c.pos + tlen > String.length data then raise (Decode "term cut short");
        let term = String.sub data c.pos tlen in
        c.pos <- c.pos + tlen;
        let rows = Xk_storage.Varint.read c in
+       if rows < 0 then raise (Decode "negative row count");
        let nodes = Array.make rows 0 in
        let prev = ref 0 in
        for r = 0 to rows - 1 do
          prev := !prev + Xk_storage.Varint.read c;
-         if !prev >= nodes_expected then raise (Format_error "node id out of range");
+         if !prev >= nodes_expected then raise (Decode "node id out of range");
          nodes.(r) <- !prev
        done;
        let tfs = Array.init rows (fun _ -> Xk_storage.Varint.read c) in
        entries := (term, nodes, tfs) :: !entries
      done
-   with Invalid_argument _ -> raise (Format_error "truncated file"));
+   with Invalid_argument _ -> raise (Decode "payload structure cut short"));
   Index.of_raw ?damping label (List.rev !entries)
+
+(* One read attempt, with fault-injection hooks and typed classification.
+   [`Transient] and [`Crc] are the retryable classes. *)
+let attempt ?damping label path :
+    (Index.t, [ `Transient of string | `Crc of string | `Fatal of error ]) result
+    =
+  match
+    Xk_resilience.Fault_injection.before_io ~path;
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Xk_resilience.Fault_injection.mangle_read ~path data
+  with
+  | exception Xk_resilience.Fault_injection.Injected_io msg ->
+      Error (`Transient msg)
+  | exception Sys_error msg -> Error (`Transient msg)
+  | data -> (
+      let mlen = String.length magic in
+      if String.length data < mlen then
+        Error (`Fatal (Truncated "shorter than the segment magic"))
+      else
+        let m = String.sub data 0 mlen in
+        if m = magic_v1 then
+          Error
+            (`Fatal
+              (Corrupted "legacy v1 segment without checksum; rebuild the index"))
+        else if m <> magic then Error (`Fatal (Corrupted "bad magic"))
+        else
+          match
+            let c = Xk_storage.Varint.cursor_at data mlen in
+            let v = Xk_storage.Varint.read c in
+            let plen = Xk_storage.Varint.read c in
+            let crc = Xk_storage.Varint.read c in
+            (v, plen, crc, c.pos)
+          with
+          | exception Invalid_argument _ ->
+              Error (`Fatal (Truncated "header cut short"))
+          | v, _, _, _ when v <> version ->
+              Error
+                (`Fatal (Corrupted (Printf.sprintf "unsupported version %d" v)))
+          | _, plen, crc, body -> (
+              let avail = String.length data - body in
+              if avail < plen then
+                Error
+                  (`Fatal
+                    (Truncated
+                       (Printf.sprintf "payload has %d of %d bytes" avail plen)))
+              else if avail > plen then
+                Error
+                  (`Fatal
+                    (Corrupted
+                       (Printf.sprintf "%d trailing bytes after the payload"
+                          (avail - plen))))
+              else if Xk_storage.Crc32.sub data ~pos:body ~len:plen <> crc then
+                Error (`Crc "payload checksum mismatch")
+              else
+                match decode_payload ?damping label data ~pos:body with
+                | idx -> Ok idx
+                | exception Decode msg -> Error (`Fatal (Corrupted msg))))
+
+let load_result ?damping ?(retries = 4) ?(backoff_ms = 1.0) label path =
+  match
+    Xk_resilience.Retry.with_backoff ~retries ~backoff_ms
+      ~retryable:(function `Transient _ | `Crc _ -> true | `Fatal _ -> false)
+      (fun () -> attempt ?damping label path)
+  with
+  | Ok idx -> Ok idx
+  | Error (`Transient msg) -> Error (Io_failed msg)
+  | Error (`Crc msg) -> Error (Corrupted msg)
+  | Error (`Fatal e) -> Error e
+
+let load ?damping label path =
+  match load_result ?damping label path with
+  | Ok idx -> idx
+  | Error e -> raise (Format_error (error_message e))
 
 let file_size path =
   let ic = open_in_bin path in

@@ -1,15 +1,44 @@
-(** Index persistence: dictionary + raw postings in one binary file.
+(** Fault-tolerant index persistence: dictionary + raw postings in one
+    binary segment with a magic/version header and a CRC-32 payload
+    checksum.
 
     Loading attaches the postings to a freshly labeled copy of the same
     document (labels are deterministic), so a corpus pays tokenization only
-    once. *)
+    once.  Reads classify their failures - {!Truncated} (the file ends
+    before the declared payload), {!Corrupted} (bad magic, version,
+    checksum or structure), {!Io_failed} (the transient class: OS errors
+    and injected faults) - and the transient class, plus checksum
+    mismatches (torn reads), is retried with exponential backoff before an
+    error is reported.  {!Xk_resilience.Fault_injection} hooks into the
+    read path, so the whole machinery is testable. *)
+
+type error =
+  | Truncated of string  (** file shorter than the declared layout *)
+  | Corrupted of string
+      (** bad magic/version, persistent checksum mismatch, malformed
+          payload, or a document/node-count mismatch *)
+  | Io_failed of string  (** transient IO failures survived every retry *)
+
+val error_message : error -> string
 
 exception Format_error of string
+(** Raised by the legacy {!load} wrapper, with {!error_message} applied. *)
 
 val save : Index.t -> string -> unit
+(** Write a checksummed segment atomically (temp file + rename). *)
+
+val load_result :
+  ?damping:Xk_score.Damping.t ->
+  ?retries:int ->
+  ?backoff_ms:float ->
+  Xk_encoding.Labeling.t ->
+  string ->
+  (Index.t, error) result
+(** Load a segment, retrying transient IO errors and checksum mismatches
+    up to [retries] (default 4) times with exponential backoff starting at
+    [backoff_ms] (default 1.0).  Never raises on bad input. *)
 
 val load : ?damping:Xk_score.Damping.t -> Xk_encoding.Labeling.t -> string -> Index.t
-(** Raises {!Format_error} on corrupt input or when the file was built over
-    a document with a different node count. *)
+(** {!load_result}, raising {!Format_error} on any error (legacy API). *)
 
 val file_size : string -> int

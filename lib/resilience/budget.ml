@@ -1,0 +1,58 @@
+(* Budgets are owned by one request and polled from the single worker
+   domain running it, so [tripped]/[count] are plain mutable fields; only
+   the cancellation flag crosses domains and is atomic. *)
+
+exception Expired
+
+type t = {
+  deadline : float option; (* absolute Unix.gettimeofday seconds *)
+  ticks : int option;      (* max cooperative checks *)
+  cancelled : bool Atomic.t;
+  mutable tripped : bool;
+  mutable count : int;
+}
+
+let make deadline ticks =
+  { deadline; ticks; cancelled = Atomic.make false; tripped = false; count = 0 }
+
+let unlimited = make None None
+
+let create ?deadline_ms ?ticks () =
+  let deadline =
+    Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) deadline_ms
+  in
+  make deadline ticks
+
+let cancel t =
+  if t == unlimited then invalid_arg "Budget.cancel: unlimited budget";
+  Atomic.set t.cancelled true
+
+let cancelled t = Atomic.get t.cancelled
+
+(* The wall clock is sampled on the first check and then every 32nd. *)
+let sample_mask = 31
+
+let alive t =
+  if t.tripped then false
+  else if Atomic.get t.cancelled then begin
+    t.tripped <- true;
+    false
+  end
+  else
+    match (t.deadline, t.ticks) with
+    | None, None -> true
+    | deadline, ticks ->
+        t.count <- t.count + 1;
+        let dead =
+          (match ticks with Some n -> t.count > n | None -> false)
+          || match deadline with
+             | Some d ->
+                 t.count land sample_mask = 1 && Unix.gettimeofday () > d
+             | None -> false
+        in
+        if dead then t.tripped <- true;
+        not dead
+
+let check t = if not (alive t) then raise Expired
+let exhausted t = t.tripped
+let is_limited t = t.deadline <> None || t.ticks <> None

@@ -1,0 +1,46 @@
+(** Cooperative execution budgets: a per-request token carrying an
+    optional wall-clock deadline, an optional tick allowance (a
+    deterministic resource budget counted in cooperative checks - used by
+    tests to stop a query at an exact, reproducible point), and a
+    cancellation flag that any domain may raise.
+
+    Hot loops poll the token with {!alive} (non-raising, for anytime
+    algorithms that return their current best results) or {!check}
+    (raising {!Expired}, for complete-result algorithms where a partial
+    answer would be wrong).  Both are cheap: the wall clock is sampled
+    once every 32 checks. *)
+
+exception Expired
+(** Raised by {!check} once the budget is exhausted or cancelled. *)
+
+type t
+
+val unlimited : t
+(** The shared no-op budget: never expires, cannot be cancelled.  All
+    budget parameters default to it. *)
+
+val create : ?deadline_ms:float -> ?ticks:int -> unit -> t
+(** A fresh budget.  [deadline_ms] is relative to now; [ticks] bounds the
+    number of cooperative checks before expiry (deterministic).  With
+    neither, the budget only expires through {!cancel}. *)
+
+val cancel : t -> unit
+(** Flag the budget as cancelled; safe from any domain.  Raises
+    [Invalid_argument] on {!unlimited}. *)
+
+val cancelled : t -> bool
+
+val alive : t -> bool
+(** [true] while the budget still has room.  The first call past the
+    deadline / tick allowance / cancellation trips the budget permanently. *)
+
+val check : t -> unit
+(** {!alive}, raising {!Expired} instead of returning [false]. *)
+
+val exhausted : t -> bool
+(** Whether the budget has tripped (observed expiry or cancellation).
+    Anytime algorithms use this after the fact to tag their result as
+    partial. *)
+
+val is_limited : t -> bool
+(** Whether the budget can ever expire (deadline or ticks set). *)

@@ -1,0 +1,134 @@
+exception Injected_io of string
+exception Injected_failure of string
+
+type config = {
+  io_failures : int;
+  corrupt_reads : int;
+  io_latency_ms : float;
+  query_failures : int;
+  query_latency_ms : float;
+}
+
+let none =
+  {
+    io_failures = 0;
+    corrupt_reads = 0;
+    io_latency_ms = 0.;
+    query_failures = 0;
+    query_latency_ms = 0.;
+  }
+
+let of_spec ?(latency_ms = 2.0) ?(count = 1) spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok acc
+    | "io" :: rest -> go { acc with io_failures = count } rest
+    | "corrupt" :: rest -> go { acc with corrupt_reads = count } rest
+    | "latency" :: rest ->
+        go { acc with io_latency_ms = latency_ms; query_latency_ms = latency_ms } rest
+    | "query" :: rest -> go { acc with query_failures = count } rest
+    | other :: _ ->
+        Error
+          (Printf.sprintf "unknown fault class %S (io|corrupt|latency|query)"
+             other)
+  in
+  go none parts
+
+(* The environment configuration is computed once at module init (before
+   any domain is spawned), so reading it later is race-free. *)
+let env_config =
+  match Sys.getenv_opt "XK_FAULTS" with
+  | None | Some "" -> none
+  | Some spec -> (
+      let latency_ms =
+        Option.bind (Sys.getenv_opt "XK_FAULT_LATENCY_MS") float_of_string_opt
+      in
+      let count =
+        Option.bind (Sys.getenv_opt "XK_FAULT_COUNT") int_of_string_opt
+      in
+      match of_spec ?latency_ms ?count spec with
+      | Ok c -> c
+      | Error msg ->
+          Printf.eprintf "warning: XK_FAULTS ignored: %s\n%!" msg;
+          none)
+
+(* All mutable state sits behind one lock: fault injection is never on a
+   genuine hot path. *)
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let override : config option ref = ref None
+let io_attempts : (string, int) Hashtbl.t = Hashtbl.create 8
+let read_attempts : (string, int) Hashtbl.t = Hashtbl.create 8
+let queries_seen = ref 0
+
+let clear_counters () =
+  Hashtbl.reset io_attempts;
+  Hashtbl.reset read_attempts;
+  queries_seen := 0
+
+let configure c =
+  with_lock (fun () ->
+      override := Some c;
+      clear_counters ())
+
+let reset () =
+  with_lock (fun () ->
+      override := None;
+      clear_counters ())
+
+let active () =
+  with_lock (fun () -> match !override with Some c -> c | None -> env_config)
+
+let enabled () = active () <> none
+
+let bump tbl key =
+  let n = Option.value (Hashtbl.find_opt tbl key) ~default:0 in
+  Hashtbl.replace tbl key (n + 1);
+  n
+
+let before_io ~path =
+  let c = active () in
+  if c <> none then begin
+    if c.io_latency_ms > 0. then Unix.sleepf (c.io_latency_ms /. 1000.);
+    let attempt = with_lock (fun () -> bump io_attempts path) in
+    if attempt < c.io_failures then
+      raise
+        (Injected_io
+           (Printf.sprintf "injected transient IO error (attempt %d) reading %s"
+              (attempt + 1) path))
+  end
+
+let mangle_read ~path data =
+  let c = active () in
+  if c.corrupt_reads = 0 || String.length data = 0 then data
+  else begin
+    let read = with_lock (fun () -> bump read_attempts path) in
+    if read >= c.corrupt_reads then data
+    else begin
+      let b = Bytes.of_string data in
+      let pos = Bytes.length b / 2 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x42));
+      Bytes.unsafe_to_string b
+    end
+  end
+
+let on_query () =
+  let c = active () in
+  if c <> none then begin
+    if c.query_latency_ms > 0. then Unix.sleepf (c.query_latency_ms /. 1000.);
+    let n =
+      with_lock (fun () ->
+          incr queries_seen;
+          !queries_seen)
+    in
+    if n <= c.query_failures then
+      raise (Injected_failure (Printf.sprintf "injected query failure #%d" n))
+  end

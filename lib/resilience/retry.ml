@@ -1,0 +1,10 @@
+let with_backoff ?(retries = 4) ?(backoff_ms = 1.0) ~retryable f =
+  let rec go attempt delay =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e when attempt < retries && retryable e ->
+        if delay > 0. then Unix.sleepf (delay /. 1000.);
+        go (attempt + 1) (delay *. 2.)
+    | Error _ as err -> err
+  in
+  go 0 backoff_ms

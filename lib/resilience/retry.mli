@@ -1,0 +1,14 @@
+(** Bounded retry with exponential backoff for operations whose failures
+    split into a transient class (worth retrying) and a permanent one. *)
+
+val with_backoff :
+  ?retries:int ->
+  ?backoff_ms:float ->
+  retryable:('e -> bool) ->
+  (unit -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** Run the thunk, retrying up to [retries] (default 4) extra times while
+    it returns a [retryable] error, sleeping [backoff_ms] (default 1.0)
+    before the first retry and doubling after each.  The last error is
+    returned when retries run out; non-retryable errors return
+    immediately. *)

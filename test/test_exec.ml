@@ -22,12 +22,17 @@ let pool_exception_propagates () =
   let pool = Domain_pool.create ~domains:2 () in
   let fut = Domain_pool.async pool (fun () -> raise (Boom 7)) in
   (match Domain_pool.await fut with
-  | exception Boom 7 -> ()
+  | Error (Boom 7, _) -> ()
+  | Error (e, _) -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | Ok _ -> Alcotest.fail "no exception");
+  (* await_exn re-raises with the original backtrace. *)
+  (match Domain_pool.await_exn (Domain_pool.async pool (fun () -> raise (Boom 3))) with
+  | exception Boom 3 -> ()
   | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
-  | _ -> Alcotest.fail "no exception");
-  (* The worker survived the raising job. *)
+  | _ -> Alcotest.fail "await_exn did not raise");
+  (* The worker survived the raising jobs. *)
   check Alcotest.int "pool still alive" 5
-    (Domain_pool.await (Domain_pool.async pool (fun () -> 5)));
+    (Domain_pool.await_exn (Domain_pool.async pool (fun () -> 5)));
   Domain_pool.shutdown pool
 
 let pool_shutdown_drains () =
@@ -85,12 +90,20 @@ let batch_equivalence () =
   let reqs = mixed_requests rng ~queries:10 ~alphabet:40 in
   let expected = Xk_core.Engine.query_batch eng reqs in
   let svc = Query_service.create ~domains:4 eng in
-  let actual = Query_service.exec_batch svc reqs in
+  let outcomes = Query_service.exec_batch svc reqs in
   let st = Query_service.stats svc in
   Query_service.shutdown svc;
-  check_batches "parallel vs sequential" expected actual;
+  List.iter
+    (fun o ->
+      match o with
+      | Query_service.Ok _ -> ()
+      | o -> Alcotest.failf "unexpected outcome %s" (Query_service.outcome_label o))
+    outcomes;
+  check_batches "parallel vs sequential" expected
+    (List.map Query_service.hits outcomes);
   check Alcotest.int "one batch counted" 1 st.batches;
   check Alcotest.int "queries counted" (List.length reqs) st.queries;
+  check Alcotest.int "all completed" (List.length reqs) st.completed;
   check Alcotest.int "four domains" 4 st.domains
 
 let batch_empty_and_unknown () =
@@ -103,7 +116,7 @@ let batch_empty_and_unknown () =
       ]
   in
   let svc = Query_service.create ~domains:2 eng in
-  let out = Query_service.exec_batch svc reqs in
+  let out = Query_service.exec_batch_hits svc reqs in
   let empty = Query_service.exec_batch svc [] in
   Query_service.shutdown svc;
   check Alcotest.int "empty batch" 0 (List.length empty);
@@ -154,7 +167,7 @@ let hammer () =
     Array.init clients (fun _ ->
         Domain.spawn (fun () ->
             for _ = 1 to rounds do
-              let got = Query_service.exec_batch svc reqs in
+              let got = Query_service.exec_batch_hits svc reqs in
               if not (List.for_all2 hits_equal expected got) then
                 failwith "hammer: results diverged from sequential"
             done))

@@ -1,0 +1,474 @@
+(* Resilience: budget semantics, anytime partial-prefix correctness,
+   fault-tolerant index IO, and service-level outcomes under injected
+   faults, deadlines and overload. *)
+
+open Xk_resilience
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* --- Budget primitives --------------------------------------------- *)
+
+let budget_ticks () =
+  let b = Budget.create ~ticks:5 () in
+  for i = 1 to 5 do
+    check Alcotest.bool (Printf.sprintf "tick %d alive" i) true (Budget.alive b)
+  done;
+  check Alcotest.bool "tick 6 expired" false (Budget.alive b);
+  check Alcotest.bool "stays expired" false (Budget.alive b);
+  check Alcotest.bool "exhausted" true (Budget.exhausted b);
+  Alcotest.check_raises "check raises" Budget.Expired (fun () ->
+      Budget.check (Budget.create ~ticks:0 ()))
+
+let budget_cancel () =
+  let b = Budget.create () in
+  check Alcotest.bool "alive before cancel" true (Budget.alive b);
+  Budget.cancel b;
+  check Alcotest.bool "dead after cancel" false (Budget.alive b);
+  check Alcotest.bool "exhausted after cancel" true (Budget.exhausted b);
+  (match Budget.cancel Budget.unlimited with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "cancelling the unlimited budget accepted")
+
+let budget_deadline () =
+  (* A deadline in the past trips on the first poll, deterministically. *)
+  let b = Budget.create ~deadline_ms:(-1.) () in
+  check Alcotest.bool "expired deadline" false (Budget.alive b);
+  check Alcotest.bool "exhausted" true (Budget.exhausted b);
+  let u = Budget.unlimited in
+  for _ = 1 to 100 do
+    check Alcotest.bool "unlimited alive" true (Budget.alive u)
+  done;
+  check Alcotest.bool "unlimited never exhausted" false (Budget.exhausted u);
+  check Alcotest.bool "unlimited is not limited" false (Budget.is_limited u);
+  check Alcotest.bool "deadline is limited" true
+    (Budget.is_limited (Budget.create ~deadline_ms:1000. ()))
+
+(* --- Anytime top-K: partial results are a prefix of the full top-K --- *)
+
+let scores (hits : Xk_baselines.Hit.t list) =
+  List.map (fun (h : Xk_baselines.Hit.t) -> h.score) hits
+
+let assert_prefix msg (full : Xk_baselines.Hit.t list)
+    (partial : Xk_baselines.Hit.t list) =
+  let fs = scores full and ps = scores partial in
+  if List.length ps > List.length fs then
+    Alcotest.failf "%s: partial larger than full" msg;
+  (* The emitted score sequence must be the first |partial| scores of the
+     full top-K... *)
+  List.iteri
+    (fun i p ->
+      let f = List.nth fs i in
+      if Float.abs (f -. p) > Tutil.score_tolerance then
+        Alcotest.failf "%s: score %d is %.9f, full run has %.9f" msg i p f)
+    ps;
+  (* ... and every emitted hit is a true result with its true score. *)
+  List.iter
+    (fun (h : Xk_baselines.Hit.t) ->
+      match
+        List.find_opt (fun (f : Xk_baselines.Hit.t) -> f.node = h.node) full
+      with
+      | Some f ->
+          if Float.abs (f.score -. h.score) > Tutil.score_tolerance then
+            Alcotest.failf "%s: node %d score drifted" msg h.node
+      | None -> Alcotest.failf "%s: node %d not in the full top-K" msg h.node)
+    partial
+
+(* A term-rich corpus and queries over terms that actually occur, so the
+   evaluators do real level-by-level work and the budget is polled. *)
+let rich_engine seed =
+  Xk_core.Engine.create
+    (Tutil.random_doc
+       ~config:
+         {
+           Xk_datagen.Random_tree.default with
+           max_depth = 7;
+           max_children = 5;
+           keywords = 24;
+         }
+       seed)
+
+let frequent_query eng i =
+  let idx = Xk_core.Engine.index eng in
+  let ids = Xk_index.Index.terms_by_df idx in
+  let word j = Xk_index.Index.term idx ids.(j mod Array.length ids) in
+  [ word i; word (i + 1) ]
+
+let partial_prefix () =
+  let eng = rich_engine 1234 in
+  let strict = ref 0 in
+  for qi = 1 to 8 do
+    let q = frequent_query eng (qi - 1) in
+    let full = Xk_core.Engine.query_topk eng q ~k:10 in
+    if full = [] then Alcotest.failf "query %d has no results" qi;
+    List.iter
+      (fun ticks ->
+        let budget = Budget.create ~ticks () in
+        let partial = Xk_core.Engine.query_topk ~budget eng q ~k:10 in
+        let msg = Printf.sprintf "query %d ticks %d" qi ticks in
+        assert_prefix msg full partial;
+        if Budget.exhausted budget then begin
+          if
+            List.length partial > 0 && List.length partial < List.length full
+          then incr strict
+        end
+        else
+          check Alcotest.int (msg ^ ": unexhausted budget = full run")
+            (List.length full) (List.length partial))
+      [ 1; 2; 3; 5; 8; 13; 21; 55; 144; 1_000_000 ]
+  done;
+  (* The sweep must actually exercise the anytime cutoff somewhere. *)
+  check Alcotest.bool "some strict partials observed" true (!strict > 0)
+
+let partial_prefix_hybrid () =
+  let eng = rich_engine 4321 in
+  for qi = 0 to 3 do
+    let q = frequent_query eng qi in
+    let full = Xk_core.Engine.query_topk ~algorithm:Hybrid eng q ~k:8 in
+    List.iter
+      (fun ticks ->
+        let budget = Budget.create ~ticks () in
+        let partial =
+          Xk_core.Engine.query_topk ~algorithm:Hybrid ~budget eng q ~k:8
+        in
+        assert_prefix "hybrid" full partial)
+      [ 1; 4; 16; 64 ]
+  done
+
+let complete_raises () =
+  let eng = rich_engine 1234 in
+  let q = frequent_query eng 0 in
+  if Xk_core.Engine.query eng q = [] then Alcotest.fail "query has no results";
+  List.iter
+    (fun algorithm ->
+      let budget = Budget.create ~ticks:0 () in
+      match Xk_core.Engine.query ~algorithm ~budget eng q with
+      | exception Budget.Expired -> ()
+      | _ -> Alcotest.fail "complete evaluation ignored an expired budget")
+    Xk_core.Engine.[ Join_based; Stack_based; Index_based ]
+
+let outcome_dispatch () =
+  let eng = rich_engine 77 in
+  let q = frequent_query eng 0 in
+  let topk = Xk_core.Engine.topk_request ~k:5 q in
+  let complete = Xk_core.Engine.complete_request q in
+  (* No deadline: both run to completion. *)
+  (match Xk_core.Engine.run_request_outcome eng topk with
+  | Xk_core.Engine.Done hits ->
+      Tutil.check_same_hits "outcome = run_request" hits
+        (Xk_core.Engine.run_request eng topk)
+  | _ -> Alcotest.fail "unlimited top-K not Done");
+  (* Expired deadline: anytime degrades, complete times out. *)
+  (match
+     Xk_core.Engine.run_request_outcome
+       ~budget:(Budget.create ~deadline_ms:(-1.) ())
+       eng topk
+   with
+  | Xk_core.Engine.Partial _ -> ()
+  | _ -> Alcotest.fail "expired top-K not Partial");
+  (match
+     Xk_core.Engine.run_request_outcome
+       ~budget:(Budget.create ~ticks:0 ())
+       eng complete
+   with
+  | Xk_core.Engine.Timed_out -> ()
+  | _ -> Alcotest.fail "expired complete not Timed_out");
+  (* The deadline can also travel inside the request. *)
+  match
+    Xk_core.Engine.run_request_outcome eng
+      (Xk_core.Engine.topk_request ~deadline_ms:(-1.) ~k:5 q)
+  with
+  | Xk_core.Engine.Partial _ -> ()
+  | _ -> Alcotest.fail "request-carried deadline ignored"
+
+(* --- Fault-tolerant index IO --------------------------------------- *)
+
+let with_saved_index f =
+  let eng = Tutil.random_engine 2020 in
+  let idx = Xk_core.Engine.index eng in
+  let label = Xk_index.Index.label idx in
+  let path = Filename.temp_file "xk_resilience" ".idx" in
+  Xk_index.Index_io.save idx path;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault_injection.reset ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f idx label path)
+
+let load_ok label path =
+  match Xk_index.Index_io.load_result ~backoff_ms:0. label path with
+  | Ok idx -> idx
+  | Error e -> Alcotest.failf "load failed: %s" (Xk_index.Index_io.error_message e)
+
+let io_transients_heal () =
+  with_saved_index (fun idx label path ->
+      Fault_injection.configure { Fault_injection.none with io_failures = 2 };
+      let reloaded = load_ok label path in
+      check Alcotest.int "terms survive retries"
+        (Xk_index.Index.term_count idx)
+        (Xk_index.Index.term_count reloaded))
+
+let io_transients_exhaust () =
+  with_saved_index (fun _ label path ->
+      Fault_injection.configure { Fault_injection.none with io_failures = 10 };
+      match Xk_index.Index_io.load_result ~retries:2 ~backoff_ms:0. label path with
+      | Error (Io_failed _) -> ()
+      | Error e ->
+          Alcotest.failf "wrong class: %s" (Xk_index.Index_io.error_message e)
+      | Ok _ -> Alcotest.fail "10 injected failures survived 2 retries")
+
+let torn_reads_heal () =
+  with_saved_index (fun idx label path ->
+      (* Byte-flipped reads fail the checksum; the re-read is clean. *)
+      Fault_injection.configure { Fault_injection.none with corrupt_reads = 2 };
+      let reloaded = load_ok label path in
+      check Alcotest.int "terms survive torn reads"
+        (Xk_index.Index.term_count idx)
+        (Xk_index.Index.term_count reloaded))
+
+let persistent_corruption () =
+  with_saved_index (fun _ label path ->
+      Fault_injection.configure Fault_injection.none;
+      (* Flip a byte of the payload on disk: every re-read sees it. *)
+      let data =
+        let ic = open_in_bin path in
+        let d = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        d
+      in
+      let b = Bytes.of_string data in
+      let pos = Bytes.length b - 5 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      match Xk_index.Index_io.load_result ~backoff_ms:0. label path with
+      | Error (Corrupted _) -> ()
+      | Error e ->
+          Alcotest.failf "wrong class: %s" (Xk_index.Index_io.error_message e)
+      | Ok _ -> Alcotest.fail "corrupted payload loaded")
+
+let truncation_detected () =
+  with_saved_index (fun _ label path ->
+      Fault_injection.configure Fault_injection.none;
+      let full = Xk_index.Index_io.file_size path in
+      List.iter
+        (fun keep ->
+          let data =
+            let ic = open_in_bin path in
+            let d = really_input_string ic keep in
+            close_in ic;
+            d
+          in
+          let cut = path ^ ".cut" in
+          let oc = open_out_bin cut in
+          output_string oc data;
+          close_out oc;
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove cut with Sys_error _ -> ())
+            (fun () ->
+              match
+                Xk_index.Index_io.load_result ~backoff_ms:0. label cut
+              with
+              | Error (Truncated _) -> ()
+              | Error e ->
+                  Alcotest.failf "keep=%d: wrong class: %s" keep
+                    (Xk_index.Index_io.error_message e)
+              | Ok _ -> Alcotest.failf "keep=%d: truncated segment loaded" keep))
+        [ 4; 9; full / 2; full - 1 ])
+
+let garbage_classified () =
+  with_saved_index (fun _ label path ->
+      Fault_injection.configure Fault_injection.none;
+      let write s =
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc
+      in
+      write "this is not an index segment at all";
+      (match Xk_index.Index_io.load_result ~backoff_ms:0. label path with
+      | Error (Corrupted _) -> ()
+      | _ -> Alcotest.fail "garbage not classified as corrupted");
+      write "XKIDX001legacy-body";
+      (match Xk_index.Index_io.load_result ~backoff_ms:0. label path with
+      | Error (Corrupted msg) ->
+          check Alcotest.bool "legacy message" true (String.length msg > 0)
+      | _ -> Alcotest.fail "v1 segment not classified as corrupted");
+      (* The legacy raising wrapper still raises on errors. *)
+      match Xk_index.Index_io.load label path with
+      | exception Xk_index.Index_io.Format_error _ -> ()
+      | _ -> Alcotest.fail "legacy load did not raise")
+
+(* --- Service outcomes under faults, deadlines and overload ---------- *)
+
+let sample_requests eng n =
+  let idx = Xk_core.Engine.index eng in
+  let ids = Xk_index.Index.terms_by_df idx in
+  let word i = Xk_index.Index.term idx ids.(i mod Array.length ids) in
+  List.init n (fun i ->
+      Xk_core.Engine.topk_request ~k:5 [ word i; word (i + 1) ])
+
+let service_failures_captured () =
+  Fun.protect ~finally:Fault_injection.reset (fun () ->
+      let eng = Tutil.random_engine 31 in
+      Fault_injection.configure { Fault_injection.none with query_failures = 2 };
+      let svc = Xk_exec.Query_service.create ~domains:2 eng in
+      let reqs = sample_requests eng 6 in
+      let outcomes = Xk_exec.Query_service.exec_batch svc reqs in
+      let failed =
+        List.filter Xk_exec.Query_service.is_failure outcomes |> List.length
+      in
+      check Alcotest.int "exactly the injected failures" 2 failed;
+      List.iter
+        (fun o ->
+          match o with
+          | Xk_exec.Query_service.Failed f ->
+              check Alcotest.bool "message captured" true
+                (String.length f.message > 0)
+          | Xk_exec.Query_service.Ok _ -> ()
+          | o ->
+              Alcotest.failf "unexpected outcome %s"
+                (Xk_exec.Query_service.outcome_label o))
+        outcomes;
+      (* All worker domains survived: a clean batch fully succeeds. *)
+      Fault_injection.configure Fault_injection.none;
+      let clean = Xk_exec.Query_service.exec_batch svc reqs in
+      List.iter
+        (fun o ->
+          match o with
+          | Xk_exec.Query_service.Ok _ -> ()
+          | o ->
+              Alcotest.failf "after failures: %s"
+                (Xk_exec.Query_service.outcome_label o))
+        clean;
+      let st = Xk_exec.Query_service.stats svc in
+      Xk_exec.Query_service.shutdown svc;
+      check Alcotest.int "failed counter" 2 st.failed;
+      check Alcotest.int "completed counter" (2 * List.length reqs - 2)
+        st.completed)
+
+let service_deadlines () =
+  Fun.protect ~finally:Fault_injection.reset (fun () ->
+      Fault_injection.configure Fault_injection.none;
+      let eng = Tutil.random_engine 62 in
+      let svc = Xk_exec.Query_service.create ~domains:2 eng in
+      let topk = sample_requests eng 4 in
+      let complete =
+        List.map
+          (fun (r : Xk_core.Engine.request) ->
+            { r with req_mode = Xk_core.Engine.Complete Join_based })
+          topk
+      in
+      (* An already-expired deadline: anytime requests degrade to Partial,
+         complete requests time out; nothing fails. *)
+      let out =
+        Xk_exec.Query_service.exec_batch ~deadline_ms:(-1.) svc
+          (topk @ complete)
+      in
+      List.iteri
+        (fun i o ->
+          match (o, i < List.length topk) with
+          | Xk_exec.Query_service.Partial _, true -> ()
+          | Xk_exec.Query_service.Timeout, false -> ()
+          | o, _ ->
+              Alcotest.failf "request %d: unexpected %s" i
+                (Xk_exec.Query_service.outcome_label o))
+        out;
+      let st = Xk_exec.Query_service.stats svc in
+      check Alcotest.int "partials counted" (List.length topk) st.partials;
+      check Alcotest.int "timeouts counted" (List.length complete) st.timeouts;
+      (* Without a deadline the same batch fully completes. *)
+      let clean = Xk_exec.Query_service.exec_batch svc (topk @ complete) in
+      List.iter
+        (fun o ->
+          match o with
+          | Xk_exec.Query_service.Ok _ -> ()
+          | o ->
+              Alcotest.failf "clean run: %s"
+                (Xk_exec.Query_service.outcome_label o))
+        clean;
+      Xk_exec.Query_service.shutdown svc)
+
+let overload_rejects () =
+  Fun.protect ~finally:Fault_injection.reset (fun () ->
+      let eng = Tutil.random_engine 93 in
+      (* Slow queries + a tiny admission bound + a burst: the submission
+         loop runs in microseconds while every admitted job sleeps, so
+         exactly [max_queue] requests are admitted. *)
+      Fault_injection.configure
+        { Fault_injection.none with query_latency_ms = 50. };
+      let svc = Xk_exec.Query_service.create ~domains:2 ~max_queue:2 eng in
+      let reqs = sample_requests eng 12 in
+      let outcomes = Xk_exec.Query_service.exec_batch svc reqs in
+      let count p = List.length (List.filter p outcomes) in
+      let rejected =
+        count (function Xk_exec.Query_service.Rejected -> true | _ -> false)
+      in
+      let ok =
+        count (function Xk_exec.Query_service.Ok _ -> true | _ -> false)
+      in
+      check Alcotest.bool "overload rejects" true (rejected >= 8);
+      check Alcotest.int "admitted requests succeed" (12 - rejected) ok;
+      check Alcotest.int "no hard failures" 0
+        (count Xk_exec.Query_service.is_failure);
+      (* The service remains fully usable after the overload burst (the
+         clean batch stays within the admission bound). *)
+      Fault_injection.configure Fault_injection.none;
+      let clean = Xk_exec.Query_service.exec_batch svc (sample_requests eng 2) in
+      List.iter
+        (fun o ->
+          match o with
+          | Xk_exec.Query_service.Ok _ -> ()
+          | o ->
+              Alcotest.failf "after overload: %s"
+                (Xk_exec.Query_service.outcome_label o))
+        clean;
+      let st = Xk_exec.Query_service.stats svc in
+      Xk_exec.Query_service.shutdown svc;
+      check Alcotest.int "rejected counter" rejected st.rejected;
+      check Alcotest.bool "max_queue recorded" true (st.max_queue = Some 2))
+
+let fault_spec_parsing () =
+  (match Fault_injection.of_spec "io,corrupt,latency,query" with
+  | Ok c ->
+      check Alcotest.bool "io" true (c.io_failures > 0);
+      check Alcotest.bool "corrupt" true (c.corrupt_reads > 0);
+      check Alcotest.bool "latency" true (c.io_latency_ms > 0.);
+      check Alcotest.bool "query" true (c.query_failures > 0)
+  | Error msg -> Alcotest.failf "spec rejected: %s" msg);
+  match Fault_injection.of_spec "io,bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus fault class accepted"
+
+let suite =
+  [
+    ( "resilience.budget",
+      [
+        tc "tick allowance" `Quick budget_ticks;
+        tc "cancellation" `Quick budget_cancel;
+        tc "deadlines and unlimited" `Quick budget_deadline;
+      ] );
+    ( "resilience.anytime",
+      [
+        tc "partial is a prefix of full top-K" `Quick partial_prefix;
+        tc "hybrid partial prefix" `Quick partial_prefix_hybrid;
+        tc "complete modes raise" `Quick complete_raises;
+        tc "outcome dispatch" `Quick outcome_dispatch;
+      ] );
+    ( "resilience.storage",
+      [
+        tc "transient IO heals via retry" `Quick io_transients_heal;
+        tc "transient IO exhausts retries" `Quick io_transients_exhaust;
+        tc "torn reads heal via checksum" `Quick torn_reads_heal;
+        tc "persistent corruption detected" `Quick persistent_corruption;
+        tc "truncation detected" `Quick truncation_detected;
+        tc "garbage and legacy segments" `Quick garbage_classified;
+      ] );
+    ( "resilience.service",
+      [
+        tc "failures captured, workers survive" `Quick service_failures_captured;
+        tc "deadlines degrade and time out" `Quick service_deadlines;
+        tc "overload rejects, service recovers" `Quick overload_rejects;
+        tc "fault spec parsing" `Quick fault_spec_parsing;
+      ] );
+  ]

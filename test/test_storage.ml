@@ -128,6 +128,35 @@ let dewey_codec_compresses () =
   let bytes = Dewey_codec.encoded_size ids in
   check Alcotest.bool "prefix sharing" true (bytes < 1000 * 6)
 
+let crc32_vectors () =
+  (* IEEE 802.3 check values. *)
+  check Alcotest.int "empty" 0 (Crc32.string "");
+  check Alcotest.int "check string" 0xCBF43926 (Crc32.string "123456789");
+  check Alcotest.int "single byte" 0xD202EF8D (Crc32.string "\x00")
+
+let crc32_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let n = String.length s in
+  let split = n / 3 in
+  let inc =
+    Crc32.update (Crc32.update 0 s ~pos:0 ~len:split) s ~pos:split
+      ~len:(n - split)
+  in
+  check Alcotest.int "incremental = one-shot" (Crc32.string s) inc;
+  check Alcotest.int "sub window" (Crc32.string "quick")
+    (Crc32.sub s ~pos:4 ~len:5)
+
+let crc32_detects_flips () =
+  let s = Bytes.of_string (String.init 256 Char.chr) in
+  let reference = Crc32.string (Bytes.to_string s) in
+  for i = 0 to Bytes.length s - 1 do
+    let orig = Bytes.get s i in
+    Bytes.set s i (Char.chr (Char.code orig lxor 0x01));
+    if Crc32.string (Bytes.to_string s) = reference then
+      Alcotest.failf "single-bit flip at byte %d undetected" i;
+    Bytes.set s i orig
+  done
+
 let btree_sizes () =
   let mk n = Array.init n (fun i -> Xk_encoding.Dewey.of_string (Printf.sprintf "1.%d.2" (i + 1))) in
   let postings = [ ("alpha", mk 1000); ("beta", mk 10) ] in
@@ -159,6 +188,9 @@ let suite =
         tc "rle compresses duplicates" `Quick column_rle_compresses;
         tc "dewey codec roundtrip" `Quick dewey_codec_roundtrip;
         tc "dewey codec shares prefixes" `Quick dewey_codec_compresses;
+        tc "crc32 known vectors" `Quick crc32_vectors;
+        tc "crc32 incremental" `Quick crc32_incremental;
+        tc "crc32 detects bit flips" `Quick crc32_detects_flips;
         tc "btree size model" `Quick btree_sizes;
         QCheck_alcotest.to_alcotest column_codec_prop;
         QCheck_alcotest.to_alcotest dewey_codec_prop;
