@@ -113,7 +113,8 @@ let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms points totals cache
   p "  \"workload\": {\"queries\": %d, \"requests_per_batch\": %d, \"runs\": %d},\n"
     queries (queries * 3) runs;
   p "  \"host_cores\": %d,\n" cores;
-  p "  \"note\": \"speedup is relative to the 1-domain point; on a single-core host the sweep degenerates to overhead measurement\",\n";
+  p "  \"single_core_warning\": %b,\n" (cores <= 1);
+  p "  \"note\": \"speedup is relative to the 1-domain point; on a single-core host (single_core_warning) the sweep degenerates to overhead measurement\",\n";
   p "  \"sweep\": [\n";
   List.iteri
     (fun i pt ->

@@ -1,0 +1,255 @@
+(* Sharded scatter/gather experiment: sweep the shard count over a
+   generated DBLP workload and record per-point latency, throughput and
+   outcome counters in BENCH_shard.json, against a sequential
+   single-index baseline.
+
+     dune exec bench/bench_shard.exe                    # defaults
+     dune exec bench/bench_shard.exe -- --shards 1,2,4,8 --scale 0.5
+     dune exec bench/bench_shard.exe -- --check         # parity gate only
+
+   The workload mixes complete ELCA, complete SLCA and top-10 requests
+   (all join-based), as in bench_parallel.  Every sweep point first
+   verifies the gathered results against sequential execution on the
+   unsharded index: complete requests must match node-for-node, top-K
+   requests score-for-score (at equal scores the single-index top-K
+   heap's emission order is unspecified).  On a single-core host the
+   sweep measures scatter/gather overhead, not speedup — the JSON says
+   so via single_core_warning. *)
+
+open Bench_util
+
+type point = {
+  shards : int;
+  domains : int;
+  wall_s : float;
+  qps : float;
+  latency_ms : float;  (* mean single-request scatter/gather latency *)
+  speedup : float;  (* vs the 1-shard point *)
+  stats : Xk_exec.Shard_exec.stats;
+}
+
+let build_workload idx ~queries ~seed =
+  let rng = Xk_datagen.Rng.create seed in
+  let high = Xk_workload.Workload.max_df idx in
+  let low = max 2 (high / 20) in
+  let qs = Xk_workload.Workload.random_queries rng idx ~k:2 ~high ~low ~n:queries in
+  List.concat_map
+    (fun q ->
+      [
+        Xk_core.Engine.complete_request ~semantics:Elca q;
+        Xk_core.Engine.complete_request ~semantics:Slca q;
+        Xk_core.Engine.topk_request ~semantics:Elca ~k:10 q;
+      ])
+    qs
+
+let same_hits (req : Xk_core.Engine.request) a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Xk_baselines.Hit.t) (y : Xk_baselines.Hit.t) ->
+         x.score = y.score
+         &&
+         match req.req_mode with
+         | Xk_core.Engine.Topk _ -> true
+         | Xk_core.Engine.Complete _ -> x.node = y.node)
+       a b
+
+let verify_parity ~shards reqs reference outcomes =
+  let rec check i = function
+    | [], [], [] -> ()
+    | r :: rs, a :: sq, o :: os ->
+        (match o with
+        | Xk_exec.Query_service.Ok b when same_hits r a b -> ()
+        | Xk_exec.Query_service.Ok _ ->
+            failwith
+              (Printf.sprintf
+                 "shards=%d: request %d differs from sequential execution"
+                 shards i)
+        | _ ->
+            failwith
+              (Printf.sprintf
+                 "shards=%d: request %d did not complete (no deadline given)"
+                 shards i));
+        check (i + 1) (rs, sq, os)
+    | _ -> failwith "result count mismatch"
+  in
+  check 0 (reqs, reference, outcomes)
+
+let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms ~seq_wall ~seq_qps
+    points =
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"sharded scatter/gather sweep\",\n";
+  p
+    "  \"corpus\": {\"dataset\": \"dblp\", \"scale\": %g, \"nodes\": %d, \"terms\": %d},\n"
+    scale nodes terms;
+  p
+    "  \"workload\": {\"queries\": %d, \"requests_per_batch\": %d, \"runs\": %d},\n"
+    queries (queries * 3) runs;
+  p "  \"host_cores\": %d,\n" cores;
+  p "  \"single_core_warning\": %b,\n" (cores <= 1);
+  p
+    "  \"note\": \"every point is parity-checked against sequential \
+     single-index execution before timing; speedup is relative to the \
+     1-shard point; on a single-core host (single_core_warning) the sweep \
+     measures scatter/gather overhead, not speedup\",\n";
+  p "  \"sequential\": {\"batch_wall_s\": %.4f, \"qps\": %.1f},\n" seq_wall
+    seq_qps;
+  p "  \"sweep\": [\n";
+  List.iteri
+    (fun i pt ->
+      let st = pt.stats in
+      p
+        "    {\"shards\": %d, \"domains\": %d, \"batch_wall_s\": %.4f, \
+         \"qps\": %.1f, \"mean_latency_ms\": %.3f, \"speedup\": %.2f,\n"
+        pt.shards pt.domains pt.wall_s pt.qps pt.latency_ms pt.speedup;
+      p
+        "     \"outcomes\": {\"completed\": %d, \"partials\": %d, \
+         \"timeouts\": %d, \"rejected\": %d, \"failed\": %d},\n"
+        st.completed st.partials st.timeouts st.rejected st.failed;
+      let c = st.cache in
+      p
+        "     \"cache\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+         \"entries\": %d, \"capacity\": %d}}%s\n"
+        c.hits c.misses c.evictions c.entries c.capacity
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+let run scale queries runs seed sweep check_only out =
+  header "Sharded serving: shard-count sweep (DBLP workload)";
+  let t0 = now () in
+  let corpus = Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled scale) in
+  let label = Xk_encoding.Labeling.label corpus.doc in
+  let idx = Xk_index.Index.build label in
+  let eng = Xk_core.Engine.of_index idx in
+  let nodes = Xk_encoding.Labeling.node_count label in
+  let terms = Xk_index.Index.term_count idx in
+  Printf.printf "corpus: %d nodes, %d terms (%.1fs)\n%!" nodes terms
+    (now () -. t0);
+  let reqs = build_workload idx ~queries ~seed in
+  let n = List.length reqs in
+  Printf.printf "workload: %d requests/batch (ELCA + SLCA + top-10 per query)\n%!"
+    n;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host: %d recommended domain(s)%s\n%!" cores
+    (if cores <= 1 then " — single core, expect overhead, not speedup" else "");
+  let reference = Xk_core.Engine.query_batch eng reqs in
+  let seq_wall =
+    let t0 = now () in
+    for _ = 1 to runs do
+      ignore (Xk_core.Engine.query_batch eng reqs)
+    done;
+    (now () -. t0) /. float_of_int runs
+  in
+  let seq_qps = float_of_int n /. seq_wall in
+  Printf.printf "sequential baseline: %.3fs/batch, %.1f q/s\n%!" seq_wall
+    seq_qps;
+  let points =
+    List.map
+      (fun shards ->
+        let sharded = Xk_index.Sharding.partition ~shards corpus.doc in
+        let sx = Xk_exec.Shard_exec.create sharded in
+        (* Warmup run doubles as the parity gate. *)
+        let first = Xk_exec.Shard_exec.exec_batch sx reqs in
+        verify_parity ~shards reqs reference first;
+        Printf.printf "  shards=%d: parity verified (%d requests)\n%!" shards n;
+        let pt =
+          if check_only then
+            {
+              shards;
+              domains = Xk_exec.Shard_exec.domains sx;
+              wall_s = 0.;
+              qps = 0.;
+              latency_ms = 0.;
+              speedup = 0.;
+              stats = Xk_exec.Shard_exec.stats sx;
+            }
+          else begin
+            let t0 = now () in
+            for _ = 1 to runs do
+              ignore (Xk_exec.Shard_exec.exec_batch sx reqs)
+            done;
+            let wall_s = (now () -. t0) /. float_of_int runs in
+            let sample = List.filteri (fun i _ -> i < 30) reqs in
+            let l0 = now () in
+            List.iter (fun r -> ignore (Xk_exec.Shard_exec.exec sx r)) sample;
+            let latency_ms =
+              (now () -. l0) *. 1000. /. float_of_int (List.length sample)
+            in
+            let qps = float_of_int n /. wall_s in
+            Printf.printf
+              "  shards=%d: %.3fs/batch, %.1f q/s, %.3f ms/query scatter/gather\n%!"
+              shards wall_s qps latency_ms;
+            {
+              shards;
+              domains = Xk_exec.Shard_exec.domains sx;
+              wall_s;
+              qps;
+              latency_ms;
+              speedup = 0.;
+              stats = Xk_exec.Shard_exec.stats sx;
+            }
+          end
+        in
+        Xk_exec.Shard_exec.shutdown sx;
+        pt)
+      sweep
+  in
+  if check_only then
+    Printf.printf "parity verified for shard counts %s\n"
+      (String.concat "," (List.map string_of_int sweep))
+  else begin
+    let base = match points with [] -> 1. | p :: _ -> p.qps in
+    let points = List.map (fun p -> { p with speedup = p.qps /. base }) points in
+    emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms ~seq_wall ~seq_qps
+      points
+  end
+
+open Cmdliner
+
+let scale =
+  Arg.(value & opt float 0.2 & info [ "scale" ] ~doc:"DBLP corpus scale factor.")
+
+let queries =
+  Arg.(
+    value & opt int 100
+    & info [ "queries" ] ~doc:"Keyword queries per batch (3 requests each).")
+
+let runs =
+  Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Timed runs per sweep point.")
+
+let seed = Arg.(value & opt int 2010 & info [ "seed" ] ~doc:"Workload seed.")
+
+let sweep =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4 ]
+    & info [ "shards" ] ~doc:"Comma-separated shard counts to sweep.")
+
+let check_only =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Verify sharded/sequential parity for every shard count and \
+           exit without timing (no JSON written).")
+
+let out =
+  Arg.(
+    value
+    & opt string "BENCH_shard.json"
+    & info [ "out" ] ~doc:"JSON output path.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bench_shard"
+       ~doc:
+         "Latency/throughput sweep of sharded scatter/gather execution over \
+          shard counts.")
+    Term.(const run $ scale $ queries $ runs $ seed $ sweep $ check_only $ out)
+
+let () = exit (Cmd.eval cmd)

@@ -27,6 +27,31 @@ let load_engine ?index_file path =
     (Unix.gettimeofday () -. t0);
   eng
 
+(* Same entry point for sharded serving: partition in memory, or reload a
+   shard manifest written by `xkq index --shards`. *)
+let load_sharded ?index_file ~shards path =
+  let t0 = Unix.gettimeofday () in
+  let doc = Xk_xml.Xml_parser.parse_file_exn path in
+  let sharded =
+    match index_file with
+    | Some p when Xk_index.Shard_io.is_manifest p -> (
+        match Xk_index.Shard_io.load_result doc p with
+        | Ok s -> s
+        | Error e -> failwith (Xk_index.Shard_io.error_message e))
+    | Some p ->
+        failwith
+          (Printf.sprintf
+             "%s is not a shard manifest (build one with `xkq index --shards`)"
+             p)
+    | None -> Xk_index.Sharding.partition ~shards doc
+  in
+  Printf.eprintf "%s %s as %d shard(s) in %.2fs\n%!"
+    (match index_file with None -> "indexed" | Some _ -> "loaded")
+    path
+    (Xk_index.Sharding.count sharded)
+    (Unix.gettimeofday () -. t0);
+  sharded
+
 (* ------------------------------------------------------------------ *)
 
 let generate dataset scale out =
@@ -53,20 +78,53 @@ let generate_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let index_doc path out =
-  let eng = load_engine path in
-  Xk_index.Index_io.save (Xk_core.Engine.index eng) out;
-  Printf.printf "wrote %s (%.2f MB)\n" out
-    (float_of_int (Xk_index.Index_io.file_size out) /. 1048576.)
+let index_doc path out shards =
+  if shards <= 1 then begin
+    let eng = load_engine path in
+    Xk_index.Index_io.save (Xk_core.Engine.index eng) out;
+    Printf.printf "wrote %s (%.2f MB)\n" out
+      (float_of_int (Xk_index.Index_io.file_size out) /. 1048576.)
+  end
+  else begin
+    let sharded = load_sharded ~shards path in
+    Xk_index.Shard_io.save sharded out;
+    let mb b = float_of_int b /. 1048576. in
+    let total = ref (Xk_index.Index_io.file_size out) in
+    Printf.printf "wrote %s (manifest, %d shards)\n" out
+      (Xk_index.Sharding.count sharded);
+    Array.iteri
+      (fun s (r : Xk_index.Index_sizes.report) ->
+        let seg = Xk_index.Shard_io.segment_path out ~shard:s in
+        let bytes = Xk_index.Index_io.file_size seg in
+        total := !total + bytes;
+        let idx = Xk_index.Sharding.index sharded s in
+        Printf.printf
+          "  shard %3d: %-24s %7.2f MB, %8d nodes, %7d terms, IL %.2f MB\n" s
+          (Filename.basename seg) (mb bytes)
+          (Xk_encoding.Labeling.node_count (Xk_index.Index.label idx))
+          (Xk_index.Index.term_count idx)
+          (mb r.join_based.inverted_lists))
+      (Xk_index.Sharding.size_reports sharded);
+    Printf.printf "total on disk: %.2f MB (manifest + %d segments)\n" (mb !total)
+      (Xk_index.Sharding.count sharded)
+  end
 
 let index_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let out =
     Arg.(value & opt string "corpus.idx" & info [ "out" ] ~doc:"Index file.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Partition the index into N shards and save a shard manifest \
+             plus one segment per shard, with a per-shard size breakdown.")
+  in
   Cmd.v
     (Cmd.info "index" ~doc:"Build and save an index for an XML file.")
-    Term.(const index_doc $ path $ out)
+    Term.(const index_doc $ path $ out $ shards)
 
 (* ------------------------------------------------------------------ *)
 
@@ -91,34 +149,71 @@ let topk_algo_conv =
       ("hybrid", Xk_core.Engine.Hybrid);
     ]
 
-let print_hits eng words explain hits limit =
+let print_hits_with ~pp ~snip words explain hits limit =
   List.iteri
     (fun i (h : Xk_baselines.Hit.t) ->
       if i < limit then begin
-        Fmt.pr "%2d. %a@." (i + 1) (Xk_core.Engine.pp_hit eng) h;
+        Fmt.pr "%2d. %a@." (i + 1) pp h;
         if explain then
           List.iter
             (fun (kw, text) -> Fmt.pr "      [%s] ...%s...@." kw text)
-            (Xk_core.Engine.snippet eng words h)
+            (snip words h)
       end)
     hits;
   let n = List.length hits in
   if n > limit then Fmt.pr "... and %d more results@." (n - limit)
 
-let search path words semantics algo top topk_algo limit index_file explain =
+let print_hits eng =
+  print_hits_with ~pp:(Xk_core.Engine.pp_hit eng)
+    ~snip:(fun words h -> Xk_core.Engine.snippet eng words h)
+
+let request_of words semantics algo top topk_algo =
+  match top with
+  | Some k -> Xk_core.Engine.topk_request ~semantics ~algorithm:topk_algo ~k words
+  | None -> Xk_core.Engine.complete_request ~semantics ~algorithm:algo words
+
+let search path words semantics algo top topk_algo limit index_file explain
+    shards =
   if words = [] then failwith "no query keywords given";
-  let eng = load_engine ?index_file path in
-  let t0 = Unix.gettimeofday () in
-  let hits =
-    match top with
-    | Some k ->
-        Xk_core.Engine.query_topk ~semantics ~algorithm:topk_algo eng words ~k
-    | None -> Xk_core.Engine.query ~semantics ~algorithm:algo eng words
-  in
-  let dt = (Unix.gettimeofday () -. t0) *. 1000. in
-  Fmt.pr "%d result(s) in %.2f ms for {%s}@." (List.length hits) dt
-    (String.concat " " words);
-  print_hits eng words explain hits limit
+  match shards with
+  | None ->
+      let eng = load_engine ?index_file path in
+      let t0 = Unix.gettimeofday () in
+      let hits =
+        match top with
+        | Some k ->
+            Xk_core.Engine.query_topk ~semantics ~algorithm:topk_algo eng words
+              ~k
+        | None -> Xk_core.Engine.query ~semantics ~algorithm:algo eng words
+      in
+      let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+      Fmt.pr "%d result(s) in %.2f ms for {%s}@." (List.length hits) dt
+        (String.concat " " words);
+      print_hits eng words explain hits limit
+  | Some n ->
+      let sharded = load_sharded ?index_file ~shards:n path in
+      let sx = Xk_exec.Shard_exec.create sharded in
+      let req = request_of words semantics algo top topk_algo in
+      let t0 = Unix.gettimeofday () in
+      let outcome = Xk_exec.Shard_exec.exec sx req in
+      let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+      let show label hits =
+        Fmt.pr "%s%d result(s) in %.2f ms for {%s} over %d shard(s)@." label
+          (List.length hits) dt
+          (String.concat " " words)
+          (Xk_exec.Shard_exec.shard_count sx);
+        print_hits_with
+          ~pp:(Xk_exec.Shard_exec.pp_hit sx)
+          ~snip:(fun words h -> Xk_exec.Shard_exec.snippet sx words h)
+          words explain hits limit
+      in
+      (match outcome with
+      | Xk_exec.Query_service.Ok hits -> show "" hits
+      | Xk_exec.Query_service.Partial hits -> show "partial: " hits
+      | Xk_exec.Query_service.Timeout -> Fmt.pr "timed out with no result@."
+      | Xk_exec.Query_service.Rejected -> Fmt.pr "rejected by admission control@."
+      | Xk_exec.Query_service.Failed f -> Fmt.pr "failed: %s@." f.message);
+      Xk_exec.Shard_exec.shutdown sx
 
 let search_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -158,11 +253,20 @@ let search_cmd =
       value & flag
       & info [ "explain" ] ~doc:"Show per-keyword witness snippets.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ]
+          ~doc:
+            "Serve the query from N index shards with scatter/gather \
+             (with $(b,--index), the file must be a shard manifest).")
+  in
   Cmd.v
     (Cmd.info "search" ~doc:"Run a keyword query against an XML file.")
     Term.(
       const search $ path $ words $ semantics $ algo $ top $ topk_algo $ limit
-      $ index_file $ explain)
+      $ index_file $ explain $ shards)
 
 (* ------------------------------------------------------------------ *)
 
@@ -190,95 +294,164 @@ let generate_queries eng n k seed =
   let low = max 2 (high / 20) in
   Xk_workload.Workload.random_queries rng idx ~k ~high ~low ~n
 
-let batch path queries_file semantics algo top topk_algo domains repeat gen
-    gen_k seed check index_file deadline_ms max_queue faults =
-  (match faults with
-  | None -> ()
-  | Some spec -> (
-      match Xk_resilience.Fault_injection.of_spec spec with
-      | Ok config -> Xk_resilience.Fault_injection.configure config
-      | Error msg -> failwith (Printf.sprintf "--faults: %s" msg)));
-  let eng = load_engine ?index_file path in
-  let queries =
-    match queries_file with
-    | Some qf -> read_queries qf
-    | None -> generate_queries eng gen gen_k seed
-  in
-  if queries = [] then failwith "empty workload";
-  let reqs =
-    List.map
-      (fun words ->
-        match top with
-        | Some k ->
-            Xk_core.Engine.topk_request ~semantics ~algorithm:topk_algo ~k words
-        | None -> Xk_core.Engine.complete_request ~semantics ~algorithm:algo words)
-      queries
-  in
-  let svc = Xk_exec.Query_service.create ~domains ?max_queue eng in
-  let n = List.length reqs in
+let report_runs ~repeat ~n run_once =
   let t0 = Unix.gettimeofday () in
   let last = ref [] in
   for run = 1 to repeat do
     let r0 = Unix.gettimeofday () in
-    last := Xk_exec.Query_service.exec_batch ?deadline_ms svc reqs;
+    last := run_once ();
     let dt = Unix.gettimeofday () -. r0 in
     Printf.printf "run %d/%d: %d queries in %.3fs (%.1f q/s)\n%!" run repeat n
       dt
       (float_of_int n /. dt)
   done;
-  let wall = Unix.gettimeofday () -. t0 in
-  let total = n * repeat in
-  Printf.printf
-    "batch done: %d queries (%d x %d) on %d domain(s) in %.3fs\n"
-    total repeat n domains wall;
+  (Unix.gettimeofday () -. t0, !last)
+
+let report_throughput ~total wall =
   Printf.printf "throughput: %.1f q/s, mean latency %.3f ms/query\n"
     (float_of_int total /. wall)
-    (wall *. 1000. /. float_of_int total);
-  let st = Xk_exec.Query_service.stats svc in
-  Printf.printf
-    "outcomes: %d ok, %d partial, %d timeout, %d rejected, %d failed\n"
-    st.completed st.partials st.timeouts st.rejected st.failed;
-  Printf.printf
-    "cache: %d hits, %d misses, %d evictions, %d/%d entries\n"
-    st.cache.hits st.cache.misses st.cache.evictions st.cache.entries
-    st.cache.capacity;
+    (wall *. 1000. /. float_of_int total)
+
+let report_cache (c : Xk_index.Shard_cache.stats) =
+  Printf.printf "cache: %d hits, %d misses, %d evictions, %d/%d entries\n"
+    c.hits c.misses c.evictions c.entries c.capacity
+
+let report_failures outcomes =
   List.iter
     (fun o ->
       match o with
       | Xk_exec.Query_service.Failed f ->
           Printf.eprintf "failed request: %s\n" f.message
       | _ -> ())
-    !last;
-  let ok =
-    if not check then true
-    else begin
-      (* Only completed requests are comparable; deadline/admission
-         policy legitimately degrades the rest. *)
-      let seq = Xk_core.Engine.query_batch eng reqs in
-      let same =
-        List.for_all2
-          (fun a o ->
-            match o with
-            | Xk_exec.Query_service.Ok b ->
-                List.length a = List.length b
-                && List.for_all2
-                     (fun (x : Xk_baselines.Hit.t) (y : Xk_baselines.Hit.t) ->
-                       x.node = y.node && x.score = y.score)
-                     a b
-            | _ -> true)
-          seq !last
-      in
-      if same then
-        Printf.printf "check: parallel results identical to sequential execution\n"
-      else prerr_endline "check FAILED: parallel results differ from sequential";
-      same
-    end
+    outcomes
+
+(* Only completed requests are comparable; deadline/admission policy
+   legitimately degrades the rest.  At equal scores the single-index
+   top-K heap's emission order is unspecified, so top-K requests compare
+   score sequences (complete requests stay node-exact). *)
+let check_against ~what seq reqs outcomes =
+  let same_hits (req : Xk_core.Engine.request) a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (x : Xk_baselines.Hit.t) (y : Xk_baselines.Hit.t) ->
+           x.score = y.score
+           &&
+           match req.req_mode with
+           | Xk_core.Engine.Topk _ -> true
+           | Xk_core.Engine.Complete _ -> x.node = y.node)
+         a b
   in
-  Xk_exec.Query_service.shutdown svc;
-  (* Exit code reflects hard failures only: timeouts and rejections are
-     service policy, not errors. *)
-  let hard_failures = List.exists Xk_exec.Query_service.is_failure !last in
-  if (not ok) || hard_failures then exit 1
+  let rec all3 = function
+    | [], [], [] -> true
+    | r :: rs, a :: sq, o :: os ->
+        (match o with
+        | Xk_exec.Query_service.Ok b -> same_hits r a b
+        | _ -> true)
+        && all3 (rs, sq, os)
+    | _ -> false
+  in
+  let same = all3 (reqs, seq, outcomes) in
+  if same then
+    Printf.printf "check: %s results identical to sequential execution\n" what
+  else Printf.eprintf "check FAILED: %s results differ from sequential\n" what;
+  same
+
+let batch path queries_file semantics algo top topk_algo domains repeat gen
+    gen_k seed check index_file deadline_ms max_queue faults shards =
+  (match faults with
+  | None -> ()
+  | Some spec -> (
+      match Xk_resilience.Fault_injection.of_spec spec with
+      | Ok config -> Xk_resilience.Fault_injection.configure config
+      | Error msg -> failwith (Printf.sprintf "--faults: %s" msg)));
+  match shards with
+  | None ->
+      let eng = load_engine ?index_file path in
+      let queries =
+        match queries_file with
+        | Some qf -> read_queries qf
+        | None -> generate_queries eng gen gen_k seed
+      in
+      if queries = [] then failwith "empty workload";
+      let reqs =
+        List.map
+          (fun words -> request_of words semantics algo top topk_algo)
+          queries
+      in
+      let svc = Xk_exec.Query_service.create ~domains ?max_queue eng in
+      let n = List.length reqs in
+      let wall, last =
+        report_runs ~repeat ~n (fun () ->
+            Xk_exec.Query_service.exec_batch ?deadline_ms svc reqs)
+      in
+      let total = n * repeat in
+      Printf.printf
+        "batch done: %d queries (%d x %d) on %d domain(s) in %.3fs\n" total
+        repeat n domains wall;
+      report_throughput ~total wall;
+      let st = Xk_exec.Query_service.stats svc in
+      Printf.printf
+        "outcomes: %d ok, %d partial, %d timeout, %d rejected, %d failed\n"
+        st.completed st.partials st.timeouts st.rejected st.failed;
+      report_cache st.cache;
+      report_failures last;
+      let ok =
+        (not check)
+        || check_against ~what:"parallel"
+             (Xk_core.Engine.query_batch eng reqs)
+             reqs last
+      in
+      Xk_exec.Query_service.shutdown svc;
+      (* Exit code reflects hard failures only: timeouts and rejections are
+         service policy, not errors. *)
+      let hard_failures = List.exists Xk_exec.Query_service.is_failure last in
+      if (not ok) || hard_failures then exit 1
+  | Some shard_n ->
+      let sharded = load_sharded ?index_file ~shards:shard_n path in
+      (* The unsharded reference engine is only built when something needs
+         corpus-wide term statistics: workload generation or --check. *)
+      let ref_eng = lazy (load_engine path) in
+      let queries =
+        match queries_file with
+        | Some qf -> read_queries qf
+        | None -> generate_queries (Lazy.force ref_eng) gen gen_k seed
+      in
+      if queries = [] then failwith "empty workload";
+      let reqs =
+        List.map
+          (fun words -> request_of words semantics algo top topk_algo)
+          queries
+      in
+      let sx = Xk_exec.Shard_exec.create ~domains ?max_queue sharded in
+      let n = List.length reqs in
+      let wall, last =
+        report_runs ~repeat ~n (fun () ->
+            Xk_exec.Shard_exec.exec_batch ?deadline_ms sx reqs)
+      in
+      let total = n * repeat in
+      Printf.printf
+        "batch done: %d queries (%d x %d) over %d shard(s) on %d domain(s) in \
+         %.3fs\n"
+        total repeat n
+        (Xk_exec.Shard_exec.shard_count sx)
+        (Xk_exec.Shard_exec.domains sx)
+        wall;
+      report_throughput ~total wall;
+      let st = Xk_exec.Shard_exec.stats sx in
+      Printf.printf
+        "outcomes: %d ok, %d partial, %d timeout, %d rejected, %d failed\n"
+        st.completed st.partials st.timeouts st.rejected st.failed;
+      report_cache st.cache;
+      report_failures last;
+      let ok =
+        (not check)
+        || check_against ~what:"sharded"
+             (Xk_core.Engine.query_batch (Lazy.force ref_eng) reqs)
+             reqs last
+      in
+      Xk_exec.Shard_exec.shutdown sx;
+      let hard_failures = List.exists Xk_exec.Query_service.is_failure last in
+      if (not ok) || hard_failures then exit 1
 
 let batch_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -372,13 +545,24 @@ let batch_cmd =
             "Fault-injection spec (comma-separated: io, corrupt, latency, \
              query), as in \\$(b,XK_FAULTS).")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ]
+          ~doc:
+            "Serve the batch from N index shards: every query fans out to \
+             one job per shard and a gather step merges the per-shard \
+             answers (with $(b,--index), the file must be a shard \
+             manifest).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Execute a query workload in parallel on a domain pool.")
     Term.(
       const batch $ path $ queries_file $ semantics $ algo $ top $ topk_algo
       $ domains $ repeat $ gen $ gen_k $ seed $ check $ index_file
-      $ deadline_ms $ max_queue $ faults)
+      $ deadline_ms $ max_queue $ faults $ shards)
 
 (* ------------------------------------------------------------------ *)
 

@@ -34,7 +34,19 @@ let label t = Xk_index.Index.label t.index
 let resolve t words =
   let ids = List.filter_map (Xk_index.Index.term_id t.index) words in
   if List.length ids <> List.length words then None
-  else Some (List.sort_uniq Int.compare ids)
+  else
+    (* Order the query's lists by the terms themselves, not by their
+       numeric ids: ids reflect dictionary insertion order and so differ
+       between index instances over the same corpus (e.g. shards).  A
+       term-ordered plan keeps float summation order - and therefore
+       scores, bit for bit - identical across sharded and unsharded
+       execution. *)
+    let by_term a b =
+      String.compare
+        (Xk_index.Index.term t.index a)
+        (Xk_index.Index.term t.index b)
+    in
+    Some (List.sort_uniq by_term ids)
 
 let node_of_join_hit t (h : Join_query.hit) =
   match Xk_encoding.Labeling.find (label t) ~depth:h.level ~jnum:h.value with

@@ -1,0 +1,356 @@
+(* Scatter/gather over a sharded index.
+
+   Per-shard scoring uses corpus-global statistics (Sharding builds the
+   shards that way), and the engine orders a query's lists by term string,
+   so every per-shard hit carries the exact float score the unsharded
+   engine would compute.  That makes the gather a pure merge problem:
+
+   - deep hits (below the root) concatenate across shards;
+   - the root is re-derived from per-shard root summaries: per keyword
+     the global best damped witness is the max of the shard maxima, and
+     summing those in canonical term order reproduces the unsharded root
+     score bit for bit;
+   - for top-K, per-shard upper bounds decide how much of the merge is
+     confirmed (see the interface). *)
+
+type shard_result = {
+  sr_summary : Xk_index.Sharding.root_summary option;
+      (* None: the budget expired before the summary finished *)
+  sr_outcome : Xk_core.Engine.run_outcome;
+      (* hits in global numbering, shard-local root hits dropped *)
+  sr_bound : float;
+      (* upper bound on the score of anything the shard did not confirm:
+         [neg_infinity] once a shard can no longer place a new hit in the
+         global top-K, [+inf] for a shard that reported nothing *)
+}
+
+type stats = {
+  shards : int;
+  domains : int;
+  batches : int;
+  queries : int;
+  completed : int;
+  partials : int;
+  timeouts : int;
+  rejected : int;
+  failed : int;
+  max_queue : int option;
+  cache : Xk_index.Shard_cache.stats;
+}
+
+type t = {
+  sharding : Xk_index.Sharding.t;
+  engines : Xk_core.Engine.t array;
+  pool : Domain_pool.t;
+  max_queue : int option;
+  in_flight : int Atomic.t;
+  batches : int Atomic.t;
+  queries : int Atomic.t;
+  completed : int Atomic.t;
+  partials : int Atomic.t;
+  timeouts : int Atomic.t;
+  rejected : int Atomic.t;
+  failed : int Atomic.t;
+}
+
+let create ?domains ?max_queue sharding =
+  (match max_queue with
+  | Some m when m < 1 -> invalid_arg "Shard_exec.create: max_queue < 1"
+  | _ -> ());
+  {
+    sharding;
+    engines =
+      Array.init (Xk_index.Sharding.count sharding) (fun s ->
+          Xk_core.Engine.of_index (Xk_index.Sharding.index sharding s));
+    pool = Domain_pool.create ?domains ();
+    max_queue;
+    in_flight = Atomic.make 0;
+    batches = Atomic.make 0;
+    queries = Atomic.make 0;
+    completed = Atomic.make 0;
+    partials = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    rejected = Atomic.make 0;
+    failed = Atomic.make 0;
+  }
+
+let sharding t = t.sharding
+let engine t s = t.engines.(s)
+let shard_count t = Array.length t.engines
+let domains t = Domain_pool.size t.pool
+
+(* The keyword positions of every root summary, and the summation order of
+   the root score: canonical terms, exactly the engine's plan order. *)
+let canonical_words words =
+  List.sort_uniq String.compare (List.map String.lowercase_ascii words)
+
+let admit t =
+  let n = Atomic.fetch_and_add t.in_flight 1 in
+  match t.max_queue with
+  | Some m when n >= m ->
+      Atomic.decr t.in_flight;
+      false
+  | _ -> true
+
+(* --- The per-shard job ------------------------------------------------ *)
+
+let is_anytime (r : Xk_core.Engine.request) =
+  match r.req_mode with
+  | Topk ((Topk_join | Hybrid), _) -> true
+  | Topk ((Complete_then_sort | Rdil_baseline), _) | Complete _ -> false
+
+let last_score hits =
+  match List.rev hits with [] -> infinity | (h : Xk_baselines.Hit.t) :: _ -> h.score
+
+let run_shard t ~shard ~budget ~words (req : Xk_core.Engine.request) =
+  Xk_resilience.Fault_injection.on_query ();
+  (* The summary runs first under the same budget: gathering needs it to
+     reconstruct the root even when the query part only gets half-way. *)
+  match Xk_index.Sharding.root_summary ~budget t.sharding ~shard words with
+  | exception Xk_resilience.Budget.Expired ->
+      {
+        sr_summary = None;
+        sr_outcome = (if is_anytime req then Partial [] else Timed_out);
+        sr_bound = infinity;
+      }
+  | summary ->
+      let req' : Xk_core.Engine.request =
+        match req.req_mode with
+        | Topk (alg, k) ->
+            (* One extra slot: a shard-local root hit is dropped below, and
+               the re-derived global root can displace one deep hit. *)
+            { req with req_mode = Topk (alg, k + 1) }
+        | Complete _ -> req
+      in
+      let out = Xk_core.Engine.run_request_outcome ~budget t.engines.(shard) req' in
+      (* The bound reflects what the shard did NOT confirm, so it is taken
+         before the root hit is dropped. *)
+      let bound =
+        match out with
+        | Done hs ->
+            (* Complete answer, or full local top-(K+1): anything unreturned
+               is dominated by K returned hits of this very shard, so it
+               cannot enter the global top-K. *)
+            ignore hs;
+            neg_infinity
+        | Partial hs -> last_score hs
+        | Timed_out -> infinity
+      in
+      let globalize hs =
+        List.filter_map
+          (fun (h : Xk_baselines.Hit.t) ->
+            if h.node = 0 then None
+            else
+              Some
+                { h with node = Xk_index.Sharding.to_global t.sharding ~shard h.node })
+          hs
+      in
+      let out : Xk_core.Engine.run_outcome =
+        match out with
+        | Done hs -> Done (globalize hs)
+        | Partial hs -> Partial (globalize hs)
+        | Timed_out -> Timed_out
+      in
+      { sr_summary = Some summary; sr_outcome = out; sr_bound = bound }
+
+(* --- Root reconstruction ---------------------------------------------- *)
+
+let root_hit (req : Xk_core.Engine.request) summaries nw =
+  if nw = 0 || Array.length summaries = 0 then None
+  else
+    let max_over f i =
+      Array.fold_left
+        (fun m (s : Xk_index.Sharding.root_summary) -> Float.max m (f s).(i))
+        neg_infinity summaries
+    in
+    let witness =
+      match req.req_semantics with
+      | Xk_core.Engine.Elca ->
+          (* ELCA: occurrences inside keyword-complete subtrees are claimed
+             by descendants; the root stands on the free witnesses. *)
+          Some (fun s -> s.Xk_index.Sharding.rs_best_free)
+      | Xk_core.Engine.Slca ->
+          (* SLCA: any keyword-complete subtree hides the root entirely. *)
+          if
+            Array.exists
+              (fun (s : Xk_index.Sharding.root_summary) -> s.rs_full_subtree)
+              summaries
+          then None
+          else Some (fun s -> s.Xk_index.Sharding.rs_best_all)
+    in
+    match witness with
+    | None -> None
+    | Some f ->
+        let score = ref 0.0 and complete = ref true in
+        for i = 0 to nw - 1 do
+          let best = max_over f i in
+          if best = neg_infinity then complete := false
+          else score := !score +. best
+        done;
+        if !complete then Some { Xk_baselines.Hit.node = 0; score = !score }
+        else None
+
+(* --- Gather ----------------------------------------------------------- *)
+
+let gather (req : Xk_core.Engine.request) nw
+    (results : (shard_result, exn * Printexc.raw_backtrace) result array) :
+    Query_service.outcome =
+  let failure =
+    Array.to_seq results
+    |> Seq.fold_lefti
+         (fun acc shard r ->
+           match (acc, r) with
+           | Some _, _ | _, Ok _ -> acc
+           | None, Error (e, bt) ->
+               Some
+                 (Query_service.Failed
+                    {
+                      message =
+                        Printf.sprintf "shard %d: %s" shard
+                          (Printexc.to_string e);
+                      backtrace = Printexc.raw_backtrace_to_string bt;
+                    }))
+         None
+  in
+  match failure with
+  | Some f -> f
+  | None ->
+      let results =
+        Array.map (function Ok r -> r | Error _ -> assert false) results
+      in
+      let summaries =
+        if Array.for_all (fun r -> r.sr_summary <> None) results then
+          Some (Array.map (fun r -> Option.get r.sr_summary) results)
+        else None
+      in
+      let root =
+        match summaries with Some ss -> root_hit req ss nw | None -> None
+      in
+      let deep =
+        Array.to_list results
+        |> List.concat_map (fun r ->
+               match r.sr_outcome with Done hs | Partial hs -> hs | Timed_out -> [])
+      in
+      let merged =
+        List.sort Xk_baselines.Hit.compare_score_desc
+          (match root with Some h -> h :: deep | None -> deep)
+      in
+      let all_done =
+        Array.for_all
+          (fun r -> match r.sr_outcome with Done _ -> true | _ -> false)
+          results
+      in
+      match req.req_mode with
+      | Complete _ ->
+          (* A complete result set has no meaningful prefix. *)
+          if all_done then Query_service.Ok merged else Query_service.Timeout
+      | Topk (_, k) ->
+          if all_done then Query_service.Ok (Xk_baselines.Hit.top_k k merged)
+          else if not (is_anytime req) then Query_service.Timeout
+          else begin
+            (* Confirm merged candidates strictly above every live bound:
+               a straggler could still produce a hit scoring exactly a live
+               bound, and the (score, node) tiebreak could place it first. *)
+            let bound =
+              Array.fold_left (fun u r -> Float.max u r.sr_bound) neg_infinity
+                results
+            in
+            let confirmed =
+              List.filteri (fun i _ -> i < k) merged
+              |> List.filter (fun (h : Xk_baselines.Hit.t) -> h.score > bound)
+            in
+            if List.length confirmed = k then Query_service.Ok confirmed
+            else if confirmed <> [] then Query_service.Partial confirmed
+            else Query_service.Timeout
+          end
+
+(* --- Dispatch --------------------------------------------------------- *)
+
+(* Submit one request's shard jobs; [finish] gathers (and settles the
+   admission slot exactly once, when the last shard job completes). *)
+let submit t ?deadline_ms ?budget_for (req : Xk_core.Engine.request) =
+  Atomic.incr t.queries;
+  if not (admit t) then begin
+    Atomic.incr t.rejected;
+    fun () -> Query_service.Rejected
+  end
+  else begin
+    let words = canonical_words req.req_words in
+    let nw = List.length words in
+    let budget_of shard =
+      match budget_for with
+      | Some f -> f shard
+      | None -> (
+          match (req.req_deadline_ms, deadline_ms) with
+          | Some d, _ | None, Some d ->
+              Xk_resilience.Budget.create ~deadline_ms:d ()
+          | None, None -> Xk_resilience.Budget.unlimited)
+    in
+    let remaining = Atomic.make (Array.length t.engines) in
+    let futures =
+      Array.init (Array.length t.engines) (fun shard ->
+          let budget = budget_of shard in
+          Domain_pool.async t.pool (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  if Atomic.fetch_and_add remaining (-1) = 1 then
+                    Atomic.decr t.in_flight)
+                (fun () -> run_shard t ~shard ~budget ~words req)))
+    in
+    fun () ->
+      let results = Array.map Domain_pool.await futures in
+      let outcome = gather req nw results in
+      (match outcome with
+      | Query_service.Ok _ -> Atomic.incr t.completed
+      | Query_service.Partial _ -> Atomic.incr t.partials
+      | Query_service.Timeout -> Atomic.incr t.timeouts
+      | Query_service.Rejected -> Atomic.incr t.rejected
+      | Query_service.Failed _ -> Atomic.incr t.failed);
+      outcome
+  end
+
+let exec ?deadline_ms ?budget_for t req =
+  Atomic.incr t.batches;
+  (submit t ?deadline_ms ?budget_for req) ()
+
+let exec_batch ?deadline_ms t reqs =
+  Atomic.incr t.batches;
+  (* Fan everything out before the first gather so shard jobs of distinct
+     requests pipeline across the pool. *)
+  let finishers = List.map (fun r -> submit t ?deadline_ms r) reqs in
+  List.map (fun finish -> finish ()) finishers
+
+let stats t =
+  {
+    shards = shard_count t;
+    domains = domains t;
+    batches = Atomic.get t.batches;
+    queries = Atomic.get t.queries;
+    completed = Atomic.get t.completed;
+    partials = Atomic.get t.partials;
+    timeouts = Atomic.get t.timeouts;
+    rejected = Atomic.get t.rejected;
+    failed = Atomic.get t.failed;
+    max_queue = t.max_queue;
+    cache = Xk_index.Sharding.cache_stats t.sharding;
+  }
+
+let shutdown t = Domain_pool.shutdown t.pool
+
+(* --- Presentation ----------------------------------------------------- *)
+
+let locate t (h : Xk_baselines.Hit.t) =
+  let shard, local = Xk_index.Sharding.locate t.sharding h.node in
+  (shard, { h with node = local })
+
+let element_of_hit t h =
+  let shard, local = locate t h in
+  Xk_core.Engine.element_of_hit t.engines.(shard) local
+
+let snippet ?width t words h =
+  let shard, local = locate t h in
+  Xk_core.Engine.snippet ?width t.engines.(shard) words local
+
+let pp_hit t fmt h =
+  let shard, local = locate t h in
+  Xk_core.Engine.pp_hit t.engines.(shard) fmt local

@@ -1,0 +1,96 @@
+(** Scatter/gather query execution over a sharded index.
+
+    Each request fans out to one job per shard on a {!Domain_pool}; every
+    shard runs the ordinary budget-aware engine over its self-contained
+    index, and a gather step merges the per-shard results into exactly
+    the unsharded engine's answer:
+
+    - {e complete} (ELCA/SLCA): deep results live entirely inside one
+      shard, so the merge concatenates them, reconstructs the root's
+      membership and exact score from per-shard {!Xk_index.Sharding.root_summary}
+      evidence, and sorts;
+    - {e top-K}: each shard answers its local top [K+1] (one extra slot
+      because shard-local root hits are discarded and the root is re-derived
+      globally).  The gather keeps a global best-first merge plus a per-shard
+      upper bound on what that shard could still contribute — a shard that
+      answered in full can no longer place anything new in the global top-K,
+      a partial shard is bounded by its last confirmed score, a timed-out
+      shard by [+inf].  Merged candidates strictly above every live bound are
+      confirmed; [K] confirmations yield [Ok] even with stragglers, otherwise
+      the confirmed prefix degrades to [Partial] exactly like the single-index
+      anytime engine.
+
+    Outcomes reuse {!Query_service.outcome}; a failing shard (injected
+    fault, corrupted state) surfaces as [Failed] naming the shard, never
+    as a crash.  Admission control bounds in-flight {e requests} (not
+    shard jobs), mirroring {!Query_service}. *)
+
+type t
+
+val create : ?domains:int -> ?max_queue:int -> Xk_index.Sharding.t -> t
+(** Wrap a sharded index: one engine per shard, one shared pool.
+    [domains] as in {!Domain_pool.create}; [max_queue] bounds admitted
+    in-flight requests (raises [Invalid_argument] when [< 1]). *)
+
+val sharding : t -> Xk_index.Sharding.t
+val engine : t -> int -> Xk_core.Engine.t
+val shard_count : t -> int
+val domains : t -> int
+
+val exec :
+  ?deadline_ms:float ->
+  ?budget_for:(int -> Xk_resilience.Budget.t) ->
+  t ->
+  Xk_core.Engine.request ->
+  Query_service.outcome
+(** Run one request over every shard and gather.  [deadline_ms] applies
+    when the request carries none; each shard gets its own budget over
+    the same wall-clock deadline.  [budget_for] overrides the budget per
+    shard index — deterministic tick budgets for tests. *)
+
+val exec_batch :
+  ?deadline_ms:float ->
+  t ->
+  Xk_core.Engine.request list ->
+  Query_service.outcome list
+(** Fan every request of the batch out before the first gather, so shard
+    jobs of different requests pipeline across the pool.  Outcomes in
+    request order. *)
+
+type stats = {
+  shards : int;
+  domains : int;
+  batches : int;  (** [exec]/[exec_batch] calls so far *)
+  queries : int;  (** requests received (admitted or not) *)
+  completed : int;
+  partials : int;
+  timeouts : int;
+  rejected : int;
+  failed : int;
+  max_queue : int option;
+  cache : Xk_index.Shard_cache.stats;
+      (** {!Xk_index.Sharding.cache_stats} aggregate over all shards *)
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+
+(** {1 Presentation}
+
+    Hits gathered from shards carry {e global} node indices; these
+    helpers route a hit back to its owning shard for display. *)
+
+val locate : t -> Xk_baselines.Hit.t -> int * Xk_baselines.Hit.t
+(** The owning shard and the hit re-expressed in its local numbering. *)
+
+val element_of_hit : t -> Xk_baselines.Hit.t -> Xk_xml.Xml_tree.element option
+
+val snippet :
+  ?width:int ->
+  t ->
+  string list ->
+  Xk_baselines.Hit.t ->
+  (string * string) list
+
+val pp_hit : t -> Format.formatter -> Xk_baselines.Hit.t -> unit

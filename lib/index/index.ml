@@ -13,12 +13,21 @@ type raw = { r_nodes : int array; r_tfs : int array }
 
 let default_cache_capacity = 8192
 
+(* Corpus-global ranking statistics, for shards of a partitioned corpus:
+   the scorer norm uses the whole corpus's node count and [so_df] the
+   whole corpus's per-term document frequency, so shard-local scores are
+   bit-identical to the unsharded index.  [so_df] is only consulted at
+   list-shape materialization time, so it may read a table that is filled
+   after all shards have been constructed. *)
+type stats_override = { so_total_nodes : int; so_df : string -> int }
+
 type t = {
   label : Xk_encoding.Labeling.t;
   dict : Xk_text.Dictionary.t;
   raws : raw array;
   scorer : Xk_score.Scorer.t;
   damping : Xk_score.Damping.t;
+  df_override : (string -> int) option;
   jcache : Jlist.t Shard_cache.t;
   pcache : Posting.t Shard_cache.t;
   scache : Score_list.t Shard_cache.t;
@@ -42,8 +51,19 @@ let make_caches capacity =
     Shard_cache.create ~capacity (),
     Shard_cache.create ~capacity () )
 
+let scorer_for ?stats label =
+  let total_nodes =
+    match stats with
+    | Some s -> s.so_total_nodes
+    | None -> Xk_encoding.Labeling.node_count label
+  in
+  Xk_score.Scorer.make ~total_nodes
+
+let df_override_of stats =
+  Option.map (fun s -> s.so_df) stats
+
 let build ?(damping = Xk_score.Damping.default)
-    ?(cache_capacity = default_cache_capacity)
+    ?(cache_capacity = default_cache_capacity) ?stats
     (label : Xk_encoding.Labeling.t) =
   let dict = Xk_text.Dictionary.create () in
   let nodes_bufs : Ibuf.t array ref = ref (Array.make 1024 (Ibuf.create ())) in
@@ -98,8 +118,9 @@ let build ?(damping = Xk_score.Damping.default)
     label;
     dict;
     raws;
-    scorer = Xk_score.Scorer.make ~total_nodes:n;
+    scorer = scorer_for ?stats label;
     damping;
+    df_override = df_override_of stats;
     jcache;
     pcache;
     scache;
@@ -107,7 +128,7 @@ let build ?(damping = Xk_score.Damping.default)
 
 (* Reassemble an index from persisted raw postings (see Index_io). *)
 let of_raw ?(damping = Xk_score.Damping.default)
-    ?(cache_capacity = default_cache_capacity)
+    ?(cache_capacity = default_cache_capacity) ?stats
     (label : Xk_encoding.Labeling.t)
     (entries : (string * int array * int array) list) =
   let dict = Xk_text.Dictionary.create () in
@@ -129,9 +150,9 @@ let of_raw ?(damping = Xk_score.Damping.default)
     label;
     dict;
     raws = Array.of_list raws;
-    scorer =
-      Xk_score.Scorer.make ~total_nodes:(Xk_encoding.Labeling.node_count label);
+    scorer = scorer_for ?stats label;
     damping;
+    df_override = df_override_of stats;
     jcache;
     pcache;
     scache;
@@ -147,8 +168,16 @@ let term_id t w = Xk_text.Dictionary.find t.dict (String.lowercase_ascii w)
 let term t id = Xk_text.Dictionary.term t.dict id
 let df t id = Array.length t.raws.(id).r_nodes
 
-let scores_of_raw t (r : raw) =
-  let df = Array.length r.r_nodes in
+(* Local scores of a term's rows.  [df] is the term's corpus-wide
+   document frequency: the row count here, unless the index is one shard
+   of a partitioned corpus, in which case the override supplies the sum
+   over all shards. *)
+let scores_of_raw t id (r : raw) =
+  let df =
+    match t.df_override with
+    | None -> Array.length r.r_nodes
+    | Some df -> df (Xk_text.Dictionary.term t.dict id)
+  in
   Array.map (fun tf -> Xk_score.Scorer.local_score t.scorer ~tf ~df) r.r_tfs
 
 let jlist t id =
@@ -157,7 +186,7 @@ let jlist t id =
       let seqs =
         Array.map (fun n -> Xk_encoding.Labeling.jdewey_seq t.label n) r.r_nodes
       in
-      let scores = scores_of_raw t r in
+      let scores = scores_of_raw t id r in
       Jlist.make ~seqs ~nodes:r.r_nodes ~scores)
 
 let posting t id =
@@ -166,7 +195,7 @@ let posting t id =
       let deweys =
         Array.map (fun n -> Xk_encoding.Labeling.dewey t.label n) r.r_nodes
       in
-      let scores = scores_of_raw t r in
+      let scores = scores_of_raw t id r in
       Posting.make ~deweys ~nodes:r.r_nodes ~scores)
 
 (* Note: the compute step takes the jcache shard lock from inside the
@@ -204,7 +233,7 @@ let raw_rows t id =
   let r = t.raws.(id) in
   (r.r_nodes, r.r_tfs)
 
-let local_scores t id = scores_of_raw t t.raws.(id)
+let local_scores t id = scores_of_raw t id t.raws.(id)
 
 (* Terms sorted by descending document frequency, for workload selection. *)
 let terms_by_df t =

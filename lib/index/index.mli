@@ -9,19 +9,35 @@
 
 type t
 
+type stats_override = {
+  so_total_nodes : int;  (** corpus-wide node count for the scorer norm *)
+  so_df : string -> int;
+      (** corpus-wide document frequency of a term.  Evaluated lazily, at
+          list-shape materialization time, so the table behind it may be
+          filled after construction (the sharded build does exactly
+          that). *)
+}
+(** Corpus-global ranking statistics.  A partitioned index
+    ({!Sharding}) scores each shard with the {e whole} corpus's node
+    count and document frequencies, so per-row scores are bit-identical
+    to the unsharded index and per-shard top-K results merge exactly. *)
+
 val build :
   ?damping:Xk_score.Damping.t ->
   ?cache_capacity:int ->
+  ?stats:stats_override ->
   Xk_encoding.Labeling.t ->
   t
 (** One pass over the labeled tree; text nodes contribute their character
     data, elements their attribute values.  [cache_capacity] (default
     8192) bounds each of the three shape caches; the least recently used
-    term is evicted when a cache is full. *)
+    term is evicted when a cache is full.  [stats] overrides the ranking
+    statistics derived from this tree alone (sharded indices). *)
 
 val of_raw :
   ?damping:Xk_score.Damping.t ->
   ?cache_capacity:int ->
+  ?stats:stats_override ->
   Xk_encoding.Labeling.t ->
   (string * int array * int array) list ->
   t

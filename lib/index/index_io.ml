@@ -76,7 +76,8 @@ let save (idx : Index.t) path =
 
 exception Decode of string
 
-let decode_payload ?damping (label : Xk_encoding.Labeling.t) data ~pos : Index.t =
+let decode_payload ?damping ?cache_capacity ?stats
+    (label : Xk_encoding.Labeling.t) data ~pos : Index.t =
   let c = Xk_storage.Varint.cursor_at data pos in
   let nodes_expected = Xk_storage.Varint.read c in
   if nodes_expected <> Xk_encoding.Labeling.node_count label then
@@ -106,13 +107,20 @@ let decode_payload ?damping (label : Xk_encoding.Labeling.t) data ~pos : Index.t
        entries := (term, nodes, tfs) :: !entries
      done
    with Invalid_argument _ -> raise (Decode "payload structure cut short"));
-  Index.of_raw ?damping label (List.rev !entries)
+  Index.of_raw ?damping ?cache_capacity ?stats label (List.rev !entries)
 
 (* One read attempt, with fault-injection hooks and typed classification.
-   [`Transient] and [`Crc] are the retryable classes. *)
-let attempt ?damping label path :
-    (Index.t, [ `Transient of string | `Crc of string | `Fatal of error ]) result
-    =
+   [`Transient], [`Crc] and [`Suspect] are the retryable classes:
+   [`Suspect] carries a header-level anomaly (bad magic, version,
+   truncation) that a torn read can cause just as well as real corruption
+   - a re-read distinguishes the two, and the carried error is reported
+   if every retry sees it again.  Only [`Fatal] skips retrying: it is
+   raised after the checksum verified, so the bytes are authentic. *)
+let attempt ?damping ?cache_capacity ?stats label path :
+    ( Index.t,
+      [ `Transient of string | `Crc of string | `Suspect of error | `Fatal of error ]
+    )
+    result =
   match
     Xk_resilience.Fault_injection.before_io ~path;
     let ic = open_in_bin path in
@@ -129,14 +137,14 @@ let attempt ?damping label path :
   | data -> (
       let mlen = String.length magic in
       if String.length data < mlen then
-        Error (`Fatal (Truncated "shorter than the segment magic"))
+        Error (`Suspect (Truncated "shorter than the segment magic"))
       else
         let m = String.sub data 0 mlen in
         if m = magic_v1 then
           Error
-            (`Fatal
+            (`Suspect
               (Corrupted "legacy v1 segment without checksum; rebuild the index"))
-        else if m <> magic then Error (`Fatal (Corrupted "bad magic"))
+        else if m <> magic then Error (`Suspect (Corrupted "bad magic"))
         else
           match
             let c = Xk_storage.Varint.cursor_at data mlen in
@@ -146,40 +154,46 @@ let attempt ?damping label path :
             (v, plen, crc, c.pos)
           with
           | exception Invalid_argument _ ->
-              Error (`Fatal (Truncated "header cut short"))
+              Error (`Suspect (Truncated "header cut short"))
           | v, _, _, _ when v <> version ->
               Error
-                (`Fatal (Corrupted (Printf.sprintf "unsupported version %d" v)))
+                (`Suspect (Corrupted (Printf.sprintf "unsupported version %d" v)))
           | _, plen, crc, body -> (
               let avail = String.length data - body in
               if avail < plen then
                 Error
-                  (`Fatal
+                  (`Suspect
                     (Truncated
                        (Printf.sprintf "payload has %d of %d bytes" avail plen)))
               else if avail > plen then
                 Error
-                  (`Fatal
+                  (`Suspect
                     (Corrupted
                        (Printf.sprintf "%d trailing bytes after the payload"
                           (avail - plen))))
               else if Xk_storage.Crc32.sub data ~pos:body ~len:plen <> crc then
                 Error (`Crc "payload checksum mismatch")
               else
-                match decode_payload ?damping label data ~pos:body with
+                match
+                  decode_payload ?damping ?cache_capacity ?stats label data
+                    ~pos:body
+                with
                 | idx -> Ok idx
                 | exception Decode msg -> Error (`Fatal (Corrupted msg))))
 
-let load_result ?damping ?(retries = 4) ?(backoff_ms = 1.0) label path =
+let load_result ?damping ?cache_capacity ?stats ?(retries = 4)
+    ?(backoff_ms = 1.0) label path =
   match
     Xk_resilience.Retry.with_backoff ~retries ~backoff_ms
-      ~retryable:(function `Transient _ | `Crc _ -> true | `Fatal _ -> false)
-      (fun () -> attempt ?damping label path)
+      ~retryable:(function
+        | `Transient _ | `Crc _ | `Suspect _ -> true
+        | `Fatal _ -> false)
+      (fun () -> attempt ?damping ?cache_capacity ?stats label path)
   with
   | Ok idx -> Ok idx
   | Error (`Transient msg) -> Error (Io_failed msg)
   | Error (`Crc msg) -> Error (Corrupted msg)
-  | Error (`Fatal e) -> Error e
+  | Error (`Suspect e) | Error (`Fatal e) -> Error e
 
 let load ?damping label path =
   match load_result ?damping label path with

@@ -8,8 +8,9 @@
     before the declared payload), {!Corrupted} (bad magic, version,
     checksum or structure), {!Io_failed} (the transient class: OS errors
     and injected faults) - and the transient class, plus checksum
-    mismatches (torn reads), is retried with exponential backoff before an
-    error is reported.  {!Xk_resilience.Fault_injection} hooks into the
+    mismatches and header anomalies (either can be a torn read, which a
+    re-read heals), is retried with exponential backoff before an error
+    is reported.  {!Xk_resilience.Fault_injection} hooks into the
     read path, so the whole machinery is testable. *)
 
 type error =
@@ -29,6 +30,8 @@ val save : Index.t -> string -> unit
 
 val load_result :
   ?damping:Xk_score.Damping.t ->
+  ?cache_capacity:int ->
+  ?stats:Index.stats_override ->
   ?retries:int ->
   ?backoff_ms:float ->
   Xk_encoding.Labeling.t ->
@@ -36,7 +39,9 @@ val load_result :
   (Index.t, error) result
 (** Load a segment, retrying transient IO errors and checksum mismatches
     up to [retries] (default 4) times with exponential backoff starting at
-    [backoff_ms] (default 1.0).  Never raises on bad input. *)
+    [backoff_ms] (default 1.0).  Never raises on bad input.  [stats]
+    overrides the ranking statistics as in {!Index.of_raw} (sharded
+    segments, see {!Shard_io}). *)
 
 val load : ?damping:Xk_score.Damping.t -> Xk_encoding.Labeling.t -> string -> Index.t
 (** {!load_result}, raising {!Format_error} on any error (legacy API). *)

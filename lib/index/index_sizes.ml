@@ -21,6 +21,36 @@ type report = {
   rdil : flavour_size;         (* auxiliary = per-list B-trees *)
 }
 
+let zero_flavour = { inverted_lists = 0; auxiliary = 0 }
+
+let zero =
+  {
+    join_based = zero_flavour;
+    stack_based = zero_flavour;
+    index_based = zero_flavour;
+    topk_join = zero_flavour;
+    rdil = zero_flavour;
+  }
+
+let add_flavour a b =
+  {
+    inverted_lists = a.inverted_lists + b.inverted_lists;
+    auxiliary = a.auxiliary + b.auxiliary;
+  }
+
+let add a b =
+  {
+    join_based = add_flavour a.join_based b.join_based;
+    stack_based = add_flavour a.stack_based b.stack_based;
+    index_based = add_flavour a.index_based b.index_based;
+    topk_join = add_flavour a.topk_join b.topk_join;
+    rdil = add_flavour a.rdil b.rdil;
+  }
+
+let aggregate = List.fold_left add zero
+
+let total f = f.inverted_lists + f.auxiliary
+
 let sparse_threshold_runs = 256
 
 let sparse_size_of_jlist jl =

@@ -17,3 +17,15 @@ type report = {
 
 val report : Index.t -> report
 (** Runs the real serializers over every term of the dictionary. *)
+
+val zero : report
+
+val add : report -> report -> report
+(** Flavour-wise sum — the report of a sharded index is the sum of its
+    shards' reports. *)
+
+val aggregate : report list -> report
+
+val total : flavour_size -> int
+(** [inverted_lists + auxiliary] of one flavour (convenience for
+    display). *)

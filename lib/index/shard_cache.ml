@@ -27,6 +27,8 @@ let add_stats a b =
     capacity = a.capacity + b.capacity;
   }
 
+let aggregate = List.fold_left add_stats zero_stats
+
 type 'a entry = { value : 'a; mutable stamp : int }
 
 type 'a shard = {

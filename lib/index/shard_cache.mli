@@ -42,3 +42,7 @@ val stats : 'a t -> stats
 val zero_stats : stats
 val add_stats : stats -> stats -> stats
 (** Pointwise sum, for aggregating several caches into one report. *)
+
+val aggregate : stats list -> stats
+(** Pointwise sum of a whole list — the cache report of a sharded index
+    is the aggregate over its shards' caches. *)

@@ -1,0 +1,204 @@
+(* Sharded-index persistence: a small checksummed manifest that records
+   the partition, next to one Index_io segment per shard.
+
+   Manifest layout:  magic "XKSHM001" | version varint | payload-length
+   varint | payload CRC-32 varint | payload.  The payload is the shard
+   count, the subtree count, the assignment array, then each shard's
+   segment basename.  Node data lives only in the per-shard segments;
+   reloading re-derives the sub-documents from the corpus and the stored
+   assignment, so a manifest stays valid for exactly the document it was
+   built from (per-shard node-count checks enforce that). *)
+
+let magic = "XKSHM001"
+let version = 1
+
+type error =
+  | Manifest of Index_io.error
+  | Shard of { shard : int; file : string; error : Index_io.error }
+
+let error_message = function
+  | Manifest e -> "manifest: " ^ Index_io.error_message e
+  | Shard { shard; file; error } ->
+      Printf.sprintf "shard %d (%s): %s" shard file
+        (Index_io.error_message error)
+
+let segment_path path ~shard = Printf.sprintf "%s.%03d.seg" path shard
+
+let write_atomically path (write : out_channel -> unit) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     write oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let save t path =
+  let payload = Buffer.create 256 in
+  let shards = Sharding.count t in
+  Xk_storage.Varint.write payload shards;
+  let assignment = Sharding.assignment t in
+  Xk_storage.Varint.write payload (Array.length assignment);
+  Array.iter (Xk_storage.Varint.write payload) assignment;
+  for s = 0 to shards - 1 do
+    let base = Filename.basename (segment_path path ~shard:s) in
+    Xk_storage.Varint.write payload (String.length base);
+    Buffer.add_string payload base
+  done;
+  let payload = Buffer.contents payload in
+  write_atomically path (fun oc ->
+      let header = Buffer.create 32 in
+      Buffer.add_string header magic;
+      Xk_storage.Varint.write header version;
+      Xk_storage.Varint.write header (String.length payload);
+      Xk_storage.Varint.write header (Xk_storage.Crc32.string payload);
+      Buffer.output_buffer oc header;
+      output_string oc payload);
+  for s = 0 to shards - 1 do
+    Index_io.save (Sharding.index t s) (segment_path path ~shard:s)
+  done
+
+exception Decode of string
+
+type manifest = { m_shards : int; m_assignment : int array; m_files : string array }
+
+let decode_manifest data ~pos =
+  let c = Xk_storage.Varint.cursor_at data pos in
+  try
+    let shards = Xk_storage.Varint.read c in
+    if shards < 1 then raise (Decode "no shards");
+    let subtrees = Xk_storage.Varint.read c in
+    let assignment =
+      Array.init subtrees (fun _ ->
+          let s = Xk_storage.Varint.read c in
+          if s >= shards then raise (Decode "assignment names a missing shard");
+          s)
+    in
+    let files =
+      Array.init shards (fun _ ->
+          let len = Xk_storage.Varint.read c in
+          if c.pos + len > String.length data then
+            raise (Decode "segment name cut short");
+          let f = String.sub data c.pos len in
+          c.pos <- c.pos + len;
+          f)
+    in
+    { m_shards = shards; m_assignment = assignment; m_files = files }
+  with Invalid_argument _ -> raise (Decode "payload structure cut short")
+
+(* One manifest read attempt; same failure classes and fault-injection
+   hooks as the segment reader in [Index_io]: header-level anomalies are
+   [`Suspect] (a torn read heals on re-read, real corruption repeats). *)
+let attempt_manifest path :
+    ( manifest,
+      [ `Transient of string
+      | `Crc of string
+      | `Suspect of Index_io.error
+      | `Fatal of Index_io.error ] )
+    result =
+  match
+    Xk_resilience.Fault_injection.before_io ~path;
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Xk_resilience.Fault_injection.mangle_read ~path data
+  with
+  | exception Xk_resilience.Fault_injection.Injected_io msg ->
+      Error (`Transient msg)
+  | exception Sys_error msg -> Error (`Transient msg)
+  | data -> (
+      let mlen = String.length magic in
+      if String.length data < mlen then
+        Error (`Suspect (Index_io.Truncated "shorter than the manifest magic"))
+      else if String.sub data 0 mlen <> magic then
+        Error (`Suspect (Index_io.Corrupted "bad manifest magic"))
+      else
+        match
+          let c = Xk_storage.Varint.cursor_at data mlen in
+          let v = Xk_storage.Varint.read c in
+          let plen = Xk_storage.Varint.read c in
+          let crc = Xk_storage.Varint.read c in
+          (v, plen, crc, c.pos)
+        with
+        | exception Invalid_argument _ ->
+            Error (`Suspect (Index_io.Truncated "header cut short"))
+        | v, _, _, _ when v <> version ->
+            Error
+              (`Suspect
+                (Index_io.Corrupted
+                   (Printf.sprintf "unsupported manifest version %d" v)))
+        | _, plen, crc, body -> (
+            let avail = String.length data - body in
+            if avail < plen then
+              Error
+                (`Suspect
+                  (Index_io.Truncated
+                     (Printf.sprintf "payload has %d of %d bytes" avail plen)))
+            else if avail > plen then
+              Error
+                (`Suspect
+                  (Index_io.Corrupted
+                     (Printf.sprintf "%d trailing bytes after the payload"
+                        (avail - plen))))
+            else if Xk_storage.Crc32.sub data ~pos:body ~len:plen <> crc then
+              Error (`Crc "manifest checksum mismatch")
+            else
+              match decode_manifest data ~pos:body with
+              | m -> Ok m
+              | exception Decode msg -> Error (`Fatal (Index_io.Corrupted msg))))
+
+let load_manifest ?(retries = 4) ?(backoff_ms = 1.0) path =
+  match
+    Xk_resilience.Retry.with_backoff ~retries ~backoff_ms
+      ~retryable:(function
+        | `Transient _ | `Crc _ | `Suspect _ -> true
+        | `Fatal _ -> false)
+      (fun () -> attempt_manifest path)
+  with
+  | Ok m -> Ok m
+  | Error (`Transient msg) -> Error (Manifest (Index_io.Io_failed msg))
+  | Error (`Crc msg) -> Error (Manifest (Index_io.Corrupted msg))
+  | Error (`Suspect e) | Error (`Fatal e) -> Error (Manifest e)
+
+let load_result ?damping ?cache_capacity ?retries ?backoff_ms
+    (doc : Xk_xml.Xml_tree.document) path =
+  match load_manifest ?retries ?backoff_ms path with
+  | Error _ as e -> e
+  | Ok m ->
+      let subtrees = List.length doc.root.children in
+      if Array.length m.m_assignment <> subtrees then
+        Error
+          (Manifest
+             (Index_io.Corrupted
+                (Printf.sprintf "manifest covers %d subtrees, document has %d"
+                   (Array.length m.m_assignment)
+                   subtrees)))
+      else
+        let dir = Filename.dirname path in
+        let make ~shard label ~stats =
+          let file = Filename.concat dir m.m_files.(shard) in
+          match
+            Index_io.load_result ?damping ?cache_capacity ~stats ?retries
+              ?backoff_ms label file
+          with
+          | Ok idx -> Ok idx
+          | Error e -> Error (Shard { shard; file; error = e })
+        in
+        Sharding.build_with ~shards:m.m_shards ~assignment:m.m_assignment ~make
+          doc
+
+let is_manifest path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (String.length magic))
+  with
+  | m -> m = magic
+  | exception (Sys_error _ | End_of_file) -> false

@@ -1,0 +1,49 @@
+(** Persistence for sharded indices: one CRC-checked manifest plus one
+    {!Index_io} segment per shard.
+
+    The manifest records the partition (subtree-to-shard assignment and
+    shard count) and the shard segments' basenames; segments live next to
+    the manifest, so a saved shard set can be moved as a directory.
+    Loading re-derives each shard's sub-document from the corpus and the
+    stored assignment, then attaches the shard segments with
+    corpus-global ranking statistics — exactly what {!Sharding.partition}
+    builds in memory.
+
+    Failures are typed per layer: a bad manifest is {!Manifest}, a bad
+    shard segment is {!Shard} and names the shard, so one corrupted
+    segment degrades into a reportable per-shard failure instead of a
+    crash.  Both layers run the same retry/fault-injection machinery as
+    {!Index_io}. *)
+
+type error =
+  | Manifest of Index_io.error  (** the manifest itself failed to load *)
+  | Shard of { shard : int; file : string; error : Index_io.error }
+      (** a shard segment failed to load *)
+
+val error_message : error -> string
+
+val segment_path : string -> shard:int -> string
+(** Where shard [shard] of the manifest at [path] stores its segment
+    ([path] with a [.NNN.seg] suffix). *)
+
+val save : Sharding.t -> string -> unit
+(** Write the manifest at [path] and every shard segment beside it, each
+    atomically (temp file + rename). *)
+
+val load_result :
+  ?damping:Xk_score.Damping.t ->
+  ?cache_capacity:int ->
+  ?retries:int ->
+  ?backoff_ms:float ->
+  Xk_xml.Xml_tree.document ->
+  string ->
+  (Sharding.t, error) result
+(** Load a sharded index of [doc] from the manifest at [path].  Transient
+    IO errors and checksum mismatches are retried per file with
+    exponential backoff (defaults as in {!Index_io.load_result}); never
+    raises on bad input. *)
+
+val is_manifest : string -> bool
+(** Whether the file starts with the shard-manifest magic (used by the
+    CLI to sniff sharded vs. plain segments).  False on unreadable
+    files. *)

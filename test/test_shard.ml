@@ -1,0 +1,510 @@
+(* Sharded scatter/gather: the partition must be invisible.
+
+   The load-bearing property is exact parity - for any document, any
+   shard count and any partitioning, sharded execution returns exactly
+   (nodes, bit-identical scores, same order) what the unsharded engine
+   returns, for complete ELCA/SLCA and for top-K.  Around it: anytime
+   degradation under per-shard tick budgets (a Partial is a true prefix
+   of the real top-K), manifest/segment persistence with typed per-shard
+   failures, node-numbering round-trips and the root edge cases that make
+   cross-shard gathering interesting. *)
+
+open Xk_exec
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let hits_identical (a : Xk_baselines.Hit.t list) (b : Xk_baselines.Hit.t list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Xk_baselines.Hit.t) (y : Xk_baselines.Hit.t) ->
+         x.node = y.node && x.score = y.score)
+       a b
+
+let pp_outcome = Query_service.outcome_label
+
+(* Top-K comparison robust to score ties: the gather selects canonical
+   ties (score desc, node asc) while the unsharded join's emission order
+   at equal scores is an internal artifact — so equality is checked as
+   bit-identical score sequences plus true membership of every returned
+   node, mirroring Tutil.check_topk but without tolerance. *)
+let same_topk ~(full : Xk_baselines.Hit.t list) (a : Xk_baselines.Hit.t list)
+    (b : Xk_baselines.Hit.t list) =
+  let scores hs = List.map (fun (h : Xk_baselines.Hit.t) -> h.score) hs in
+  scores a = scores b
+  && List.for_all
+       (fun (h : Xk_baselines.Hit.t) ->
+         List.exists
+           (fun (f : Xk_baselines.Hit.t) -> f.node = h.node && f.score = h.score)
+           full)
+       (a @ b)
+
+(* One engine/sharding pair per trial keeps the property honest: nothing
+   is shared between the sharded and unsharded sides but the document. *)
+let with_sharded ?assignment ?strategy ~shards seed f =
+  let doc = Tutil.random_doc seed in
+  let engine = Xk_core.Engine.create doc in
+  let sharded = Xk_index.Sharding.partition ?assignment ?strategy ~shards doc in
+  let sx = Shard_exec.create ~domains:2 sharded in
+  Fun.protect ~finally:(fun () -> Shard_exec.shutdown sx) (fun () ->
+      f doc engine sx)
+
+(* --- Exact parity --------------------------------------------------- *)
+
+(* Requests paired with how to compare them: complete results are
+   node-exact, top-K results are tie-robust against the complete set of
+   the same semantics. *)
+let requests_of words =
+  Xk_core.Engine.
+    [
+      (complete_request ~semantics:Elca words, `Complete);
+      (complete_request ~semantics:Slca words, `Complete);
+      (topk_request ~semantics:Elca ~k:1 words, `Topk Elca);
+      (topk_request ~semantics:Elca ~k:4 words, `Topk Elca);
+      (topk_request ~semantics:Slca ~k:3 words, `Topk Slca);
+      (topk_request ~semantics:Elca ~algorithm:Hybrid ~k:3 words, `Topk Elca);
+    ]
+
+let check_one engine sx name words (req, kind) =
+  let expected = Xk_core.Engine.run_request engine req in
+  match Shard_exec.exec sx req with
+  | Query_service.Ok actual ->
+      let same =
+        match kind with
+        | `Complete -> hits_identical expected actual
+        | `Topk sem ->
+            let full =
+              Xk_core.Engine.run_request engine
+                (Xk_core.Engine.complete_request ~semantics:sem words)
+            in
+            same_topk ~full expected actual
+      in
+      if same then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: expected [%s], got [%s]" name
+             (Tutil.pp_hits expected) (Tutil.pp_hits actual))
+  | o -> Error (Printf.sprintf "%s: outcome %s" name (pp_outcome o))
+
+(* Raw ints sanitized in-property: QCheck's int shrinker does not respect
+   [int_range] bounds, and an out-of-range input turns a counterexample
+   report into an [Invalid_argument] crash. *)
+let parity_prop =
+  QCheck.Test.make ~count:120
+    ~name:"sharded scatter/gather = unsharded engine (exact)"
+    QCheck.(triple (int_bound 1_000_000) small_nat small_nat)
+    (fun (seed, shards_raw, strat) ->
+      let shards = 1 + (shards_raw mod 8) in
+      let strategy =
+        match strat mod 3 with
+        | 0 -> None
+        | 1 -> Some Xk_index.Sharding.Round_robin
+        | _ -> Some Xk_index.Sharding.Hash
+      in
+      with_sharded ?strategy ~shards seed (fun _doc engine sx ->
+          let rng = Xk_datagen.Rng.create (seed + 7919) in
+          List.for_all
+            (fun words ->
+              List.for_all
+                (fun rk ->
+                  match
+                    check_one engine sx
+                      (Printf.sprintf "shards=%d" shards)
+                      words rk
+                  with
+                  | Ok () -> true
+                  | Error msg -> QCheck.Test.fail_report msg)
+                (requests_of words))
+            [
+              Tutil.random_query rng ~k:2 ~alphabet:26;
+              Tutil.random_query rng ~k:3 ~alphabet:26;
+              Tutil.random_query rng ~k:1 ~alphabet:26;
+            ]))
+
+(* Explicit random assignments (not just the built-in strategies), and the
+   batch path. *)
+let parity_assignment_prop =
+  QCheck.Test.make ~count:60
+    ~name:"sharded parity under arbitrary assignments, batched"
+    QCheck.(pair (int_bound 1_000_000) small_nat)
+    (fun (seed, shards_raw) ->
+      let shards = 2 + (shards_raw mod 5) in
+      let doc = Tutil.random_doc seed in
+      let subtrees = List.length doc.Xk_xml.Xml_tree.root.children in
+      QCheck.assume (subtrees > 0);
+      let rng = Xk_datagen.Rng.create (seed lxor 0x5f5f) in
+      let assignment =
+        Array.init subtrees (fun _ -> Xk_datagen.Rng.int rng shards)
+      in
+      with_sharded ~assignment ~shards seed (fun _doc engine sx ->
+          let words = Tutil.random_query rng ~k:2 ~alphabet:26 in
+          let rks = requests_of words in
+          let outcomes = Shard_exec.exec_batch sx (List.map fst rks) in
+          List.for_all2
+            (fun (req, kind) o ->
+              let expected = Xk_core.Engine.run_request engine req in
+              match o with
+              | Query_service.Ok a ->
+                  let same =
+                    match kind with
+                    | `Complete -> hits_identical expected a
+                    | `Topk sem ->
+                        let full =
+                          Xk_core.Engine.run_request engine
+                            (Xk_core.Engine.complete_request ~semantics:sem
+                               words)
+                        in
+                        same_topk ~full expected a
+                  in
+                  same
+                  || QCheck.Test.fail_reportf "batch mismatch: %s vs %s"
+                       (Tutil.pp_hits expected) (Tutil.pp_hits a)
+              | o ->
+                  QCheck.Test.fail_reportf "batch outcome %s" (pp_outcome o))
+            rks outcomes))
+
+(* --- Anytime degradation under per-shard tick budgets ---------------- *)
+
+let partial_prefix_prop =
+  QCheck.Test.make ~count:150
+    ~name:"per-shard tick budgets: Partial is a prefix of the true top-K"
+    QCheck.(quad (int_bound 1_000_000) small_nat (int_bound 400) small_nat)
+    (fun (seed, shards_raw, ticks_raw, k_raw) ->
+      let shards = 1 + (shards_raw mod 5) in
+      let ticks = 1 + abs ticks_raw in
+      let k = 1 + (k_raw mod 4) in
+      with_sharded ~shards seed (fun _doc engine sx ->
+          let rng = Xk_datagen.Rng.create (seed + 13) in
+          let words = Tutil.random_query rng ~k:2 ~alphabet:26 in
+          let req = Xk_core.Engine.topk_request ~k words in
+          let full =
+            Xk_core.Engine.run_request engine
+              (Xk_core.Engine.complete_request ~semantics:Elca words)
+          in
+          let truth =
+            Xk_core.Engine.(
+              query_topk ~semantics:Elca ~algorithm:Topk_join engine words ~k)
+          in
+          (* Score-sequence prefix + true membership: canonical tie
+             selection in the gather may pick different ids than the
+             unsharded join's internal emission order. *)
+          let is_prefix hs =
+            let scores l = List.map (fun (h : Xk_baselines.Hit.t) -> h.score) l in
+            scores hs
+            = List.filteri (fun i _ -> i < List.length hs) (scores truth)
+            && List.for_all
+                 (fun (h : Xk_baselines.Hit.t) ->
+                   List.exists
+                     (fun (f : Xk_baselines.Hit.t) ->
+                       f.node = h.node && f.score = h.score)
+                     full)
+                 hs
+          in
+          let budget_for _shard = Xk_resilience.Budget.create ~ticks () in
+          match Shard_exec.exec ~budget_for sx req with
+          | Query_service.Ok hs ->
+              same_topk ~full truth hs
+              || QCheck.Test.fail_reportf "budgeted Ok differs: %s vs %s"
+                   (Tutil.pp_hits truth) (Tutil.pp_hits hs)
+          | Query_service.Partial hs ->
+              (hs <> [] && is_prefix hs)
+              || QCheck.Test.fail_reportf
+                   "Partial [%s] is not a prefix of [%s]" (Tutil.pp_hits hs)
+                   (Tutil.pp_hits truth)
+          | Query_service.Timeout -> true
+          | o -> QCheck.Test.fail_reportf "outcome %s" (pp_outcome o)))
+
+(* --- Node numbering -------------------------------------------------- *)
+
+let mapping_roundtrip () =
+  List.iter
+    (fun (seed, shards) ->
+      let doc = Tutil.random_doc seed in
+      let sharded = Xk_index.Sharding.partition ~shards doc in
+      let total = Xk_index.Sharding.total_nodes sharded in
+      check Alcotest.int "total nodes" (Xk_xml.Xml_tree.node_count doc) total;
+      check Alcotest.(pair int int) "root locates to shard 0" (0, 0)
+        (Xk_index.Sharding.locate sharded 0);
+      for g = 1 to total - 1 do
+        let shard, local = Xk_index.Sharding.locate sharded g in
+        let g' = Xk_index.Sharding.to_global sharded ~shard local in
+        if g' <> g then
+          Alcotest.failf "node %d -> shard %d/%d -> %d" g shard local g'
+      done;
+      (match Xk_index.Sharding.locate sharded total with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "locate past the end accepted");
+      (* Every shard's numbering covers its index. *)
+      for s = 0 to Xk_index.Sharding.count sharded - 1 do
+        let idx = Xk_index.Sharding.index sharded s in
+        let n =
+          Xk_encoding.Labeling.node_count (Xk_index.Index.label idx)
+        in
+        for local = 1 to n - 1 do
+          let g = Xk_index.Sharding.to_global sharded ~shard:s local in
+          let s', local' = Xk_index.Sharding.locate sharded g in
+          if s' <> s || local' <> local then
+            Alcotest.failf "shard %d local %d -> %d -> shard %d local %d" s
+              local g s' local'
+        done
+      done)
+    [ (11, 1); (11, 3); (42, 4); (42, 7); (99, 2) ]
+
+(* --- Root edge cases -------------------------------------------------- *)
+
+let doc_of_string s = (Xk_xml.Xml_parser.parse_string_exn s).root
+
+let parity_doc name xml shards assignment words =
+  let doc = { Xk_xml.Xml_tree.root = doc_of_string xml } in
+  let engine = Xk_core.Engine.create doc in
+  let sharded = Xk_index.Sharding.partition ?assignment ~shards doc in
+  let sx = Shard_exec.create ~domains:2 sharded in
+  Fun.protect ~finally:(fun () -> Shard_exec.shutdown sx) (fun () ->
+      List.iter
+        (fun rk ->
+          match check_one engine sx name words rk with
+          | Ok () -> ()
+          | Error msg -> Alcotest.fail msg)
+        (requests_of words))
+
+let root_edge_cases () =
+  (* Keywords split across shards: the root is the only node containing
+     both, and the gather must reconstruct it from the summaries. *)
+  parity_doc "split keywords"
+    "<r><a>apple orchard</a><b>banana grove</b></r>" 2 (Some [| 0; 1 |])
+    [ "apple"; "banana" ];
+  (* Root attributes carry a keyword: indexed at the root node itself,
+     kept by shard 0 only. *)
+  parity_doc "root attribute keyword"
+    "<r name='apple'><a>banana</a><b>cherry apple</b></r>" 2 (Some [| 1; 1 |])
+    [ "apple"; "banana" ];
+  (* A keyword-complete subtree forbids the root SLCA but not deep hits. *)
+  parity_doc "keyword-complete subtree"
+    "<r><a><x>apple</x><y>banana</y></a><b>apple</b></r>" 2 (Some [| 0; 1 |])
+    [ "apple"; "banana" ];
+  (* More shards than subtrees: trailing shards are empty. *)
+  parity_doc "more shards than subtrees" "<r><a>apple banana</a></r>" 5 None
+    [ "apple"; "banana" ];
+  (* Unknown keyword: empty everywhere. *)
+  parity_doc "unknown keyword" "<r><a>apple</a><b>banana</b></r>" 2 None
+    [ "apple"; "zeppelin" ];
+  (* Duplicate and case-folded query words collapse identically. *)
+  parity_doc "case folding and duplicates"
+    "<r><a>Apple apple</a><b>APPLE banana</b></r>" 3 None
+    [ "Apple"; "apple"; "APPLE"; "banana" ]
+
+(* --- Persistence ------------------------------------------------------ *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "xk_shard" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let flip_last_byte path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string data in
+  let i = Bytes.length b - 1 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let shard_io_roundtrip () =
+  let seed = 2024 in
+  let doc = Tutil.random_doc seed in
+  let sharded = Xk_index.Sharding.partition ~shards:3 doc in
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "corpus.shards" in
+      Xk_index.Shard_io.save sharded path;
+      check Alcotest.bool "manifest sniffs as manifest" true
+        (Xk_index.Shard_io.is_manifest path);
+      check Alcotest.bool "segment does not sniff as manifest" false
+        (Xk_index.Shard_io.is_manifest
+           (Xk_index.Shard_io.segment_path path ~shard:0));
+      let reloaded =
+        match Xk_index.Shard_io.load_result doc path with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "reload: %s" (Xk_index.Shard_io.error_message e)
+      in
+      check Alcotest.int "shard count survives" 3
+        (Xk_index.Sharding.count reloaded);
+      check Alcotest.(array int) "assignment survives"
+        (Xk_index.Sharding.assignment sharded)
+        (Xk_index.Sharding.assignment reloaded);
+      (* Reloaded shards answer exactly like the in-memory ones. *)
+      let engine = Xk_core.Engine.create doc in
+      let sx = Shard_exec.create ~domains:2 reloaded in
+      Fun.protect ~finally:(fun () -> Shard_exec.shutdown sx) (fun () ->
+          let rng = Xk_datagen.Rng.create 5 in
+          for _ = 1 to 5 do
+            let words = Tutil.random_query rng ~k:2 ~alphabet:26 in
+            List.iter
+              (fun rk ->
+                match check_one engine sx "reloaded" words rk with
+                | Ok () -> ()
+                | Error msg -> Alcotest.fail msg)
+              (requests_of words)
+          done))
+
+let shard_io_failures () =
+  let doc = Tutil.random_doc 77 in
+  let sharded = Xk_index.Sharding.partition ~shards:3 doc in
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "corpus.shards" in
+      Xk_index.Shard_io.save sharded path;
+      (* A corrupted shard segment surfaces as a typed per-shard error
+         naming the shard - even with fault injection active, because
+         media corruption survives every retry. *)
+      flip_last_byte (Xk_index.Shard_io.segment_path path ~shard:1);
+      (match Xk_index.Shard_io.load_result doc path with
+      | Error (Xk_index.Shard_io.Shard { shard = 1; error = Corrupted _; _ }) ->
+          ()
+      | Error e ->
+          Alcotest.failf "corrupt segment: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "corrupt segment loaded");
+      (* Restore, then corrupt the manifest itself. *)
+      Xk_index.Shard_io.save sharded path;
+      flip_last_byte path;
+      (match Xk_index.Shard_io.load_result doc path with
+      | Error (Xk_index.Shard_io.Manifest _) -> ()
+      | Error (Xk_index.Shard_io.Shard _ as e) ->
+          Alcotest.failf "corrupt manifest: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "corrupt manifest loaded");
+      (* A missing segment is a per-shard failure too. *)
+      Xk_index.Shard_io.save sharded path;
+      Sys.remove (Xk_index.Shard_io.segment_path path ~shard:2);
+      (match Xk_index.Shard_io.load_result doc path with
+      | Error (Xk_index.Shard_io.Shard { shard = 2; error = Io_failed _; _ }) ->
+          ()
+      | Error e ->
+          Alcotest.failf "missing segment: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "missing segment loaded");
+      (* Garbage manifest. *)
+      let oc = open_out_bin path in
+      output_string oc "not a manifest at all";
+      close_out oc;
+      check Alcotest.bool "garbage is not a manifest" false
+        (Xk_index.Shard_io.is_manifest path);
+      match Xk_index.Shard_io.load_result doc path with
+      | Error (Xk_index.Shard_io.Manifest (Corrupted _)) -> ()
+      | Error e ->
+          Alcotest.failf "garbage manifest: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "garbage manifest loaded")
+
+(* --- Aggregated stats ------------------------------------------------- *)
+
+let cache_aggregate () =
+  let s a b c d e =
+    {
+      Xk_index.Shard_cache.hits = a;
+      misses = b;
+      evictions = c;
+      entries = d;
+      capacity = e;
+    }
+  in
+  let total = Xk_index.Shard_cache.aggregate [ s 1 2 3 4 5; s 10 20 30 40 50 ] in
+  check Alcotest.int "hits" 11 total.Xk_index.Shard_cache.hits;
+  check Alcotest.int "misses" 22 total.misses;
+  check Alcotest.int "evictions" 33 total.evictions;
+  check Alcotest.int "entries" 44 total.entries;
+  check Alcotest.int "capacity" 55 total.capacity;
+  check Alcotest.bool "zero is neutral" true
+    (Xk_index.Shard_cache.aggregate [] = Xk_index.Shard_cache.zero_stats);
+  (* Live aggregation over a sharded index: querying populates some
+     shard's caches, and the aggregate sees it. *)
+  let doc = Tutil.random_doc 3 in
+  let sharded = Xk_index.Sharding.partition ~shards:3 doc in
+  let sx = Shard_exec.create ~domains:2 sharded in
+  Fun.protect ~finally:(fun () -> Shard_exec.shutdown sx) (fun () ->
+      (* Query a term that certainly occurs, so some shard materializes a
+         list shape and its cache counts a miss. *)
+      let word =
+        let idx = Xk_index.Sharding.index sharded 0 in
+        Xk_index.Index.term idx 0
+      in
+      ignore (Shard_exec.exec sx (Xk_core.Engine.complete_request [ word ]));
+      let stats = Shard_exec.stats sx in
+      check Alcotest.int "shards" 3 stats.Shard_exec.shards;
+      check Alcotest.int "queries" 1 stats.queries;
+      check Alcotest.int "completed" 1 stats.completed;
+      if stats.cache.Xk_index.Shard_cache.misses = 0 then
+        Alcotest.fail "aggregated cache stats saw no activity");
+  (* Size reports aggregate flavour-wise. *)
+  let reports = Xk_index.Sharding.size_reports sharded in
+  let agg = Xk_index.Sharding.size_report sharded in
+  let sum f = Array.fold_left (fun a r -> a + f r) 0 reports in
+  check Alcotest.int "join-based inverted lists aggregate"
+    (sum (fun r -> r.Xk_index.Index_sizes.join_based.inverted_lists))
+    agg.Xk_index.Index_sizes.join_based.inverted_lists;
+  check Alcotest.int "rdil auxiliary aggregate"
+    (sum (fun r -> r.Xk_index.Index_sizes.rdil.auxiliary))
+    agg.Xk_index.Index_sizes.rdil.auxiliary
+
+(* --- Admission control ------------------------------------------------ *)
+
+let admission () =
+  let doc = Tutil.random_doc 21 in
+  let sharded = Xk_index.Sharding.partition ~shards:2 doc in
+  let sx = Shard_exec.create ~domains:2 ~max_queue:1 sharded in
+  Fun.protect ~finally:(fun () -> Shard_exec.shutdown sx) (fun () ->
+      let rng = Xk_datagen.Rng.create 4 in
+      let words = Tutil.random_query rng ~k:2 ~alphabet:26 in
+      let reqs =
+        List.init 20 (fun _ -> Xk_core.Engine.complete_request words)
+      in
+      let outcomes = Shard_exec.exec_batch sx reqs in
+      let rejected =
+        List.length
+          (List.filter (fun o -> o = Query_service.Rejected) outcomes)
+      in
+      let okd =
+        List.length
+          (List.filter
+             (fun o -> match o with Query_service.Ok _ -> true | _ -> false)
+             outcomes)
+      in
+      if rejected = 0 then
+        Alcotest.fail "max_queue=1 never rejected a 20-request burst";
+      if okd = 0 then Alcotest.fail "admission starved every request";
+      let stats = Shard_exec.stats sx in
+      check Alcotest.int "rejections counted" rejected stats.Shard_exec.rejected;
+      (* The service recovered: a fresh request is admitted. *)
+      match Shard_exec.exec sx (Xk_core.Engine.complete_request words) with
+      | Query_service.Ok _ -> ()
+      | o -> Alcotest.failf "post-burst request came back %s" (pp_outcome o))
+
+let suite =
+  [
+    ( "shard.parity",
+      [
+        QCheck_alcotest.to_alcotest parity_prop;
+        QCheck_alcotest.to_alcotest parity_assignment_prop;
+        QCheck_alcotest.to_alcotest partial_prefix_prop;
+      ] );
+    ( "shard.structure",
+      [
+        tc "node mapping round-trips" `Quick mapping_roundtrip;
+        tc "root edge cases" `Quick root_edge_cases;
+        tc "aggregated stats" `Quick cache_aggregate;
+        tc "admission control" `Quick admission;
+      ] );
+    ( "shard.io",
+      [
+        tc "manifest + segments round-trip" `Quick shard_io_roundtrip;
+        tc "typed per-shard failures" `Quick shard_io_failures;
+      ] );
+  ]
