@@ -22,7 +22,7 @@ let range_best damping p ~lo ~hi ~depth =
 let slca ?(budget = Xk_resilience.Budget.unlimited) (idx : Xk_index.Index.t)
     (terms : int list) =
   let k = List.length terms in
-  if k = 0 then invalid_arg "Indexed.slca";
+  if k = 0 then Xk_util.Err.invalid "Indexed.slca";
   let label = Xk_index.Index.label idx in
   let damping = Xk_index.Index.damping idx in
   let posts = posting_array idx terms in
@@ -64,7 +64,9 @@ let slca ?(budget = Xk_resilience.Budget.unlimited) (idx : Xk_index.Index.t)
             ~depth
         with
         | Some u -> u
-        | None -> assert false
+        | None ->
+            Xk_util.Err.unreachable
+              "Indexed.slca: posting node has no ancestor at its depth"
       in
       out := { Hit.node; score = !score } :: !out
     end
@@ -74,7 +76,7 @@ let slca ?(budget = Xk_resilience.Budget.unlimited) (idx : Xk_index.Index.t)
 let elca ?(budget = Xk_resilience.Budget.unlimited) (idx : Xk_index.Index.t)
     (terms : int list) =
   let k = List.length terms in
-  if k = 0 then invalid_arg "Indexed.elca";
+  if k = 0 then Xk_util.Err.invalid "Indexed.elca";
   let label = Xk_index.Index.label idx in
   let damping = Xk_index.Index.damping idx in
   let posts = posting_array idx terms in
@@ -101,7 +103,9 @@ let elca ?(budget = Xk_resilience.Budget.unlimited) (idx : Xk_index.Index.t)
                   ~depth
               with
               | Some n -> n
-              | None -> assert false
+              | None ->
+                  Xk_util.Err.unreachable
+                    "Indexed.elca: posting node has no ancestor at its depth"
             in
             out := { Hit.node; score } :: !out
       end

@@ -22,7 +22,7 @@ let combination_count (idx : Xk_index.Index.t) terms =
 (* Distinct LCAs, linear time, document order. *)
 let lca_set (idx : Xk_index.Index.t) (terms : int list) : int list =
   let k = List.length terms in
-  if k = 0 || k > 62 then invalid_arg "Naive_lca.lca_set: 1..62 keywords";
+  if k = 0 || k > 62 then Xk_util.Err.invalid "Naive_lca.lca_set: 1..62 keywords";
   let label = Xk_index.Index.label idx in
   let n = Xk_encoding.Labeling.node_count label in
   let all_bits = (1 lsl k) - 1 in
@@ -61,7 +61,7 @@ exception Too_many_combinations
 (* Literal enumeration; raises [Too_many_combinations] past the cap. *)
 let brute ?(max_combinations = 1_000_000) (idx : Xk_index.Index.t)
     (terms : int list) : int list =
-  if terms = [] then invalid_arg "Naive_lca.brute: no keywords";
+  if terms = [] then Xk_util.Err.invalid "Naive_lca.brute: no keywords";
   if combination_count idx terms > float_of_int max_combinations then
     raise Too_many_combinations;
   let label = Xk_index.Index.label idx in

@@ -12,7 +12,7 @@
 
 let run (idx : Xk_index.Index.t) (terms : int list) =
   let k = List.length terms in
-  if k = 0 || k > 62 then invalid_arg "Oracle.run: 1..62 keywords";
+  if k = 0 || k > 62 then Xk_util.Err.invalid "Oracle.run: 1..62 keywords";
   let label = Xk_index.Index.label idx in
   let damping = Xk_index.Index.damping idx in
   let decay = Xk_score.Damping.apply damping 1 in

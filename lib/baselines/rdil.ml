@@ -20,7 +20,7 @@ type stats = { mutable pulled : int; mutable verified : int }
 let topk ?stats ?(budget = Xk_resilience.Budget.unlimited)
     (idx : Xk_index.Index.t) (terms : int list) ~k:want =
   let k = List.length terms in
-  if k = 0 then invalid_arg "Rdil.topk";
+  if k = 0 then Xk_util.Err.invalid "Rdil.topk";
   let label = Xk_index.Index.label idx in
   let damping = Xk_index.Index.damping idx in
   let posts = Array.of_list (List.map (Xk_index.Index.posting idx) terms) in
@@ -100,7 +100,9 @@ let topk ?stats ?(budget = Xk_resilience.Budget.unlimited)
                   ~depth
               with
               | Some n -> n
-              | None -> assert false
+              | None ->
+                  Xk_util.Err.unreachable
+                    "Rdil.topk: posting node has no ancestor at its depth"
             in
             Xk_util.Heap.push blocked score node
       end

@@ -26,7 +26,7 @@ type semantics = Elca | Slca
 let run ?(budget = Xk_resilience.Budget.unlimited) semantics
     (idx : Xk_index.Index.t) (terms : int list) =
   let k = List.length terms in
-  if k = 0 || k > 62 then invalid_arg "Stack.run: 1..62 keywords";
+  if k = 0 || k > 62 then Xk_util.Err.invalid "Stack.run: 1..62 keywords";
   let label = Xk_index.Index.label idx in
   let decay = Xk_score.Damping.apply (Xk_index.Index.damping idx) 1 in
   let all_bits = (1 lsl k) - 1 in
@@ -43,7 +43,9 @@ let run ?(budget = Xk_resilience.Budget.unlimited) semantics
     let report score =
       match Xk_encoding.Labeling.ancestor_at label e.repr ~depth:d with
       | Some node -> results := { Hit.node; score } :: !results
-      | None -> assert false
+      | None ->
+          Xk_util.Err.unreachable
+            "Stack.run: stack entry has no ancestor at its depth"
     in
     match semantics with
     | Elca ->

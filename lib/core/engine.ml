@@ -51,7 +51,9 @@ let resolve t words =
 let node_of_join_hit t (h : Join_query.hit) =
   match Xk_encoding.Labeling.find (label t) ~depth:h.level ~jnum:h.value with
   | Some node -> { Xk_baselines.Hit.node; score = h.score }
-  | None -> assert false
+  | None ->
+      Xk_util.Err.unreachable
+        "Engine.node_of_join_hit: join hit level/jnum has no labeled node"
 
 let query ?(semantics = Elca) ?(algorithm = Join_based) ?plan ?budget t words :
     Xk_baselines.Hit.t list =

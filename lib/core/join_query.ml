@@ -46,7 +46,7 @@ let run ?(plan = Level_join.Dynamic) ?join_stats
     ?(budget = Xk_resilience.Budget.unlimited)
     (lists : Xk_index.Jlist.t array) damping semantics : hit list =
   let k = Array.length lists in
-  if k = 0 then invalid_arg "Join_query.run: no lists";
+  if k = 0 then Xk_util.Err.invalid "Join_query.run: no lists";
   if Array.exists (fun jl -> Xk_index.Jlist.length jl = 0) lists then []
   else begin
     let lmin =

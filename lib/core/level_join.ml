@@ -63,7 +63,7 @@ let join ?stats ?(budget = Xk_resilience.Budget.unlimited) ~plan
     (cols : Xk_index.Column.t array) : match_ list =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let k = Array.length cols in
-  if k = 0 then invalid_arg "Level_join.join: no columns";
+  if k = 0 then Xk_util.Err.invalid "Level_join.join: no columns";
   (* Left-deep order: smallest column first (Section III-C). *)
   let order = Array.init k (fun i -> i) in
   Array.sort

@@ -33,10 +33,10 @@ type entry = { slots : float array; mutable mask : int; mutable filled : int }
 
 let relation ~keys ~scores =
   let n = Array.length keys in
-  if Array.length scores <> n then invalid_arg "Star_join.relation";
+  if Array.length scores <> n then Xk_util.Err.invalid "Star_join.relation";
   for i = 1 to n - 1 do
     if scores.(i) > scores.(i - 1) then
-      invalid_arg "Star_join.relation: scores must be descending"
+      Xk_util.Err.invalid "Star_join.relation: scores must be descending"
   done;
   { keys; scores }
 
@@ -45,7 +45,7 @@ let topk ?stats ?(threshold = Tight)
     ~k:want : result list =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let k = Array.length rels in
-  if k = 0 then invalid_arg "Star_join.topk: no relations";
+  if k = 0 then Xk_util.Err.invalid "Star_join.topk: no relations";
   let cursors = Array.make k 0 in
   let next_score i =
     if cursors.(i) >= Array.length rels.(i).scores then neg_infinity

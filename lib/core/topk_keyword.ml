@@ -52,7 +52,7 @@ let topk ?stats ?(threshold = Tight) ?(semantics = Elca)
     (slists : Xk_index.Score_list.t array) damping ~k:want : hit list =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let k = Array.length slists in
-  if k = 0 then invalid_arg "Topk_keyword.topk: no lists";
+  if k = 0 then Xk_util.Err.invalid "Topk_keyword.topk: no lists";
   let jls = Array.map Xk_index.Score_list.jlist slists in
   if Array.exists (fun jl -> Xk_index.Jlist.length jl = 0) jls then []
   else begin

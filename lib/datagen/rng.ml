@@ -16,7 +16,7 @@ let next_int64 t =
 
 (* Uniform int in [0, bound). *)
 let int t bound =
-  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 0 then Xk_util.Err.invalid "Rng.int: bound must be positive";
   (* Mask to OCaml's positive int range: a 63-bit shift result can still
      land in the native int's sign bit. *)
   let v = Int64.to_int (next_int64 t) land max_int in
@@ -31,12 +31,12 @@ let bool t = Int64.logand (next_int64 t) 1L = 1L
 
 (* Uniform int in [lo, hi] inclusive. *)
 let range t lo hi =
-  if hi < lo then invalid_arg "Rng.range";
+  if hi < lo then Xk_util.Err.invalid "Rng.range";
   lo + int t (hi - lo + 1)
 
 (* k distinct ints from [0, n), by partial Fisher-Yates on an index pool. *)
 let sample t ~n ~k =
-  if k > n then invalid_arg "Rng.sample: k > n";
+  if k > n then Xk_util.Err.invalid "Rng.sample: k > n";
   let pool = Array.init n (fun i -> i) in
   for i = 0 to k - 1 do
     let j = i + int t (n - i) in

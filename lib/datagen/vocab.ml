@@ -13,7 +13,7 @@ let syllables =
   |]
 
 let word rank =
-  if rank < 0 then invalid_arg "Vocab.word";
+  if rank < 0 then Xk_util.Err.invalid "Vocab.word";
   let b = Array.length syllables in
   (* Offsetting by b^2 makes every word at least three syllables and the
      base-b digit strings (hence the words) pairwise distinct. *)

@@ -7,7 +7,7 @@
 type t = { cdf : float array }
 
 let make ~n ~exponent =
-  if n <= 0 then invalid_arg "Zipf.make";
+  if n <= 0 then Xk_util.Err.invalid "Zipf.make";
   let cdf = Array.make n 0. in
   let acc = ref 0. in
   for r = 0 to n - 1 do

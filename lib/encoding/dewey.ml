@@ -56,11 +56,11 @@ let to_string (d : t) =
 
 let of_string s =
   match String.split_on_char '.' s with
-  | [] -> invalid_arg "Dewey.of_string: empty"
+  | [] -> Xk_util.Err.invalid "Dewey.of_string: empty"
   | parts ->
       let d = Array.of_list (List.map int_of_string parts) in
       if Array.exists (fun x -> x <= 0) d then
-        invalid_arg "Dewey.of_string: non-positive component";
+        Xk_util.Err.invalid "Dewey.of_string: non-positive component";
       d
 
 let pp ppf d = Fmt.string ppf (to_string d)

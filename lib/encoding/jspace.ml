@@ -128,7 +128,7 @@ let renumber_level t ~depth =
       for i = 0 to below.len - 1 do
         match Hashtbl.find_opt mapping below.parents.(i) with
         | Some fresh -> below.parents.(i) <- fresh
-        | None -> invalid_arg "Jspace.renumber_level: dangling parent"
+        | None -> Xk_util.Err.invalid "Jspace.renumber_level: dangling parent"
       done
     end
   end

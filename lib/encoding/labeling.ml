@@ -47,7 +47,7 @@ let buf_push b x =
 let buf_contents b = Array.sub b.data 0 b.len
 
 let label ?(gap = 1) (doc : Xk_xml.Xml_tree.document) =
-  if gap < 1 then invalid_arg "Labeling.label: gap must be >= 1";
+  if gap < 1 then Xk_util.Err.invalid "Labeling.label: gap must be >= 1";
   let n = Xk_xml.Xml_tree.node_count doc in
   let height = Xk_xml.Xml_tree.depth doc in
   let nodes =

@@ -4,7 +4,13 @@
    closed), pop one job with the lock held, run it with the lock
    released.  Shutdown flips [closed] and broadcasts; workers keep
    draining the queue until it is empty, so every job submitted before
-   shutdown runs exactly once. *)
+   shutdown runs exactly once.
+
+   Every critical section goes through [Xk_util.Sync.with_lock]: a
+   raising section (e.g. the closed-pool check in [submit]) releases its
+   lock on the way out. *)
+
+module Sync = Xk_util.Sync
 
 type job = unit -> unit
 
@@ -20,17 +26,19 @@ let size t = Array.length t.workers
 
 let worker pool () =
   let rec loop () =
-    Mutex.lock pool.lock;
-    while Queue.is_empty pool.jobs && not pool.closed do
-      Condition.wait pool.has_work pool.lock
-    done;
-    if Queue.is_empty pool.jobs then Mutex.unlock pool.lock (* closed: exit *)
-    else begin
-      let job = Queue.pop pool.jobs in
-      Mutex.unlock pool.lock;
-      (try job () with _ -> ());
-      loop ()
-    end
+    let job =
+      Sync.with_lock pool.lock (fun () ->
+          while Queue.is_empty pool.jobs && not pool.closed do
+            Condition.wait pool.has_work pool.lock
+          done;
+          if Queue.is_empty pool.jobs then None (* closed: exit *)
+          else Some (Queue.pop pool.jobs))
+    in
+    match job with
+    | None -> ()
+    | Some job ->
+        (try job () with _ -> ());
+        loop ()
   in
   loop ()
 
@@ -38,7 +46,7 @@ let create ?domains () =
   let n =
     match domains with
     | Some d ->
-        if d < 1 then invalid_arg "Domain_pool.create: domains < 1";
+        if d < 1 then Xk_util.Err.invalid "Domain_pool.create: domains < 1";
         d
     | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
@@ -55,14 +63,11 @@ let create ?domains () =
   pool
 
 let submit t job =
-  Mutex.lock t.lock;
-  if t.closed then begin
-    Mutex.unlock t.lock;
-    invalid_arg "Domain_pool.submit: pool is shut down"
-  end;
-  Queue.push job t.jobs;
-  Condition.signal t.has_work;
-  Mutex.unlock t.lock
+  Sync.with_lock t.lock (fun () ->
+      if t.closed then
+        Xk_util.Err.invalid "Domain_pool.submit: pool is shut down";
+      Queue.push job t.jobs;
+      Condition.signal t.has_work)
 
 (* Futures: a one-shot mailbox with its own lock, filled by the worker
    and emptied by any number of awaiters. *)
@@ -86,27 +91,23 @@ let async t f =
         | v -> Done v
         | exception e -> Failed (e, Printexc.get_raw_backtrace ())
       in
-      Mutex.lock fut.fm;
-      fut.state <- outcome;
-      Condition.broadcast fut.fc;
-      Mutex.unlock fut.fm);
+      Sync.with_lock fut.fm (fun () ->
+          fut.state <- outcome;
+          Condition.broadcast fut.fc));
   fut
 
 let await fut =
-  Mutex.lock fut.fm;
+  (* [settled] runs with [fut.fm] held; [Condition.wait] releases and
+     reacquires it, so the single unlock in [with_lock] stays balanced. *)
   let rec settled () =
     match fut.state with
     | Pending ->
         Condition.wait fut.fc fut.fm;
         settled ()
-    | s -> s
+    | Done v -> Ok v
+    | Failed (e, bt) -> Error (e, bt)
   in
-  let s = settled () in
-  Mutex.unlock fut.fm;
-  match s with
-  | Done v -> Ok v
-  | Failed (e, bt) -> Error (e, bt)
-  | Pending -> assert false
+  Sync.with_lock fut.fm settled
 
 let await_exn fut =
   match await fut with
@@ -118,10 +119,12 @@ let map_array t f xs =
   Array.map await_exn futs
 
 let shutdown t =
-  Mutex.lock t.lock;
-  let workers = t.workers in
-  t.closed <- true;
-  t.workers <- [||];
-  Condition.broadcast t.has_work;
-  Mutex.unlock t.lock;
+  let workers =
+    Sync.with_lock t.lock (fun () ->
+        let workers = t.workers in
+        t.closed <- true;
+        t.workers <- [||];
+        Condition.broadcast t.has_work;
+        workers)
+  in
   Array.iter Domain.join workers

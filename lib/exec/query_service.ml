@@ -54,7 +54,7 @@ type t = {
 
 let create ?domains ?max_queue engine =
   (match max_queue with
-  | Some m when m < 1 -> invalid_arg "Query_service.create: max_queue < 1"
+  | Some m when m < 1 -> Xk_util.Err.invalid "Query_service.create: max_queue < 1"
   | _ -> ());
   {
     engine;

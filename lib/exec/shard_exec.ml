@@ -55,7 +55,7 @@ type t = {
 
 let create ?domains ?max_queue sharding =
   (match max_queue with
-  | Some m when m < 1 -> invalid_arg "Shard_exec.create: max_queue < 1"
+  | Some m when m < 1 -> Xk_util.Err.invalid "Shard_exec.create: max_queue < 1"
   | _ -> ());
   {
     sharding;
@@ -216,11 +216,25 @@ let gather (req : Xk_core.Engine.request) nw
   | Some f -> f
   | None ->
       let results =
-        Array.map (function Ok r -> r | Error _ -> assert false) results
+        Array.map
+          (function
+            | Ok r -> r
+            | Error _ ->
+                Xk_util.Err.unreachable
+                  "Shard_exec.gather: failure already handled above")
+          results
       in
       let summaries =
         if Array.for_all (fun r -> r.sr_summary <> None) results then
-          Some (Array.map (fun r -> Option.get r.sr_summary) results)
+          Some
+            (Array.map
+               (fun r ->
+                 match r.sr_summary with
+                 | Some s -> s
+                 | None ->
+                     Xk_util.Err.unreachable
+                       "Shard_exec.gather: summary checked by for_all above")
+               results)
         else None
       in
       let root =

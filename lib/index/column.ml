@@ -19,7 +19,7 @@ let is_empty t = Array.length t.runs = 0
 
 (* Build the level-[l] column (1-based) from document-ordered sequences. *)
 let build (seqs : Xk_encoding.Jdewey.t array) ~level =
-  if level < 1 then invalid_arg "Column.build: level must be >= 1";
+  if level < 1 then Xk_util.Err.invalid "Column.build: level must be >= 1";
   let acc = ref [] in
   let n_runs = ref 0 in
   let cur_value = ref (-1) and cur_start = ref (-1) and cur_count = ref 0 in

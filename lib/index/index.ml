@@ -46,7 +46,7 @@ let direct_text (x : Xk_xml.Xml_tree.node) =
             (List.map (fun (a : Xk_xml.Xml_tree.attribute) -> a.attr_value) attrs))
 
 let make_caches capacity =
-  if capacity < 1 then invalid_arg "Index: cache_capacity < 1";
+  if capacity < 1 then Xk_util.Err.invalid "Index: cache_capacity < 1";
   ( Shard_cache.create ~capacity (),
     Shard_cache.create ~capacity (),
     Shard_cache.create ~capacity () )
@@ -136,7 +136,7 @@ let of_raw ?(damping = Xk_score.Damping.default)
     List.map
       (fun (term, nodes, tfs) ->
         if Array.length nodes <> Array.length tfs then
-          invalid_arg "Index.of_raw: row length mismatch";
+          Xk_util.Err.invalid "Index.of_raw: row length mismatch";
         let id = Xk_text.Dictionary.intern dict term in
         for _ = 1 to Array.length nodes do
           Xk_text.Dictionary.bump_df dict id
@@ -224,7 +224,7 @@ let term_ids_exn t words =
     (fun w ->
       match term_id t w with
       | Some id -> id
-      | None -> invalid_arg (Printf.sprintf "unknown keyword %S" w))
+      | None -> Xk_util.Err.invalidf "unknown keyword %S" w)
     words
 
 (* Uncached access for whole-dictionary sweeps (index-size accounting),

@@ -28,12 +28,14 @@ let row_len t r = t.row_lens.(r)
 
 let column t ~level =
   if level < 1 || level > t.max_len then
-    invalid_arg "Jlist.column: level out of range";
+    Xk_util.Err.invalid "Jlist.column: level out of range";
   match t.columns.(level - 1) with
   | Some c -> c
   | None -> (
       match t.loader with
-      | None -> assert false (* eager lists always populate all columns *)
+      | None ->
+          (* eager lists always populate all columns *)
+          Xk_util.Err.unreachable "Jlist.column: eager list missing a column"
       | Some load ->
           let c = load level in
           t.columns.(level - 1) <- Some c;
@@ -42,7 +44,7 @@ let column t ~level =
 let make ~seqs ~nodes ~scores =
   let n = Array.length seqs in
   if Array.length nodes <> n || Array.length scores <> n then
-    invalid_arg "Jlist.make: length mismatch";
+    Xk_util.Err.invalid "Jlist.make: length mismatch";
   let max_len = Array.fold_left (fun m s -> max m (Array.length s)) 0 seqs in
   let columns =
     Array.init max_len (fun i ->
@@ -64,7 +66,7 @@ let make ~seqs ~nodes ~scores =
 let make_lazy ~nodes ~scores ~row_lens ~max_len ~loader =
   let n = Array.length nodes in
   if Array.length scores <> n || Array.length row_lens <> n then
-    invalid_arg "Jlist.make_lazy: length mismatch";
+    Xk_util.Err.invalid "Jlist.make_lazy: length mismatch";
   let columns = Array.make max_len None in
   let rec t =
     {

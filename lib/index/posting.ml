@@ -15,7 +15,7 @@ let score t r = t.scores.(r)
 let make ~deweys ~nodes ~scores =
   let n = Array.length deweys in
   if Array.length nodes <> n || Array.length scores <> n then
-    invalid_arg "Posting.make: length mismatch";
+    Xk_util.Err.invalid "Posting.make: length mismatch";
   { deweys; nodes; scores }
 
 (* First row with dewey >= [d] (length if none): the basis for the

@@ -43,7 +43,7 @@ type 'a shard = {
 type 'a t = { shards : 'a shard array; shard_capacity : int }
 
 let create ?(shards = 16) ~capacity () =
-  if capacity < 1 then invalid_arg "Shard_cache.create: capacity < 1";
+  if capacity < 1 then Xk_util.Err.invalid "Shard_cache.create: capacity < 1";
   let shards = max 1 (min shards capacity) in
   let shard_capacity = (capacity + shards - 1) / shards in
   {
@@ -79,10 +79,7 @@ let evict_lru s =
 
 let find_or_add t key ~compute =
   let s = shard_of t key in
-  Mutex.lock s.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock s.lock)
-    (fun () ->
+  Xk_util.Sync.with_lock s.lock (fun () ->
       s.clock <- s.clock + 1;
       match Hashtbl.find_opt s.tbl key with
       | Some e ->
@@ -98,24 +95,20 @@ let find_or_add t key ~compute =
 
 let mem t key =
   let s = shard_of t key in
-  Mutex.lock s.lock;
-  let present = Hashtbl.mem s.tbl key in
-  Mutex.unlock s.lock;
-  present
+  Xk_util.Sync.with_lock s.lock (fun () -> Hashtbl.mem s.tbl key)
 
 let stats t =
   Array.fold_left
     (fun acc (s : _ shard) ->
-      Mutex.lock s.lock;
       let st =
-        {
-          hits = s.hits;
-          misses = s.misses;
-          evictions = s.evictions;
-          entries = Hashtbl.length s.tbl;
-          capacity = t.shard_capacity;
-        }
+        Xk_util.Sync.with_lock s.lock (fun () ->
+            {
+              hits = s.hits;
+              misses = s.misses;
+              evictions = s.evictions;
+              entries = Hashtbl.length s.tbl;
+              capacity = t.shard_capacity;
+            })
       in
-      Mutex.unlock s.lock;
       add_stats acc st)
     zero_stats t.shards

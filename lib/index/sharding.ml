@@ -40,7 +40,7 @@ let child_tag = function
   | Xk_xml.Xml_tree.Text _ -> "#text"
 
 let assign strategy ~shards (doc : Xk_xml.Xml_tree.document) =
-  if shards < 1 then invalid_arg "Sharding.assign: shards < 1";
+  if shards < 1 then Xk_util.Err.invalid "Sharding.assign: shards < 1";
   let children = Array.of_list doc.root.children in
   match strategy with
   | Round_robin -> Array.init (Array.length children) (fun i -> i mod shards)
@@ -49,13 +49,12 @@ let assign strategy ~shards (doc : Xk_xml.Xml_tree.document) =
 
 let validate_assignment ~shards ~children (a : int array) =
   if Array.length a <> children then
-    invalid_arg
-      (Printf.sprintf "Sharding: assignment covers %d of %d subtrees"
-         (Array.length a) children);
+    Xk_util.Err.invalidf "Sharding: assignment covers %d of %d subtrees"
+      (Array.length a) children;
   Array.iter
     (fun s ->
       if s < 0 || s >= shards then
-        invalid_arg (Printf.sprintf "Sharding: subtree assigned to shard %d" s))
+        Xk_util.Err.invalidf "Sharding: subtree assigned to shard %d" s)
     a
 
 let build_with ?shards ~(assignment : int array) ~make
@@ -69,7 +68,7 @@ let build_with ?shards ~(assignment : int array) ~make
     match shards with
     | None -> named
     | Some n ->
-        if n < 1 then invalid_arg "Sharding.build_with: shards < 1";
+        if n < 1 then Xk_util.Err.invalid "Sharding.build_with: shards < 1";
         max n named
   in
   validate_assignment ~shards ~children:n_children assignment;
@@ -141,7 +140,10 @@ let build_with ?shards ~(assignment : int array) ~make
   in
   match Array.init shards build_shard with
   | exception Stop _ -> (
-      match !error with Some e -> Error e | None -> assert false)
+      match !error with
+      | Some e -> Error e
+      | None ->
+          Xk_util.Err.unreachable "Sharding.build_with: Stop without error")
   | built ->
       (* Fill the global df table now that every shard's dictionary
          exists; shard node sets are disjoint, so local dfs sum. *)
@@ -164,12 +166,19 @@ let build_with ?shards ~(assignment : int array) ~make
           shards = built;
           assignment;
           total_nodes;
-          segments = Array.map Option.get segments;
+          segments =
+            Array.map
+              (function
+                | Some seg -> seg
+                | None ->
+                    Xk_util.Err.unreachable
+                      "Sharding.build_with: segment left unfilled")
+              segments;
         }
 
 let partition ?damping ?cache_capacity ?(strategy = Round_robin) ?assignment
     ~shards (doc : Xk_xml.Xml_tree.document) =
-  if shards < 1 then invalid_arg "Sharding.partition: shards < 1";
+  if shards < 1 then Xk_util.Err.invalid "Sharding.partition: shards < 1";
   let n_children = List.length doc.root.children in
   let assignment =
     match assignment with
@@ -182,7 +191,8 @@ let partition ?damping ?cache_capacity ?(strategy = Round_robin) ?assignment
     Ok (Index.build ?damping ?cache_capacity ~stats label)
   in
   match build_with ~shards ~assignment ~make doc with
-  | Error (_ : unit) -> assert false
+  | Error (_ : unit) ->
+      Xk_util.Err.unreachable "Sharding.partition: infallible make failed"
   | Ok t -> t
 
 let count t = Array.length t.shards
@@ -196,7 +206,7 @@ let to_global t ~shard local = t.shards.(shard).sh_to_global.(local)
 let locate t g =
   if g = 0 then (0, 0)
   else if g < 0 || g >= t.total_nodes then
-    invalid_arg (Printf.sprintf "Sharding.locate: node %d out of range" g)
+    Xk_util.Err.invalidf "Sharding.locate: node %d out of range" g
   else begin
     (* Binary search the document-ordered segment table. *)
     let lo = ref 0 and hi = ref (Array.length t.segments - 1) in

@@ -13,7 +13,7 @@ type t = {
 let default_stride = 64
 
 let build ?(stride = default_stride) (c : Column.t) =
-  if stride < 1 then invalid_arg "Sparse_index.build";
+  if stride < 1 then Xk_util.Err.invalid "Sparse_index.build";
   let runs = Column.runs c in
   let n = Array.length runs in
   let count = (n + stride - 1) / stride in

@@ -24,7 +24,7 @@ let create ?deadline_ms ?ticks () =
   make deadline ticks
 
 let cancel t =
-  if t == unlimited then invalid_arg "Budget.cancel: unlimited budget";
+  if t == unlimited then Xk_util.Err.invalid "Budget.cancel: unlimited budget";
   Atomic.set t.cancelled true
 
 let cancelled t = Atomic.get t.cancelled

@@ -56,36 +56,45 @@ let env_config =
           Printf.eprintf "warning: XK_FAULTS ignored: %s\n%!" msg;
           none)
 
-(* All mutable state sits behind one lock: fault injection is never on a
-   genuine hot path. *)
-let lock = Mutex.create ()
+(* All mutable state sits behind one [Sync.Protected] value: fault
+   injection is never on a genuine hot path, and no code path can reach
+   the override or the counters without holding its lock. *)
+type state = {
+  mutable override : config option;
+  io_attempts : (string, int) Hashtbl.t;
+  read_attempts : (string, int) Hashtbl.t;
+  mutable queries_seen : int;
+}
 
-let with_lock f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+let state =
+  Xk_util.Sync.Protected.create
+    {
+      override = None;
+      io_attempts = Hashtbl.create 8;
+      read_attempts = Hashtbl.create 8;
+      queries_seen = 0;
+    }
 
-let override : config option ref = ref None
-let io_attempts : (string, int) Hashtbl.t = Hashtbl.create 8
-let read_attempts : (string, int) Hashtbl.t = Hashtbl.create 8
-let queries_seen = ref 0
+let with_state f = Xk_util.Sync.Protected.with_ state f
 
-let clear_counters () =
-  Hashtbl.reset io_attempts;
-  Hashtbl.reset read_attempts;
-  queries_seen := 0
+let clear_counters st =
+  Hashtbl.reset st.io_attempts;
+  Hashtbl.reset st.read_attempts;
+  st.queries_seen <- 0
 
 let configure c =
-  with_lock (fun () ->
-      override := Some c;
-      clear_counters ())
+  with_state (fun st ->
+      st.override <- Some c;
+      clear_counters st)
 
 let reset () =
-  with_lock (fun () ->
-      override := None;
-      clear_counters ())
+  with_state (fun st ->
+      st.override <- None;
+      clear_counters st)
 
 let active () =
-  with_lock (fun () -> match !override with Some c -> c | None -> env_config)
+  with_state (fun st ->
+      match st.override with Some c -> c | None -> env_config)
 
 let enabled () = active () <> none
 
@@ -98,7 +107,7 @@ let before_io ~path =
   let c = active () in
   if c <> none then begin
     if c.io_latency_ms > 0. then Unix.sleepf (c.io_latency_ms /. 1000.);
-    let attempt = with_lock (fun () -> bump io_attempts path) in
+    let attempt = with_state (fun st -> bump st.io_attempts path) in
     if attempt < c.io_failures then
       raise
         (Injected_io
@@ -110,7 +119,7 @@ let mangle_read ~path data =
   let c = active () in
   if c.corrupt_reads = 0 || String.length data = 0 then data
   else begin
-    let read = with_lock (fun () -> bump read_attempts path) in
+    let read = with_state (fun st -> bump st.read_attempts path) in
     if read >= c.corrupt_reads then data
     else begin
       let b = Bytes.of_string data in
@@ -125,9 +134,9 @@ let on_query () =
   if c <> none then begin
     if c.query_latency_ms > 0. then Unix.sleepf (c.query_latency_ms /. 1000.);
     let n =
-      with_lock (fun () ->
-          incr queries_seen;
-          !queries_seen)
+      with_state (fun st ->
+          st.queries_seen <- st.queries_seen + 1;
+          st.queries_seen)
     in
     if n <= c.query_failures then
       raise (Injected_failure (Printf.sprintf "injected query failure #%d" n))

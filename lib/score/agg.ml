@@ -15,7 +15,7 @@ let combine t (scores : float array) =
   | Max -> Array.fold_left Float.max neg_infinity scores
   | Weighted w ->
       if Array.length w < Array.length scores then
-        invalid_arg "Agg.combine: not enough weights";
+        Xk_util.Err.invalid "Agg.combine: not enough weights";
       let acc = ref 0. in
       Array.iteri (fun i s -> acc := !acc +. (w.(i) *. s)) scores;
       !acc

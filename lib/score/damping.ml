@@ -9,7 +9,7 @@ let max_memo = 64
 
 let make decay =
   if not (decay > 0. && decay <= 1.) then
-    invalid_arg "Damping.make: decay must be in (0, 1]";
+    Xk_util.Err.invalid "Damping.make: decay must be in (0, 1]";
   let table = Array.init max_memo (fun i -> decay ** float_of_int i) in
   { decay; table }
 
@@ -23,6 +23,6 @@ let default = make 0.75
 let decay t = t.decay
 
 let apply t dl =
-  if dl < 0 then invalid_arg "Damping.apply: negative distance"
+  if dl < 0 then Xk_util.Err.invalid "Damping.apply: negative distance"
   else if dl < max_memo then t.table.(dl)
   else t.decay ** float_of_int dl

@@ -14,14 +14,14 @@ type t = { total_nodes : int; norm : float }
 let max_tf = 1000.
 
 let make ~total_nodes =
-  if total_nodes <= 0 then invalid_arg "Scorer.make";
+  if total_nodes <= 0 then Xk_util.Err.invalid "Scorer.make";
   let norm =
     (1. +. log max_tf) *. log (1. +. float_of_int total_nodes)
   in
   { total_nodes; norm }
 
 let local_score t ~tf ~df =
-  if tf <= 0 || df <= 0 then invalid_arg "Scorer.local_score";
+  if tf <= 0 || df <= 0 then Xk_util.Err.invalid "Scorer.local_score";
   let tf = float_of_int (min tf 1000) in
   let idf = log (1. +. (float_of_int t.total_nodes /. float_of_int df)) in
   (1. +. log tf) *. idf /. t.norm

@@ -83,7 +83,7 @@ let decode (c : Varint.cursor) : run array =
     match c.data.[c.pos] with
     | 'D' -> Delta
     | 'R' -> Rle
-    | ch -> invalid_arg (Printf.sprintf "Column_codec.decode: bad tag %C" ch)
+    | ch -> Xk_util.Err.invalidf "Column_codec.decode: bad tag %C" ch
   in
   c.pos <- c.pos + 1;
   let n = Varint.read c in

@@ -13,7 +13,7 @@ let table =
 
 let update crc s ~pos ~len =
   if pos < 0 || len < 0 || pos + len > String.length s then
-    invalid_arg "Crc32.update";
+    Xk_util.Err.invalid "Crc32.update";
   let c = ref (crc lxor 0xFFFFFFFF) in
   for i = pos to pos + len - 1 do
     c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)

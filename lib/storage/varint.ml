@@ -2,7 +2,7 @@
    structure in the repository. *)
 
 let write buf n =
-  if n < 0 then invalid_arg "Varint.write: negative";
+  if n < 0 then Xk_util.Err.invalid "Varint.write: negative";
   let rec go n =
     if n < 0x80 then Buffer.add_char buf (Char.chr n)
     else begin
@@ -26,7 +26,7 @@ let at_end c = c.pos >= String.length c.data
 let read c =
   let rec go shift acc =
     if c.pos >= String.length c.data then
-      invalid_arg "Varint.read: truncated input";
+      Xk_util.Err.invalid "Varint.read: truncated input";
     let b = Char.code c.data.[c.pos] in
     c.pos <- c.pos + 1;
     let acc = acc lor ((b land 0x7f) lsl shift) in

@@ -1,0 +1,14 @@
+(* The one audited home of bare Mutex.lock/unlock: everything else goes
+   through [with_lock], which xklint's bare-lock rule enforces. *)
+[@@@xklint.allow bare-lock]
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+module Protected = struct
+  type 'a t = { lock : Mutex.t; value : 'a }
+
+  let create value = { lock = Mutex.create (); value }
+  let with_ t f = with_lock t.lock (fun () -> f t.value)
+end

@@ -1,0 +1,29 @@
+(** Exception-safe mutual exclusion.
+
+    Every critical section in the tree goes through {!with_lock} (or the
+    higher-level {!Protected}) so that a raising critical section can
+    never leak a held lock.  [tools/xklint]'s [bare-lock] rule enforces
+    this: direct [Mutex.lock]/[Mutex.unlock] calls are rejected
+    everywhere except inside this module. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f ()] with [m] held and releases [m] whether
+    [f] returns or raises.  [f] may block on a [Condition.t] associated
+    with [m]: [Condition.wait] releases and reacquires the same mutex,
+    so the unlock in the exit path stays balanced. *)
+
+(** A value that is only reachable with its private mutex held.
+
+    [Protected.create v] pairs [v] with a fresh mutex; the only access
+    path, {!Protected.with_}, runs a function over [v] inside
+    {!with_lock}.  Mutating fields of [v] (mutable record fields, a
+    [Hashtbl.t], ...) is safe exactly because no caller can observe [v]
+    without the lock.  [xklint]'s [shared-state] rule recognizes
+    [Protected.create] as a sanctioned wrapper for top-level mutable
+    state in domain-crossing libraries. *)
+module Protected : sig
+  type 'a t
+
+  val create : 'a -> 'a t
+  val with_ : 'a t -> ('a -> 'b) -> 'b
+end

@@ -46,7 +46,7 @@ let pick_near rng (idx : Xk_index.Index.t) ~near =
     if Array.length pool > 0 then
       Xk_index.Index.term idx pool.(Xk_datagen.Rng.int rng (Array.length pool))
     else if lo = 1 && hi = df_ceiling then
-      invalid_arg "Workload.pick_near: empty corpus"
+      Xk_util.Err.invalid "Workload.pick_near: empty corpus"
     else go (spread * 8)
   in
   go 2

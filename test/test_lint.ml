@@ -1,0 +1,229 @@
+(* xklint: fixture snippets per rule (known-good and known-bad), the
+   allow mechanisms (config entries, [@xklint.allow] attributes, file
+   scoping) and the baseline round trip. *)
+
+open Xklint_lib
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let config_of_string src =
+  match Lint_config.of_string src with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "config: %s" msg
+
+let lint ?(config = "") ~file src =
+  Lint_engine.lint_source (config_of_string config) ~file src
+
+let rules fs = List.map (fun (f : Lint_finding.t) -> f.rule) fs
+let slist = Alcotest.slist Alcotest.string String.compare
+
+let check_rules ?config ~file name expected src =
+  check slist name expected (rules (lint ?config ~file src))
+
+(* --- budget-loop ----------------------------------------------------- *)
+
+let budget_while () =
+  let bad = "let serve () =\n  while true do\n    step ()\n  done\n" in
+  check_rules ~file:"lib/core/fixture.ml" "budget-less while" [ "budget-loop" ]
+    bad;
+  check_rules ~file:"lib/core/fixture.ml" "polled while" []
+    "let serve b =\n\
+    \  while Xk_resilience.Budget.alive b do\n\
+    \    step ()\n\
+    \  done\n";
+  check_rules ~file:"lib/core/fixture.ml" "short Budget path counts" []
+    "let serve b =\n  while true do\n    Budget.check b;\n    step ()\n  done\n";
+  (* the rule only covers the algorithm layers *)
+  check_rules ~file:"lib/xml/fixture.ml" "outside algo layers" [] bad;
+  check_rules ~file:"bench/fixture.ml" "outside lib" [] bad
+
+let budget_rec () =
+  let bad = "let rec drain h =\n  match pop h with Some _ -> drain h | None -> ()\n" in
+  check_rules ~file:"lib/baselines/fixture.ml" "budget-less rec"
+    [ "budget-loop" ] bad;
+  check_rules ~file:"lib/baselines/fixture.ml" "polled rec" []
+    "let rec drain b h =\n\
+    \  Xk_resilience.Budget.check b;\n\
+    \  match pop h with Some _ -> drain b h | None -> ()\n";
+  (* nested let rec inside a function body is checked too *)
+  check_rules ~file:"lib/core/fixture.ml" "nested rec" [ "budget-loop" ]
+    "let topk () =\n  let rec go () = go () in\n  go ()\n"
+
+let budget_allow () =
+  let bad = "let bsearch () =\n  while !lo < !hi do\n    narrow ()\n  done\n" in
+  check_rules ~file:"lib/core/fixture.ml"
+    ~config:"allow budget-loop lib/core/fixture.ml bsearch"
+    "config allow by function" [] bad;
+  check_rules ~file:"lib/core/fixture.ml"
+    ~config:"allow budget-loop lib/core/other.ml bsearch"
+    "config allow other file" [ "budget-loop" ] bad;
+  check_rules ~file:"lib/core/fixture.ml" "attribute allow" []
+    "let bsearch () =\n\
+    \  (while !lo < !hi do\n\
+    \     narrow ()\n\
+    \   done)\n\
+    \  [@xklint.allow budget-loop]\n"
+
+(* --- bare-lock ------------------------------------------------------- *)
+
+let bare_lock () =
+  let bad = "let get t =\n  Mutex.lock t.lock;\n  let v = t.v in\n  Mutex.unlock t.lock;\n  v\n" in
+  check slist "lock and unlock flagged" [ "bare-lock"; "bare-lock" ]
+    (rules (lint ~file:"lib/index/fixture.ml" bad));
+  check_rules ~file:"lib/index/fixture.ml" "with_lock is fine" []
+    "let get t = Xk_util.Sync.with_lock t.lock (fun () -> t.v)\n";
+  check_rules ~file:"lib/index/fixture.ml" "file-level allow" []
+    ("[@@@xklint.allow bare-lock]\n" ^ bad);
+  check_rules ~file:"bench/fixture.ml" "outside lib" [] bad
+
+(* --- shared-state ---------------------------------------------------- *)
+
+let shared_state () =
+  check_rules ~file:"lib/exec/fixture.ml" "top-level Hashtbl"
+    [ "shared-state" ] "let cache = Hashtbl.create 16\n";
+  check_rules ~file:"lib/resilience/fixture.ml" "top-level ref"
+    [ "shared-state" ] "let counter = ref 0\n";
+  check_rules ~file:"lib/exec/fixture.ml" "per-call state is fine" []
+    "let fresh () = Hashtbl.create 16\n";
+  check_rules ~file:"lib/exec/fixture.ml" "Atomic is fine" []
+    "let counter = Atomic.make 0\n";
+  check_rules ~file:"lib/exec/fixture.ml" "Protected wrapper is fine" []
+    "let state = Xk_util.Sync.Protected.create (Hashtbl.create 16)\n";
+  (* only the domain-crossing libraries are covered *)
+  check_rules ~file:"lib/score/fixture.ml" "outside domain-crossing dirs" []
+    "let cache = Hashtbl.create 16\n";
+  check_rules ~file:"lib/index/fixture.ml" "binding attribute allow" []
+    "let cache = (Hashtbl.create 16 [@xklint.allow shared-state])\n"
+
+(* --- typed-error ----------------------------------------------------- *)
+
+let typed_error () =
+  check_rules ~file:"lib/text/fixture.ml" "failwith" [ "typed-error" ]
+    "let f () = failwith \"boom\"\n";
+  check_rules ~file:"lib/text/fixture.ml" "invalid_arg" [ "typed-error" ]
+    "let f () = invalid_arg \"boom\"\n";
+  check_rules ~file:"lib/text/fixture.ml" "Err.invalid is fine" []
+    "let f () = Xk_util.Err.invalid \"boom\"\n";
+  check_rules ~file:"lib/text/fixture.ml" "partial calls"
+    [ "typed-error"; "typed-error" ]
+    "let f xs = (List.hd xs, Option.get None)\n";
+  check_rules ~file:"lib/text/fixture.ml" "unsafe access" [ "typed-error" ]
+    "let f a = Array.unsafe_get a 0\n";
+  check_rules ~file:"lib/text/fixture.ml" "bare assert false"
+    [ "typed-error" ] "let f () = assert false\n";
+  check_rules ~file:"lib/text/fixture.ml" "assert with condition is fine" []
+    "let f x = assert (x > 0)\n";
+  check_rules ~file:"lib/text/fixture.ml" "attribute allow" []
+    "let f () = (assert false) [@xklint.allow typed-error]\n";
+  check_rules ~file:"bench/fixture.ml" "outside lib" []
+    "let f () = failwith \"boom\"\n"
+
+let parse_error () =
+  check slist "unparsable file" [ "parse-error" ]
+    (rules (lint ~file:"lib/text/fixture.ml" "let let let\n"))
+
+(* --- config ---------------------------------------------------------- *)
+
+let config_parse () =
+  let cfg =
+    config_of_string
+      "# comment\n\n\
+       allow budget-loop lib/core/erased.ml first_after\n\
+       allow bare-lock lib/util/sync.ml *\n\
+       allow * lib/legacy/\n"
+  in
+  let allowed = Lint_config.allowed cfg in
+  check Alcotest.bool "by name" true
+    (allowed ~rule:"budget-loop" ~file:"lib/core/erased.ml"
+       ~name:(Some "first_after"));
+  check Alcotest.bool "wrong name" false
+    (allowed ~rule:"budget-loop" ~file:"lib/core/erased.ml"
+       ~name:(Some "other"));
+  check Alcotest.bool "star name" true
+    (allowed ~rule:"bare-lock" ~file:"lib/util/sync.ml" ~name:(Some "anything"));
+  check Alcotest.bool "dir prefix + star rule" true
+    (allowed ~rule:"typed-error" ~file:"lib/legacy/old.ml" ~name:None);
+  check Alcotest.bool "suffix match" true
+    (allowed ~rule:"budget-loop" ~file:"repo/lib/core/erased.ml"
+       ~name:(Some "first_after"));
+  match Lint_config.of_string "allow\n" with
+  | Ok _ -> Alcotest.fail "malformed config accepted"
+  | Error _ -> ()
+
+(* --- baseline -------------------------------------------------------- *)
+
+let findings_of src = lint ~file:"lib/text/fixture.ml" src
+
+let baseline_roundtrip () =
+  let findings = findings_of "let f xs = (List.hd xs, failwith \"x\")\n" in
+  check Alcotest.int "two findings" 2 (List.length findings);
+  let reloaded = Lint_baseline.of_string (Lint_baseline.to_string findings) in
+  let { Lint_baseline.fresh; baselined; stale } =
+    Lint_baseline.filter reloaded findings
+  in
+  check Alcotest.int "none fresh" 0 (List.length fresh);
+  check Alcotest.int "all baselined" 2 baselined;
+  check Alcotest.int "none stale" 0 (List.length stale)
+
+let baseline_fresh_and_stale () =
+  let old = findings_of "let f () = failwith \"x\"\n" in
+  let baseline = Lint_baseline.of_string (Lint_baseline.to_string old) in
+  (* the failwith moved (same key) and a new partial call appeared *)
+  let now = findings_of "let g xs = List.hd xs\n\nlet f () = failwith \"x\"\n" in
+  let { Lint_baseline.fresh; baselined; stale } =
+    Lint_baseline.filter baseline now
+  in
+  check Alcotest.int "one fresh" 1 (List.length fresh);
+  check Alcotest.int "one baselined" 1 baselined;
+  check Alcotest.int "none stale" 0 (List.length stale);
+  (* and with the failwith fixed, its entry goes stale *)
+  let { Lint_baseline.fresh; baselined; stale } =
+    Lint_baseline.filter baseline (findings_of "let g xs = List.hd xs\n")
+  in
+  check Alcotest.int "still one fresh" 1 (List.length fresh);
+  check Alcotest.int "none baselined" 0 baselined;
+  check Alcotest.int "one stale" 1 (List.length stale)
+
+let baseline_counts_duplicates () =
+  let two = findings_of "let f () = failwith \"a\"\n\nlet g () = failwith \"a\"\n" in
+  check Alcotest.int "two identical keys" 2 (List.length two);
+  let one = Lint_baseline.of_string "lib/text/fixture.ml\ttyped-error\t'failwith' raises untyped Failure; raise a typed exception (Xk_util.Err or a module-specific one)\n" in
+  let { Lint_baseline.fresh; baselined; stale = _ } =
+    Lint_baseline.filter one two
+  in
+  check Alcotest.int "one grandfathered" 1 baselined;
+  check Alcotest.int "one fresh" 1 (List.length fresh)
+
+let finding_format () =
+  match findings_of "let f () = failwith \"x\"\n" with
+  | [ f ] ->
+      check Alcotest.string "file:line severity rule message"
+        "lib/text/fixture.ml:1 error typed-error 'failwith' raises untyped \
+         Failure; raise a typed exception (Xk_util.Err or a module-specific \
+         one)"
+        (Lint_finding.to_string f)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let suite =
+  [
+    ( "lint.rules",
+      [
+        tc "budget-loop: while" `Quick budget_while;
+        tc "budget-loop: let rec" `Quick budget_rec;
+        tc "budget-loop: allows" `Quick budget_allow;
+        tc "bare-lock" `Quick bare_lock;
+        tc "shared-state" `Quick shared_state;
+        tc "typed-error" `Quick typed_error;
+        tc "parse error" `Quick parse_error;
+      ] );
+    ( "lint.config",
+      [ tc "parse + matching" `Quick config_parse ] );
+    ( "lint.baseline",
+      [
+        tc "round trip" `Quick baseline_roundtrip;
+        tc "fresh and stale" `Quick baseline_fresh_and_stale;
+        tc "duplicate keys counted" `Quick baseline_counts_duplicates;
+        tc "finding format" `Quick finding_format;
+      ] );
+  ]

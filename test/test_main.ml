@@ -4,4 +4,5 @@ let () =
    @ Test_score.suite @ Test_index.suite @ Test_core.suite
    @ Test_baselines.suite @ Test_datagen.suite @ Test_engine.suite
    @ Test_edge.suite @ Test_jstore.suite @ Test_workload.suite
-   @ Test_exec.suite @ Test_resilience.suite @ Test_shard.suite)
+   @ Test_exec.suite @ Test_resilience.suite @ Test_shard.suite
+   @ Test_lint.suite)

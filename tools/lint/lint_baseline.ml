@@ -1,0 +1,69 @@
+(* The committed baseline ([xklint.baseline]) grandfathers findings so
+   the tool can be adopted before every last violation is fixed: a
+   finding whose [file * rule * message] key appears in the baseline is
+   reported as baselined, not new, and does not fail the run.  Keys are
+   counted, so two identical violations in one file need two entries.
+
+   Format: one finding per line, [file<TAB>rule<TAB>message], [#]
+   comments and blank lines ignored. *)
+
+type t = (string, int) Hashtbl.t
+
+let empty () : t = Hashtbl.create 16
+
+let of_string src : t =
+  let t = empty () in
+  String.split_on_char '\n' src
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && not (String.starts_with ~prefix:"#" line) then
+           Hashtbl.replace t line
+             (1 + Option.value (Hashtbl.find_opt t line) ~default:0));
+  t
+
+let of_file path =
+  if Sys.file_exists path then of_string (Lint_util.read_file path)
+  else empty ()
+
+let header =
+  "# xklint baseline: grandfathered findings, one per line\n\
+   # (file<TAB>rule<TAB>message).  Regenerate with\n\
+   #   dune exec tools/xklint -- --update-baseline <paths>\n\
+   # after deliberately accepting a finding; prefer fixing it.\n"
+
+let to_string findings =
+  let keys = List.map Lint_finding.key findings in
+  let body = List.sort String.compare keys |> List.map (fun k -> k ^ "\n") in
+  header ^ String.concat "" body
+
+let save path findings =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string findings))
+
+type verdict = {
+  fresh : Lint_finding.t list;  (* not in the baseline: fail the run *)
+  baselined : int;              (* matched a baseline entry *)
+  stale : string list;          (* baseline entries nothing matched *)
+}
+
+let filter (t : t) findings =
+  let remaining = Hashtbl.copy t in
+  let fresh =
+    List.filter
+      (fun f ->
+        let k = Lint_finding.key f in
+        match Hashtbl.find_opt remaining k with
+        | Some n when n > 0 ->
+            Hashtbl.replace remaining k (n - 1);
+            false
+        | _ -> true)
+      (List.sort Lint_finding.compare findings)
+  in
+  let stale =
+    Hashtbl.fold
+      (fun k n acc -> if n > 0 then List.init n (fun _ -> k) @ acc else acc)
+      remaining []
+    |> List.sort String.compare
+  in
+  { fresh; baselined = List.length findings - List.length fresh; stale }

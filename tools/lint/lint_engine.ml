@@ -1,0 +1,34 @@
+(* Parse + lint: one [.ml] file (or an in-memory fixture) in, findings
+   out.  [.mli] files carry no loops, locks or state and are skipped. *)
+
+let lint_source config ~file src =
+  let file = Lint_util.normalize_path file in
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  match Ppxlib.Parse.implementation lexbuf with
+  | str -> Lint_rules.run config ~file str
+  | exception e ->
+      [
+        Lint_finding.v ~file ~line:1 ~rule:"parse-error"
+          (Printf.sprintf "file does not parse: %s" (Printexc.to_string e));
+      ]
+
+let lint_file config path = lint_source config ~file:path (Lint_util.read_file path)
+
+let skip_dir name =
+  name = "_build" || name = "_opam" || String.starts_with ~prefix:"." name
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if skip_dir name then acc
+           else collect_ml acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_paths config paths =
+  let files = List.fold_left collect_ml [] paths |> List.sort String.compare in
+  (List.length files, List.concat_map (lint_file config) files)

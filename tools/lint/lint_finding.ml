@@ -1,0 +1,29 @@
+(* A single diagnostic.  The baseline identifies findings by
+   [file * rule * msg] only - no line numbers - so unrelated edits that
+   shift code around do not invalidate grandfathered entries. *)
+
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  file : string;
+  line : int;
+  severity : severity;
+  rule : string;
+  msg : string;
+}
+
+let v ~file ~line ?(severity = Error) ~rule msg =
+  { file; line; severity; rule; msg }
+
+let to_string f =
+  Printf.sprintf "%s:%d %s %s %s" f.file f.line
+    (severity_to_string f.severity)
+    f.rule f.msg
+
+(* Tab-separated so the message may contain spaces. *)
+let key f = String.concat "\t" [ f.file; f.rule; f.msg ]
+
+let compare a b =
+  Stdlib.compare (a.file, a.line, a.rule, a.msg) (b.file, b.line, b.rule, b.msg)

@@ -1,0 +1,318 @@
+(* The four invariants, checked over ppxlib's parsetree (so the same
+   source parses on every compiler in the CI matrix):
+
+   - [budget-loop]: in the algorithm layers ([lib/core], [lib/baselines])
+     every [while] loop and every recursive binding must mention a
+     [Budget.*] identifier somewhere in its own subtree - the
+     deadline/cancellation token is polled from inside the loop, not
+     around it.  Bounded pure helpers go in the allowlist.
+   - [bare-lock]: [Mutex.lock]/[unlock]/[try_lock] never appear outside
+     [Xk_util.Sync] - critical sections use [Sync.with_lock], which
+     releases on raise.
+   - [shared-state]: a top-level binding in a domain-crossing library
+     ([lib/exec], [lib/index], [lib/resilience]) must not build bare
+     mutable state ([ref]/[Hashtbl.create]/[Buffer.create]/
+     [Queue.create]); it is either [Atomic.make] or wrapped in
+     [Sync.Protected.create].  Creation under a [fun] is per-call state
+     and is fine.
+   - [typed-error]: no [failwith]/[invalid_arg] (use [Xk_util.Err]), no
+     bare [assert false] (use [Err.unreachable] with context), no
+     partial stdlib calls ([List.hd]/[List.tl]/[Option.get]) and no
+     [Array.unsafe_*] in [lib/].
+
+   Any finding can be waived in place with [[@xklint.allow <rule>]] on
+   an enclosing expression or binding, [[@@@xklint.allow <rule>]] for a
+   whole file, or an entry in [xklint.config]. *)
+
+open Ppxlib
+
+let rule_budget = "budget-loop"
+let rule_lock = "bare-lock"
+let rule_state = "shared-state"
+let rule_error = "typed-error"
+
+type ctx = {
+  file : string;
+  config : Lint_config.t;
+  mutable findings : Lint_finding.t list;
+  mutable fn_stack : string list; (* enclosing binding names, innermost first *)
+  mutable allow_stack : string list list; (* rules waived by enclosing attrs *)
+  mutable file_allows : string list; (* from [@@@xklint.allow ...] *)
+  mutable expr_depth : int; (* 0 = structure level *)
+  check_budget : bool;
+  check_state : bool;
+  check_lib : bool; (* bare-lock + typed-error *)
+}
+
+let in_dir dir file = Lint_util.contains_substring ~sub:("/" ^ dir ^ "/") ("/" ^ file)
+
+let make_ctx config ~file =
+  {
+    file;
+    config;
+    findings = [];
+    fn_stack = [];
+    allow_stack = [];
+    file_allows = [];
+    expr_depth = 0;
+    check_budget = in_dir "lib/core" file || in_dir "lib/baselines" file;
+    check_state =
+      in_dir "lib/exec" file || in_dir "lib/index" file
+      || in_dir "lib/resilience" file;
+    check_lib = in_dir "lib" file;
+  }
+
+let ident_path lid =
+  match Longident.flatten_exn lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+let strip_stdlib path =
+  if String.starts_with ~prefix:"Stdlib." path then
+    String.sub path 7 (String.length path - 7)
+  else path
+
+(* [@xklint.allow <payload>]: the payload names the waived rules - bare
+   or string literals, a tuple for several, empty for all.  Kebab-case
+   rule ids parse as subtractions ([bare-lock] is [bare - lock]), so
+   that shape is folded back into a name. *)
+let rec rule_names_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident s; _ } -> [ s ]
+  | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+  | Pexp_tuple es -> List.concat_map rule_names_of_expr es
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident "-"; _ }; _ },
+        [ (Nolabel, a); (Nolabel, b) ] ) -> (
+      match (rule_names_of_expr a, rule_names_of_expr b) with
+      | [ x ], [ y ] -> [ x ^ "-" ^ y ]
+      | _ -> [])
+  | _ -> []
+
+let allows_of_attribute (attr : attribute) =
+  if attr.attr_name.txt <> "xklint.allow" then None
+  else
+    match attr.attr_payload with
+    | PStr [] -> Some [ "*" ]
+    | PStr items ->
+        Some
+          (List.concat_map
+             (fun item ->
+               match item.pstr_desc with
+               | Pstr_eval (e, _) -> rule_names_of_expr e
+               | _ -> [])
+             items)
+    | _ -> Some [ "*" ]
+
+let allows_of_attributes attrs = List.filter_map allows_of_attribute attrs |> List.concat
+
+let waived ctx rule =
+  let hit rules = List.mem rule rules || List.mem "*" rules in
+  hit ctx.file_allows || List.exists hit ctx.allow_stack
+
+let report ctx ~loc ~rule ?name msg =
+  if not (waived ctx rule) then
+    if not (Lint_config.allowed ctx.config ~rule ~file:ctx.file ~name) then
+      ctx.findings <-
+        Lint_finding.v ~file:ctx.file ~line:loc.loc_start.pos_lnum ~rule msg
+        :: ctx.findings
+
+let enclosing_fn ctx =
+  match ctx.fn_stack with name :: _ -> name | [] -> "<toplevel>"
+
+(* Does a subtree mention any [Budget] identifier ([Budget.check],
+   [Xk_resilience.Budget.alive], ...)? *)
+let mentions_budget =
+  let found = ref false in
+  let scan =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+            if
+              List.exists
+                (fun part -> part = "Budget")
+                (match Longident.flatten_exn txt with
+                | parts -> parts
+                | exception _ -> [])
+            then found := true
+        | _ -> ());
+        if not !found then super#expression e
+    end
+  in
+  fun e ->
+    found := false;
+    scan#expression e;
+    !found
+
+let binding_name vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
+  | _ -> None
+
+(* Mutable-state scan for one top-level right-hand side.  Stops at
+   lambdas (per-call state) and at sanctioned wrappers. *)
+let bare_state_ctors = [ "ref"; "Hashtbl.create"; "Buffer.create"; "Queue.create" ]
+
+let sanctioned_wrappers =
+  [
+    "Atomic.make";
+    "Sync.Protected.create";
+    "Xk_util.Sync.Protected.create";
+    "Protected.create";
+  ]
+
+let scan_toplevel_state ~on_hit =
+  object
+    inherit Ast_traverse.iter as super
+
+    method! expression e =
+      let allows = allows_of_attributes e.pexp_attributes in
+      if List.mem rule_state allows || List.mem "*" allows then ()
+      else
+        match e.pexp_desc with
+        | Pexp_function _ -> () (* per-call state *)
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+          when List.mem (strip_stdlib (ident_path txt)) sanctioned_wrappers ->
+            ()
+        | Pexp_ident { txt; _ }
+          when List.mem (strip_stdlib (ident_path txt)) bare_state_ctors ->
+            on_hit e.pexp_loc (strip_stdlib (ident_path txt))
+        | _ -> super#expression e
+  end
+
+let locked_idents = [ "Mutex.lock"; "Mutex.unlock"; "Mutex.try_lock" ]
+
+let partial_msg = function
+  | ("List.hd" | "List.tl" | "Option.get") as p ->
+      Some (Printf.sprintf "partial call '%s'; match on the shape instead" p)
+  | p when String.starts_with ~prefix:"Array.unsafe_" p ->
+      Some (Printf.sprintf "unchecked access '%s'; use the safe variant" p)
+  | "failwith" ->
+      Some
+        "'failwith' raises untyped Failure; raise a typed exception \
+         (Xk_util.Err or a module-specific one)"
+  | "invalid_arg" ->
+      Some "'invalid_arg' bypasses Xk_util.Err; use Err.invalid/invalidf"
+  | _ -> None
+
+class linter ctx =
+  object (self)
+    inherit Ast_traverse.iter as super
+
+    method private check_rec_bindings vbs =
+      if ctx.check_budget then
+        List.iter
+          (fun vb ->
+            if not (mentions_budget vb.pvb_expr) then
+              let name = binding_name vb in
+              let shown = Option.value name ~default:"<pattern>" in
+              let waived_by_attr =
+                let allows = allows_of_attributes vb.pvb_attributes in
+                List.mem rule_budget allows || List.mem "*" allows
+              in
+              if not waived_by_attr then
+                report ctx ~loc:vb.pvb_loc ~rule:rule_budget ?name
+                  (Printf.sprintf
+                     "recursive '%s' never polls Budget.check/alive; pass and \
+                      poll the request budget (or allowlist a pure helper)"
+                     shown))
+          vbs
+
+    method private check_toplevel_state vbs =
+      if ctx.check_state && ctx.expr_depth = 0 then
+        List.iter
+          (fun vb ->
+            let name = binding_name vb in
+            let allows = allows_of_attributes vb.pvb_attributes in
+            if not (List.mem rule_state allows || List.mem "*" allows) then
+              (scan_toplevel_state ~on_hit:(fun loc ctor ->
+                   report ctx ~loc ~rule:rule_state ?name
+                     (Printf.sprintf
+                        "top-level mutable state '%s' built with '%s' in a \
+                         domain-crossing library; use Atomic.t or \
+                         Xk_util.Sync.Protected"
+                        (Option.value name ~default:"_")
+                        ctor)))
+                #expression vb.pvb_expr)
+          vbs
+
+    method! structure_item si =
+      (match si.pstr_desc with
+      | Pstr_attribute attr -> (
+          match allows_of_attribute attr with
+          | Some rules -> ctx.file_allows <- rules @ ctx.file_allows
+          | None -> ())
+      | Pstr_value (Recursive, vbs) ->
+          self#check_rec_bindings vbs;
+          self#check_toplevel_state vbs
+      | Pstr_value (Nonrecursive, vbs) -> self#check_toplevel_state vbs
+      | _ -> ());
+      super#structure_item si
+
+    method! value_binding vb =
+      (* Only function bindings anchor [fn_stack]: a [while] inside
+         [let hits = ... while ... done ...] reports the enclosing
+         function, not 'hits'. *)
+      let fn_name =
+        match vb.pvb_expr.pexp_desc with
+        | Pexp_function _ | Pexp_newtype _ -> binding_name vb
+        | _ -> None
+      in
+      let allows = allows_of_attributes vb.pvb_attributes in
+      ctx.allow_stack <- allows :: ctx.allow_stack;
+      (match fn_name with
+      | Some n -> ctx.fn_stack <- n :: ctx.fn_stack
+      | None -> ());
+      super#value_binding vb;
+      (match fn_name with
+      | Some _ -> ctx.fn_stack <- List.tl ctx.fn_stack
+      | None -> ());
+      ctx.allow_stack <- List.tl ctx.allow_stack
+
+    method! expression e =
+      let allows = allows_of_attributes e.pexp_attributes in
+      ctx.allow_stack <- allows :: ctx.allow_stack;
+      ctx.expr_depth <- ctx.expr_depth + 1;
+      (match e.pexp_desc with
+      | Pexp_ident { txt; _ } when ctx.check_lib -> (
+          let path = strip_stdlib (ident_path txt) in
+          if List.mem path locked_idents then
+            report ctx ~loc:e.pexp_loc ~rule:rule_lock ~name:path
+              (Printf.sprintf
+                 "'%s' outside Xk_util.Sync; wrap the critical section in \
+                  Sync.with_lock so a raise cannot leak the lock (in '%s')"
+                 path (enclosing_fn ctx))
+          else
+            match partial_msg path with
+            | Some msg ->
+                report ctx ~loc:e.pexp_loc ~rule:rule_error ~name:path msg
+            | None -> ())
+      | Pexp_assert
+          { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+        when ctx.check_lib ->
+          report ctx ~loc:e.pexp_loc ~rule:rule_error ~name:"assert-false"
+            "bare 'assert false'; use Xk_util.Err.unreachable with a \
+             \"Module.fn: why\" message"
+      | Pexp_while _ when ctx.check_budget ->
+          if not (mentions_budget e) then
+            report ctx ~loc:e.pexp_loc ~rule:rule_budget
+              ~name:(enclosing_fn ctx)
+              (Printf.sprintf
+                 "while loop in '%s' never polls Budget.check/alive; poll the \
+                  request budget each iteration (or allowlist a pure helper)"
+                 (enclosing_fn ctx))
+      | Pexp_let (Recursive, vbs, _) -> self#check_rec_bindings vbs
+      | _ -> ());
+      super#expression e;
+      ctx.expr_depth <- ctx.expr_depth - 1;
+      ctx.allow_stack <- List.tl ctx.allow_stack
+  end
+
+let run config ~file str =
+  let ctx = make_ctx config ~file in
+  (new linter ctx)#structure str;
+  List.sort Lint_finding.compare ctx.findings

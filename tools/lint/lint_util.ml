@@ -1,0 +1,18 @@
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Forward slashes, no leading "./": paths printed in findings and
+   stored in the baseline look the same on every host and however the
+   tool was invoked. *)
+let normalize_path p =
+  let p = String.map (fun c -> if c = '\\' then '/' else c) p in
+  if String.starts_with ~prefix:"./" p then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      In_channel.input_all ic)

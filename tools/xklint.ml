@@ -1,0 +1,79 @@
+(* xklint - project-specific static analysis for the concurrency, budget
+   and error-discipline invariants (see DESIGN.md "Mechanized
+   invariants").  Usage:
+
+     dune exec tools/xklint -- [options] [PATH...]
+
+   Paths default to [lib].  Findings not covered by [xklint.config]
+   (curated allowlist) or [xklint.baseline] (grandfathered findings) are
+   printed as [file:line severity rule message] and make the exit status
+   non-zero, which is how the CI lint job gates regressions. *)
+
+open Xklint_lib
+
+let usage =
+  "xklint [--config FILE] [--baseline FILE] [--update-baseline] \
+   [--no-baseline] [PATH...]"
+
+let () =
+  let config_file = ref "xklint.config" in
+  let baseline_file = ref "xklint.baseline" in
+  let update_baseline = ref false in
+  let no_baseline = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--config",
+        Arg.Set_string config_file,
+        "FILE allowlist file (default: xklint.config)" );
+      ( "--baseline",
+        Arg.Set_string baseline_file,
+        "FILE baseline file (default: xklint.baseline)" );
+      ( "--update-baseline",
+        Arg.Set update_baseline,
+        " rewrite the baseline from the current findings and exit" );
+      ( "--no-baseline",
+        Arg.Set no_baseline,
+        " ignore the baseline: report every finding as new" );
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then (
+        Printf.eprintf "xklint: no such path %s\n" p;
+        exit 2))
+    paths;
+  let config =
+    match Lint_config.of_file !config_file with
+    | Ok c -> c
+    | Error msg ->
+        Printf.eprintf "xklint: bad config %s: %s\n" !config_file msg;
+        exit 2
+  in
+  let files, findings = Lint_engine.lint_paths config paths in
+  if !update_baseline then begin
+    Lint_baseline.save !baseline_file findings;
+    Printf.printf "xklint: wrote %d finding(s) to %s\n" (List.length findings)
+      !baseline_file;
+    exit 0
+  end;
+  let baseline =
+    if !no_baseline then Lint_baseline.empty ()
+    else Lint_baseline.of_file !baseline_file
+  in
+  let { Lint_baseline.fresh; baselined; stale } =
+    Lint_baseline.filter baseline findings
+  in
+  List.iter (fun f -> print_endline (Lint_finding.to_string f)) fresh;
+  List.iter
+    (fun k ->
+      Printf.eprintf
+        "xklint: stale baseline entry (fixed? regenerate the baseline): %s\n"
+        (String.map (fun c -> if c = '\t' then ' ' else c) k))
+    stale;
+  Printf.printf "xklint: %d file(s), %d finding(s): %d new, %d baselined, %d stale\n"
+    files (List.length findings) (List.length fresh) baselined
+    (List.length stale);
+  exit (if fresh = [] then 0 else 1)
