@@ -74,8 +74,8 @@ let verify_parity ~shards reqs reference outcomes =
   in
   check 0 (reqs, reference, outcomes)
 
-let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms ~seq_wall ~seq_qps
-    points =
+let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms ~replicas
+    ~seq_wall ~seq_qps points =
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -87,6 +87,7 @@ let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms ~seq_wall ~seq_qps
     "  \"workload\": {\"queries\": %d, \"requests_per_batch\": %d, \"runs\": %d},\n"
     queries (queries * 3) runs;
   p "  \"host_cores\": %d,\n" cores;
+  p "  \"replicas_per_shard\": %d,\n" replicas;
   p "  \"single_core_warning\": %b,\n" (cores <= 1);
   p
     "  \"note\": \"every point is parity-checked against sequential \
@@ -105,8 +106,13 @@ let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms ~seq_wall ~seq_qps
         pt.shards pt.domains pt.wall_s pt.qps pt.latency_ms pt.speedup;
       p
         "     \"outcomes\": {\"completed\": %d, \"partials\": %d, \
-         \"timeouts\": %d, \"rejected\": %d, \"failed\": %d},\n"
-        st.completed st.partials st.timeouts st.rejected st.failed;
+         \"degraded\": %d, \"timeouts\": %d, \"rejected\": %d, \
+         \"failed\": %d},\n"
+        st.completed st.partials st.degraded st.timeouts st.rejected st.failed;
+      p
+        "     \"resilience\": {\"failovers\": %d, \"hedges\": %d, \
+         \"hedge_wins\": %d},\n"
+        st.failovers st.hedges st.hedge_wins;
       let c = st.cache in
       p
         "     \"cache\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \
@@ -119,7 +125,7 @@ let emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms ~seq_wall ~seq_qps
   close_out oc;
   Printf.printf "wrote %s\n" out
 
-let run scale queries runs seed sweep check_only out =
+let run scale queries runs seed sweep replicas hedge_ms check_only out =
   header "Sharded serving: shard-count sweep (DBLP workload)";
   let t0 = now () in
   let corpus = Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled scale) in
@@ -152,7 +158,9 @@ let run scale queries runs seed sweep check_only out =
     List.map
       (fun shards ->
         let sharded = Xk_index.Sharding.partition ~shards corpus.doc in
-        let sx = Xk_exec.Shard_exec.create sharded in
+        let sx =
+          Xk_exec.Shard_exec.create ~replicas ?hedge_delay_ms:hedge_ms sharded
+        in
         (* Warmup run doubles as the parity gate. *)
         let first = Xk_exec.Shard_exec.exec_batch sx reqs in
         verify_parity ~shards reqs reference first;
@@ -205,8 +213,8 @@ let run scale queries runs seed sweep check_only out =
   else begin
     let base = match points with [] -> 1. | p :: _ -> p.qps in
     let points = List.map (fun p -> { p with speedup = p.qps /. base }) points in
-    emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms ~seq_wall ~seq_qps
-      points
+    emit_json out ~scale ~queries ~runs ~cores ~nodes ~terms ~replicas
+      ~seq_wall ~seq_qps points
   end
 
 open Cmdliner
@@ -230,6 +238,21 @@ let sweep =
     & opt (list int) [ 1; 2; 4 ]
     & info [ "shards" ] ~doc:"Comma-separated shard counts to sweep.")
 
+let replicas =
+  Arg.(
+    value & opt int 1
+    & info [ "replicas" ]
+        ~doc:
+          "Engine replicas per shard; the sweep then exercises the \
+           replicated routing path and its failover/hedge counters.")
+
+let hedge_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "hedge-ms" ]
+        ~doc:"Hedge a shard attempt on the next replica after this delay.")
+
 let check_only =
   Arg.(
     value & flag
@@ -250,6 +273,8 @@ let cmd =
        ~doc:
          "Latency/throughput sweep of sharded scatter/gather execution over \
           shard counts.")
-    Term.(const run $ scale $ queries $ runs $ seed $ sweep $ check_only $ out)
+    Term.(
+      const run $ scale $ queries $ runs $ seed $ sweep $ replicas $ hedge_ms
+      $ check_only $ out)
 
 let () = exit (Cmd.eval cmd)

@@ -78,7 +78,7 @@ let generate_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let index_doc path out shards =
+let index_doc path out shards replicas =
   if shards <= 1 then begin
     let eng = load_engine path in
     Xk_index.Index_io.save (Xk_core.Engine.index eng) out;
@@ -87,16 +87,22 @@ let index_doc path out shards =
   end
   else begin
     let sharded = load_sharded ~shards path in
-    Xk_index.Shard_io.save sharded out;
+    Xk_index.Shard_io.save ~replicas sharded out;
     let mb b = float_of_int b /. 1048576. in
     let total = ref (Xk_index.Index_io.file_size out) in
-    Printf.printf "wrote %s (manifest, %d shards)\n" out
-      (Xk_index.Sharding.count sharded);
+    Printf.printf "wrote %s (manifest, %d shards x %d replica(s))\n" out
+      (Xk_index.Sharding.count sharded)
+      replicas;
     Array.iteri
       (fun s (r : Xk_index.Index_sizes.report) ->
         let seg = Xk_index.Shard_io.segment_path out ~shard:s in
         let bytes = Xk_index.Index_io.file_size seg in
-        total := !total + bytes;
+        for rep = 0 to replicas - 1 do
+          total :=
+            !total
+            + Xk_index.Index_io.file_size
+                (Xk_index.Shard_io.replica_path out ~shard:s ~replica:rep)
+        done;
         let idx = Xk_index.Sharding.index sharded s in
         Printf.printf
           "  shard %3d: %-24s %7.2f MB, %8d nodes, %7d terms, IL %.2f MB\n" s
@@ -105,8 +111,9 @@ let index_doc path out shards =
           (Xk_index.Index.term_count idx)
           (mb r.join_based.inverted_lists))
       (Xk_index.Sharding.size_reports sharded);
-    Printf.printf "total on disk: %.2f MB (manifest + %d segments)\n" (mb !total)
-      (Xk_index.Sharding.count sharded)
+    Printf.printf "total on disk: %.2f MB (manifest + %d segment file(s))\n"
+      (mb !total)
+      (Xk_index.Sharding.count sharded * replicas)
   end
 
 let index_cmd =
@@ -122,9 +129,18 @@ let index_cmd =
             "Partition the index into N shards and save a shard manifest \
              plus one segment per shard, with a per-shard size breakdown.")
   in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ]
+          ~doc:
+            "With $(b,--shards), write N independently verified segment \
+             copies per shard; loaders fall back across copies on \
+             corruption or IO failure.")
+  in
   Cmd.v
     (Cmd.info "index" ~doc:"Build and save an index for an XML file.")
-    Term.(const index_doc $ path $ out $ shards)
+    Term.(const index_doc $ path $ out $ shards $ replicas)
 
 (* ------------------------------------------------------------------ *)
 
@@ -173,7 +189,7 @@ let request_of words semantics algo top topk_algo =
   | None -> Xk_core.Engine.complete_request ~semantics ~algorithm:algo words
 
 let search path words semantics algo top topk_algo limit index_file explain
-    shards =
+    shards replicas =
   if words = [] then failwith "no query keywords given";
   match shards with
   | None ->
@@ -192,7 +208,7 @@ let search path words semantics algo top topk_algo limit index_file explain
       print_hits eng words explain hits limit
   | Some n ->
       let sharded = load_sharded ?index_file ~shards:n path in
-      let sx = Xk_exec.Shard_exec.create sharded in
+      let sx = Xk_exec.Shard_exec.create ~replicas sharded in
       let req = request_of words semantics algo top topk_algo in
       let t0 = Unix.gettimeofday () in
       let outcome = Xk_exec.Shard_exec.exec sx req in
@@ -210,6 +226,12 @@ let search path words semantics algo top topk_algo limit index_file explain
       (match outcome with
       | Xk_exec.Query_service.Ok hits -> show "" hits
       | Xk_exec.Query_service.Partial hits -> show "partial: " hits
+      | Xk_exec.Query_service.Degraded d ->
+          show
+            (Printf.sprintf "degraded (%.0f%% coverage, missing shard(s) %s): "
+               (100. *. d.coverage)
+               (String.concat "," (List.map string_of_int d.missing_shards)))
+            d.hits
       | Xk_exec.Query_service.Timeout -> Fmt.pr "timed out with no result@."
       | Xk_exec.Query_service.Rejected -> Fmt.pr "rejected by admission control@."
       | Xk_exec.Query_service.Failed f -> Fmt.pr "failed: %s@." f.message);
@@ -262,11 +284,17 @@ let search_cmd =
             "Serve the query from N index shards with scatter/gather \
              (with $(b,--index), the file must be a shard manifest).")
   in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ]
+          ~doc:"With $(b,--shards), serving replicas per shard.")
+  in
   Cmd.v
     (Cmd.info "search" ~doc:"Run a keyword query against an XML file.")
     Term.(
       const search $ path $ words $ semantics $ algo $ top $ topk_algo $ limit
-      $ index_file $ explain $ shards)
+      $ index_file $ explain $ shards $ replicas)
 
 (* ------------------------------------------------------------------ *)
 
@@ -356,14 +384,53 @@ let check_against ~what seq reqs outcomes =
   else Printf.eprintf "check FAILED: %s results differ from sequential\n" what;
   same
 
+(* Install a chaos schedule.  Disk-level corrupt targets are resolved
+   against the shard manifest's replica files and registered as
+   persistently corrupted, so the subsequent load exercises replica
+   fallback; kill/slow events then drive the serving layer. *)
+let install_chaos ~index_file spec =
+  match Xk_resilience.Chaos.of_spec spec with
+  | Error msg -> failwith (Printf.sprintf "--chaos: %s" msg)
+  | Ok schedule -> (
+      Xk_resilience.Chaos.install schedule;
+      match Xk_resilience.Chaos.corrupt_targets () with
+      | [] -> ()
+      | _ -> (
+          match index_file with
+          | None ->
+              failwith
+                "--chaos corrupt@ targets need --index MANIFEST (the segments \
+                 to corrupt live on disk)"
+          | Some p -> (
+              match Xk_index.Shard_io.replica_files p with
+              | Error e -> failwith (Xk_index.Shard_io.error_message e)
+              | Ok files ->
+                  Array.iteri
+                    (fun s reps ->
+                      Array.iteri
+                        (fun r file ->
+                          if
+                            Xk_resilience.Chaos.corrupt_matches ~shard:s
+                              ~replica:r
+                          then Xk_resilience.Fault_injection.mark_corrupt ~path:file)
+                        reps)
+                    files)))
+
 let batch path queries_file semantics algo top topk_algo domains repeat gen
-    gen_k seed check index_file deadline_ms max_queue faults shards =
+    gen_k seed check index_file deadline_ms max_queue faults shards replicas
+    hedge_ms chaos =
   (match faults with
   | None -> ()
   | Some spec -> (
       match Xk_resilience.Fault_injection.of_spec spec with
       | Ok config -> Xk_resilience.Fault_injection.configure config
       | Error msg -> failwith (Printf.sprintf "--faults: %s" msg)));
+  (match chaos with
+  | None -> ()
+  | Some spec ->
+      if shards = None then
+        failwith "--chaos addresses (shard, replica) targets; use --shards";
+      install_chaos ~index_file spec);
   match shards with
   | None ->
       let eng = load_engine ?index_file path in
@@ -422,7 +489,10 @@ let batch path queries_file semantics algo top topk_algo domains repeat gen
           (fun words -> request_of words semantics algo top topk_algo)
           queries
       in
-      let sx = Xk_exec.Shard_exec.create ~domains ?max_queue sharded in
+      let sx =
+        Xk_exec.Shard_exec.create ~domains ?max_queue ~replicas
+          ?hedge_delay_ms:hedge_ms sharded
+      in
       let n = List.length reqs in
       let wall, last =
         report_runs ~repeat ~n (fun () ->
@@ -430,17 +500,22 @@ let batch path queries_file semantics algo top topk_algo domains repeat gen
       in
       let total = n * repeat in
       Printf.printf
-        "batch done: %d queries (%d x %d) over %d shard(s) on %d domain(s) in \
-         %.3fs\n"
+        "batch done: %d queries (%d x %d) over %d shard(s) x %d replica(s) on \
+         %d domain(s) in %.3fs\n"
         total repeat n
         (Xk_exec.Shard_exec.shard_count sx)
+        (Xk_exec.Shard_exec.replica_count sx)
         (Xk_exec.Shard_exec.domains sx)
         wall;
       report_throughput ~total wall;
       let st = Xk_exec.Shard_exec.stats sx in
       Printf.printf
-        "outcomes: %d ok, %d partial, %d timeout, %d rejected, %d failed\n"
-        st.completed st.partials st.timeouts st.rejected st.failed;
+        "outcomes: %d ok, %d partial, %d degraded, %d timeout, %d rejected, \
+         %d failed\n"
+        st.completed st.partials st.degraded st.timeouts st.rejected st.failed;
+      if st.failovers + st.hedges > 0 || st.degraded > 0 then
+        Printf.printf "resilience: %d failover(s), %d hedge(s) (%d won)\n"
+          st.failovers st.hedges st.hedge_wins;
       report_cache st.cache;
       report_failures last;
       let ok =
@@ -451,7 +526,10 @@ let batch path queries_file semantics algo top topk_algo domains repeat gen
       in
       Xk_exec.Shard_exec.shutdown sx;
       let hard_failures = List.exists Xk_exec.Query_service.is_failure last in
+      (* Exit classes: 1 = hard failure or failed --check; 2 = served, but
+         degraded (lost shards).  Timeouts/rejections remain policy. *)
       if (not ok) || hard_failures then exit 1
+      else if st.degraded > 0 then exit 2
 
 let batch_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -556,13 +634,53 @@ let batch_cmd =
              answers (with $(b,--index), the file must be a shard \
              manifest).")
   in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ]
+          ~doc:
+            "With $(b,--shards), serving replicas per shard: attempts fail \
+             over across replicas, and a query degrades (exit code 2) \
+             instead of failing when every replica of a shard is down.")
+  in
+  let hedge_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-ms" ]
+          ~doc:
+            "Hedge a shard attempt on the next-best replica once the first \
+             has been out for this many milliseconds (needs --replicas >= \
+             2).")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ]
+          ~doc:
+            "Deterministic chaos schedule, comma-separated events: \
+             kill@sSrR:TICK (replica R of shard S is down from attempt \
+             TICK), slow@sSrR:TICK:MS (added latency), corrupt@sSrR \
+             (replica segment corrupted on disk; needs $(b,--index)).  S/R \
+             accept * as a wildcard.  Requires $(b,--shards).")
+  in
   Cmd.v
     (Cmd.info "batch"
-       ~doc:"Execute a query workload in parallel on a domain pool.")
+       ~doc:"Execute a query workload in parallel on a domain pool."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 on full service; 1 on hard failures or a failed --check; 2 \
+              when every query was served but some only degraded (lost \
+              shards under --replicas).";
+         ])
     Term.(
       const batch $ path $ queries_file $ semantics $ algo $ top $ topk_algo
       $ domains $ repeat $ gen $ gen_k $ seed $ check $ index_file
-      $ deadline_ms $ max_queue $ faults $ shards)
+      $ deadline_ms $ max_queue $ faults $ shards $ replicas $ hedge_ms
+      $ chaos)
 
 (* ------------------------------------------------------------------ *)
 

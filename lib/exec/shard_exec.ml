@@ -1,4 +1,4 @@
-(* Scatter/gather over a sharded index.
+(* Scatter/gather over a sharded index, served by replicas.
 
    Per-shard scoring uses corpus-global statistics (Sharding builds the
    shards that way), and the engine orders a query's lists by term string,
@@ -11,7 +11,18 @@
      summing those in canonical term order reproduces the unsharded root
      score bit for bit;
    - for top-K, per-shard upper bounds decide how much of the merge is
-     confirmed (see the interface). *)
+     confirmed (see the interface).
+
+   Replication: each shard is served by N interchangeable replicas
+   (engines over the same shard index), each with its own health window
+   and circuit breaker.  A shard job routes to the healthiest admitted
+   replica, optionally hedges a straggling attempt, fails over to the
+   next replica on any attempt failure, and declares the shard
+   unreachable only when every replica has been exhausted — at which
+   point the gather degrades coverage instead of failing the query:
+   the missing shard's upper bound is +inf (nothing can be confirmed
+   against the full corpus), but the confirmed prefix over the
+   reachable shards is still sound for the reachable data. *)
 
 type shard_result = {
   sr_summary : Xk_index.Sharding.root_summary option;
@@ -24,60 +35,110 @@ type shard_result = {
          global top-K, [+inf] for a shard that reported nothing *)
 }
 
+type shard_status =
+  | Served of shard_result
+  | Unreachable of { attempts : int }
+      (* every replica of the shard failed; [attempts] were made *)
+
+type replica = {
+  rep_engine : Xk_core.Engine.t;
+  rep_health : Xk_resilience.Health.t;
+  rep_breaker : Xk_resilience.Circuit_breaker.t;
+}
+
 type stats = {
   shards : int;
+  replicas : int;
   domains : int;
   batches : int;
   queries : int;
   completed : int;
   partials : int;
+  degraded : int;
   timeouts : int;
   rejected : int;
   failed : int;
+  failovers : int;
+  hedges : int;
+  hedge_wins : int;
   max_queue : int option;
   cache : Xk_index.Shard_cache.stats;
 }
 
 type t = {
   sharding : Xk_index.Sharding.t;
-  engines : Xk_core.Engine.t array;
+  reps : replica array array; (* [shard].(replica) *)
   pool : Domain_pool.t;
   max_queue : int option;
+  hedge_delay_ms : float option;
+  clock : unit -> float;
   in_flight : int Atomic.t;
   batches : int Atomic.t;
   queries : int Atomic.t;
   completed : int Atomic.t;
   partials : int Atomic.t;
+  degraded : int Atomic.t;
   timeouts : int Atomic.t;
   rejected : int Atomic.t;
   failed : int Atomic.t;
+  failovers : int Atomic.t;
+  hedges : int Atomic.t;
+  hedge_wins : int Atomic.t;
 }
 
-let create ?domains ?max_queue sharding =
+let default_clock () = Unix.gettimeofday () *. 1000.0
+
+let create ?domains ?max_queue ?(replicas = 1) ?breaker
+    ?(clock = default_clock) ?hedge_delay_ms sharding =
   (match max_queue with
   | Some m when m < 1 -> Xk_util.Err.invalid "Shard_exec.create: max_queue < 1"
   | _ -> ());
+  if replicas < 1 then Xk_util.Err.invalid "Shard_exec.create: replicas < 1";
+  (match hedge_delay_ms with
+  | Some d when d < 0. ->
+      Xk_util.Err.invalid "Shard_exec.create: hedge_delay_ms < 0"
+  | _ -> ());
   {
     sharding;
-    engines =
+    reps =
       Array.init (Xk_index.Sharding.count sharding) (fun s ->
-          Xk_core.Engine.of_index (Xk_index.Sharding.index sharding s));
+          Array.init replicas (fun _ ->
+              {
+                rep_engine =
+                  Xk_core.Engine.of_index (Xk_index.Sharding.index sharding s);
+                rep_health = Xk_resilience.Health.create ();
+                rep_breaker =
+                  Xk_resilience.Circuit_breaker.create ?config:breaker ~clock ();
+              }));
     pool = Domain_pool.create ?domains ();
     max_queue;
+    hedge_delay_ms;
+    clock;
     in_flight = Atomic.make 0;
     batches = Atomic.make 0;
     queries = Atomic.make 0;
     completed = Atomic.make 0;
     partials = Atomic.make 0;
+    degraded = Atomic.make 0;
     timeouts = Atomic.make 0;
     rejected = Atomic.make 0;
     failed = Atomic.make 0;
+    failovers = Atomic.make 0;
+    hedges = Atomic.make 0;
+    hedge_wins = Atomic.make 0;
   }
 
 let sharding t = t.sharding
-let engine t s = t.engines.(s)
-let shard_count t = Array.length t.engines
+let engine t s = t.reps.(s).(0).rep_engine
+let shard_count t = Array.length t.reps
+let replica_count t = Array.length t.reps.(0)
 let domains t = Domain_pool.size t.pool
+
+let replica_health t ~shard ~replica =
+  Xk_resilience.Health.snapshot t.reps.(shard).(replica).rep_health
+
+let breaker_state t ~shard ~replica =
+  Xk_resilience.Circuit_breaker.state t.reps.(shard).(replica).rep_breaker
 
 (* The keyword positions of every root summary, and the summation order of
    the root score: canonical terms, exactly the engine's plan order. *)
@@ -102,8 +163,9 @@ let is_anytime (r : Xk_core.Engine.request) =
 let last_score hits =
   match List.rev hits with [] -> infinity | (h : Xk_baselines.Hit.t) :: _ -> h.score
 
-let run_shard t ~shard ~budget ~words (req : Xk_core.Engine.request) =
-  Xk_resilience.Fault_injection.on_query ();
+(* One engine run over one replica's engine; exceptions (chaos kills,
+   injected faults, genuine bugs) propagate to the failover loop. *)
+let run_shard t engine ~shard ~budget ~words (req : Xk_core.Engine.request) =
   (* The summary runs first under the same budget: gathering needs it to
      reconstruct the root even when the query part only gets half-way. *)
   match Xk_index.Sharding.root_summary ~budget t.sharding ~shard words with
@@ -122,16 +184,15 @@ let run_shard t ~shard ~budget ~words (req : Xk_core.Engine.request) =
             { req with req_mode = Topk (alg, k + 1) }
         | Complete _ -> req
       in
-      let out = Xk_core.Engine.run_request_outcome ~budget t.engines.(shard) req' in
+      let out = Xk_core.Engine.run_request_outcome ~budget engine req' in
       (* The bound reflects what the shard did NOT confirm, so it is taken
          before the root hit is dropped. *)
       let bound =
         match out with
-        | Done hs ->
+        | Done _ ->
             (* Complete answer, or full local top-(K+1): anything unreturned
                is dominated by K returned hits of this very shard, so it
                cannot enter the global top-K. *)
-            ignore hs;
             neg_infinity
         | Partial hs -> last_score hs
         | Timed_out -> infinity
@@ -152,6 +213,86 @@ let run_shard t ~shard ~budget ~words (req : Xk_core.Engine.request) =
         | Timed_out -> Timed_out
       in
       { sr_summary = Some summary; sr_outcome = out; sr_bound = bound }
+
+(* One attempt on one replica: chaos and fault hooks first, then the
+   engine run; health and breaker record the outcome either way.  A
+   budget-bounded run that merely times out still {e served} — only an
+   exception is a replica failure. *)
+let attempt_replica t ~shard ~ri ~budget ~words req =
+  let rep = t.reps.(shard).(ri) in
+  let start = t.clock () in
+  match
+    Xk_resilience.Chaos.on_attempt ~shard ~replica:ri;
+    Xk_resilience.Fault_injection.on_query ();
+    run_shard t rep.rep_engine ~shard ~budget ~words req
+  with
+  | r ->
+      Xk_resilience.Health.record rep.rep_health ~ok:true
+        ~latency_ms:(t.clock () -. start);
+      Xk_resilience.Circuit_breaker.record_success rep.rep_breaker;
+      r
+  | exception e ->
+      Xk_resilience.Health.record rep.rep_health ~ok:false
+        ~latency_ms:(t.clock () -. start);
+      Xk_resilience.Circuit_breaker.record_failure rep.rep_breaker;
+      raise e
+
+(* Replica routing order: admitted replicas first (healthiest first),
+   then — as a last resort — the replicas their breakers refused, so a
+   shard with every breaker open still gets one round of attempts
+   rather than an instant Unreachable. *)
+let route t shard =
+  let reps = t.reps.(shard) in
+  let scored =
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           ( i,
+             Xk_resilience.Circuit_breaker.allow r.rep_breaker,
+             Xk_resilience.Health.score r.rep_health ))
+         reps)
+  in
+  let by_score l =
+    List.stable_sort (fun (_, _, a) (_, _, b) -> Float.compare b a) l
+    |> List.map (fun (i, _, _) -> i)
+  in
+  let admitted, refused = List.partition (fun (_, ok, _) -> ok) scored in
+  by_score admitted @ by_score refused
+
+(* Serve one shard: route, hedge the first attempt when configured,
+   fail over across the remaining replicas, and report Unreachable only
+   when every replica failed. *)
+let serve_shard t ~shard ~make_budget ~words req =
+  let attempt ri budget = attempt_replica t ~shard ~ri ~budget ~words req in
+  let hedged_attempt ri ~delay_ms alt =
+    let o =
+      Xk_resilience.Hedge.run ~clock:t.clock ~make_budget
+        ~spawn:(Domain_pool.submit t.pool)
+        ~delay_ms
+        ~primary:(fun b -> attempt ri b)
+        ~hedge:(fun b -> attempt alt b)
+        ()
+    in
+    if o.fired then begin
+      Atomic.incr t.hedges;
+      if o.winner = Hedge then Atomic.incr t.hedge_wins
+    end;
+    o.value
+  in
+  let rec failover attempts = function
+    | [] -> Unreachable { attempts }
+    | ri :: rest -> (
+        if attempts > 0 then Atomic.incr t.failovers;
+        match
+          match (t.hedge_delay_ms, rest) with
+          | Some delay_ms, alt :: _ when attempts = 0 ->
+              hedged_attempt ri ~delay_ms alt
+          | _ -> attempt ri (make_budget ())
+        with
+        | r -> Served r
+        | exception _ -> failover (attempts + 1) rest)
+  in
+  failover 0 (route t shard)
 
 (* --- Root reconstruction ---------------------------------------------- *)
 
@@ -192,11 +333,64 @@ let root_hit (req : Xk_core.Engine.request) summaries nw =
 
 (* --- Gather ----------------------------------------------------------- *)
 
-let gather (req : Xk_core.Engine.request) nw
-    (results : (shard_result, exn * Printexc.raw_backtrace) result array) :
+(* Fraction of top-level subtrees living on reachable shards. *)
+let coverage_of t missing =
+  let assignment = Xk_index.Sharding.assignment t.sharding in
+  let total = Array.length assignment in
+  if total = 0 then 0.0
+  else
+    let reachable =
+      Array.fold_left
+        (fun n s -> if List.mem s missing then n else n + 1)
+        0 assignment
+    in
+    float_of_int reachable /. float_of_int total
+
+(* Gather with lost shards: the full-corpus confirmation bound is +inf
+   (a missing shard could hold arbitrarily good hits), so the outcome
+   can never be [Ok] — instead the confirmed prefix is recomputed
+   against the {e reachable} shards' bounds only, which is exactly the
+   top-K guarantee restricted to the reachable data.  The root hit is
+   dropped: its exact global score needs every shard's summary. *)
+let gather_degraded t (req : Xk_core.Engine.request) ~missing results :
+    Query_service.outcome =
+  let deep =
+    Array.to_list results
+    |> List.concat_map (fun r ->
+           match r.sr_outcome with Done hs | Partial hs -> hs | Timed_out -> [])
+  in
+  let merged = List.sort Xk_baselines.Hit.compare_score_desc deep in
+  let all_done =
+    Array.for_all
+      (fun r -> match r.sr_outcome with Done _ -> true | _ -> false)
+      results
+  in
+  let coverage = coverage_of t missing in
+  let finish hits =
+    Query_service.Degraded { hits; missing_shards = missing; coverage }
+  in
+  match req.req_mode with
+  | Complete _ -> if all_done then finish merged else Query_service.Timeout
+  | Topk (_, k) ->
+      if all_done then finish (Xk_baselines.Hit.top_k k merged)
+      else if not (is_anytime req) then Query_service.Timeout
+      else begin
+        let bound =
+          Array.fold_left (fun u r -> Float.max u r.sr_bound) neg_infinity
+            results
+        in
+        let confirmed =
+          List.filteri (fun i _ -> i < k) merged
+          |> List.filter (fun (h : Xk_baselines.Hit.t) -> h.score > bound)
+        in
+        if confirmed <> [] then finish confirmed else Query_service.Timeout
+      end
+
+let gather t (req : Xk_core.Engine.request) nw
+    (statuses : (shard_status, exn * Printexc.raw_backtrace) result array) :
     Query_service.outcome =
   let failure =
-    Array.to_seq results
+    Array.to_seq statuses
     |> Seq.fold_lefti
          (fun acc shard r ->
            match (acc, r) with
@@ -214,69 +408,84 @@ let gather (req : Xk_core.Engine.request) nw
   in
   match failure with
   | Some f -> f
-  | None ->
-      let results =
+  | None -> (
+      let statuses =
         Array.map
           (function
-            | Ok r -> r
+            | Ok s -> s
             | Error _ ->
                 Xk_util.Err.unreachable
                   "Shard_exec.gather: failure already handled above")
-          results
+          statuses
       in
-      let summaries =
-        if Array.for_all (fun r -> r.sr_summary <> None) results then
-          Some
-            (Array.map
-               (fun r ->
-                 match r.sr_summary with
-                 | Some s -> s
-                 | None ->
-                     Xk_util.Err.unreachable
-                       "Shard_exec.gather: summary checked by for_all above")
-               results)
-        else None
+      let missing =
+        Array.to_list statuses
+        |> List.mapi (fun shard s ->
+               match s with Unreachable _ -> Some shard | Served _ -> None)
+        |> List.filter_map Fun.id
       in
-      let root =
-        match summaries with Some ss -> root_hit req ss nw | None -> None
+      let results =
+        Array.to_list statuses
+        |> List.filter_map (function Served r -> Some r | Unreachable _ -> None)
+        |> Array.of_list
       in
-      let deep =
-        Array.to_list results
-        |> List.concat_map (fun r ->
-               match r.sr_outcome with Done hs | Partial hs -> hs | Timed_out -> [])
-      in
-      let merged =
-        List.sort Xk_baselines.Hit.compare_score_desc
-          (match root with Some h -> h :: deep | None -> deep)
-      in
-      let all_done =
-        Array.for_all
-          (fun r -> match r.sr_outcome with Done _ -> true | _ -> false)
-          results
-      in
-      match req.req_mode with
-      | Complete _ ->
-          (* A complete result set has no meaningful prefix. *)
-          if all_done then Query_service.Ok merged else Query_service.Timeout
-      | Topk (_, k) ->
-          if all_done then Query_service.Ok (Xk_baselines.Hit.top_k k merged)
-          else if not (is_anytime req) then Query_service.Timeout
-          else begin
-            (* Confirm merged candidates strictly above every live bound:
-               a straggler could still produce a hit scoring exactly a live
-               bound, and the (score, node) tiebreak could place it first. *)
-            let bound =
-              Array.fold_left (fun u r -> Float.max u r.sr_bound) neg_infinity
-                results
-            in
-            let confirmed =
-              List.filteri (fun i _ -> i < k) merged
-              |> List.filter (fun (h : Xk_baselines.Hit.t) -> h.score > bound)
-            in
-            if List.length confirmed = k then Query_service.Ok confirmed
-            else if confirmed <> [] then Query_service.Partial confirmed
-            else Query_service.Timeout
-          end
+      if missing <> [] then gather_degraded t req ~missing results
+      else
+        let summaries =
+          if Array.for_all (fun r -> r.sr_summary <> None) results then
+            Some
+              (Array.map
+                 (fun r ->
+                   match r.sr_summary with
+                   | Some s -> s
+                   | None ->
+                       Xk_util.Err.unreachable
+                         "Shard_exec.gather: summary checked by for_all above")
+                 results)
+          else None
+        in
+        let root =
+          match summaries with Some ss -> root_hit req ss nw | None -> None
+        in
+        let deep =
+          Array.to_list results
+          |> List.concat_map (fun r ->
+                 match r.sr_outcome with
+                 | Done hs | Partial hs -> hs
+                 | Timed_out -> [])
+        in
+        let merged =
+          List.sort Xk_baselines.Hit.compare_score_desc
+            (match root with Some h -> h :: deep | None -> deep)
+        in
+        let all_done =
+          Array.for_all
+            (fun r -> match r.sr_outcome with Done _ -> true | _ -> false)
+            results
+        in
+        match req.req_mode with
+        | Complete _ ->
+            (* A complete result set has no meaningful prefix. *)
+            if all_done then Query_service.Ok merged else Query_service.Timeout
+        | Topk (_, k) ->
+            if all_done then Query_service.Ok (Xk_baselines.Hit.top_k k merged)
+            else if not (is_anytime req) then Query_service.Timeout
+            else begin
+              (* Confirm merged candidates strictly above every live bound:
+                 a straggler could still produce a hit scoring exactly a live
+                 bound, and the (score, node) tiebreak could place it first. *)
+              let bound =
+                Array.fold_left (fun u r -> Float.max u r.sr_bound) neg_infinity
+                  results
+              in
+              let confirmed =
+                List.filteri (fun i _ -> i < k) merged
+                |> List.filter (fun (h : Xk_baselines.Hit.t) -> h.score > bound)
+              in
+              if List.length confirmed = k then Query_service.Ok confirmed
+              else if confirmed <> [] then Query_service.Partial confirmed
+              else Query_service.Timeout
+            end)
 
 (* --- Dispatch --------------------------------------------------------- *)
 
@@ -291,32 +500,40 @@ let submit t ?deadline_ms ?budget_for (req : Xk_core.Engine.request) =
   else begin
     let words = canonical_words req.req_words in
     let nw = List.length words in
-    let budget_of shard =
+    (* A fresh budget per replica attempt: deadlines are anchored at
+       admission (queueing and earlier attempts consume them), tick
+       budgets from [budget_for] restart per attempt. *)
+    let budget_thunk shard =
       match budget_for with
-      | Some f -> f shard
+      | Some f -> fun () -> f shard
       | None -> (
           match (req.req_deadline_ms, deadline_ms) with
           | Some d, _ | None, Some d ->
-              Xk_resilience.Budget.create ~deadline_ms:d ()
-          | None, None -> Xk_resilience.Budget.unlimited)
+              let deadline_abs = t.clock () +. d in
+              fun () ->
+                Xk_resilience.Budget.create
+                  ~deadline_ms:(Float.max 0. (deadline_abs -. t.clock ()))
+                  ()
+          | None, None -> fun () -> Xk_resilience.Budget.unlimited)
     in
-    let remaining = Atomic.make (Array.length t.engines) in
+    let remaining = Atomic.make (Array.length t.reps) in
     let futures =
-      Array.init (Array.length t.engines) (fun shard ->
-          let budget = budget_of shard in
+      Array.init (Array.length t.reps) (fun shard ->
+          let make_budget = budget_thunk shard in
           Domain_pool.async t.pool (fun () ->
               Fun.protect
                 ~finally:(fun () ->
                   if Atomic.fetch_and_add remaining (-1) = 1 then
                     Atomic.decr t.in_flight)
-                (fun () -> run_shard t ~shard ~budget ~words req)))
+                (fun () -> serve_shard t ~shard ~make_budget ~words req)))
     in
     fun () ->
-      let results = Array.map Domain_pool.await futures in
-      let outcome = gather req nw results in
+      let statuses = Array.map Domain_pool.await futures in
+      let outcome = gather t req nw statuses in
       (match outcome with
       | Query_service.Ok _ -> Atomic.incr t.completed
       | Query_service.Partial _ -> Atomic.incr t.partials
+      | Query_service.Degraded _ -> Atomic.incr t.degraded
       | Query_service.Timeout -> Atomic.incr t.timeouts
       | Query_service.Rejected -> Atomic.incr t.rejected
       | Query_service.Failed _ -> Atomic.incr t.failed);
@@ -337,14 +554,19 @@ let exec_batch ?deadline_ms t reqs =
 let stats t =
   {
     shards = shard_count t;
+    replicas = replica_count t;
     domains = domains t;
     batches = Atomic.get t.batches;
     queries = Atomic.get t.queries;
     completed = Atomic.get t.completed;
     partials = Atomic.get t.partials;
+    degraded = Atomic.get t.degraded;
     timeouts = Atomic.get t.timeouts;
     rejected = Atomic.get t.rejected;
     failed = Atomic.get t.failed;
+    failovers = Atomic.get t.failovers;
+    hedges = Atomic.get t.hedges;
+    hedge_wins = Atomic.get t.hedge_wins;
     max_queue = t.max_queue;
     cache = Xk_index.Sharding.cache_stats t.sharding;
   }
@@ -359,12 +581,12 @@ let locate t (h : Xk_baselines.Hit.t) =
 
 let element_of_hit t h =
   let shard, local = locate t h in
-  Xk_core.Engine.element_of_hit t.engines.(shard) local
+  Xk_core.Engine.element_of_hit (engine t shard) local
 
 let snippet ?width t words h =
   let shard, local = locate t h in
-  Xk_core.Engine.snippet ?width t.engines.(shard) words local
+  Xk_core.Engine.snippet ?width (engine t shard) words local
 
 let pp_hit t fmt h =
   let shard, local = locate t h in
-  Xk_core.Engine.pp_hit t.engines.(shard) fmt local
+  Xk_core.Engine.pp_hit (engine t shard) fmt local

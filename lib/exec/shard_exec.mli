@@ -1,9 +1,11 @@
-(** Scatter/gather query execution over a sharded index.
+(** Scatter/gather query execution over a sharded index, served by
+    replicas with failover, circuit breakers, hedging, and graceful
+    coverage degradation.
 
-    Each request fans out to one job per shard on a {!Domain_pool}; every
-    shard runs the ordinary budget-aware engine over its self-contained
-    index, and a gather step merges the per-shard results into exactly
-    the unsharded engine's answer:
+    Each request fans out to one job per shard on a {!Domain_pool};
+    every shard runs the ordinary budget-aware engine over its
+    self-contained index, and a gather step merges the per-shard results
+    into exactly the unsharded engine's answer:
 
     - {e complete} (ELCA/SLCA): deep results live entirely inside one
       shard, so the merge concatenates them, reconstructs the root's
@@ -20,22 +22,62 @@
       the confirmed prefix degrades to [Partial] exactly like the single-index
       anytime engine.
 
-    Outcomes reuse {!Query_service.outcome}; a failing shard (injected
-    fault, corrupted state) surfaces as [Failed] naming the shard, never
-    as a crash.  Admission control bounds in-flight {e requests} (not
-    shard jobs), mirroring {!Query_service}. *)
+    {2 Replicated serving}
+
+    Each shard is served by [replicas] interchangeable engine instances,
+    each with a rolling {!Xk_resilience.Health} window and a
+    {!Xk_resilience.Circuit_breaker}.  A shard job routes to the
+    healthiest replica its breaker admits; when [hedge_delay_ms] is set
+    and a second replica exists, the first attempt is hedged
+    ({!Xk_resilience.Hedge}) against the next-best replica.  Any attempt
+    failure — a chaos kill, an injected fault, a genuine exception —
+    records against that replica and fails over to the next one; a
+    shard becomes unreachable only when every replica has failed.
+
+    An unreachable shard no longer fails the query.  Its upper bound is
+    pinned to [+inf] — no full-corpus top-K can be confirmed, so the
+    outcome is never [Ok] — and the gather instead reports
+    {!Query_service.outcome.Degraded}: the confirmed prefix computed
+    against the {e reachable} shards' bounds (provably the top-K of the
+    reachable data), the missing shard list, and the surviving coverage
+    fraction.  The global root hit is dropped in degraded answers (its
+    exact score needs every shard's summary).  [Failed] remains only
+    for errors outside replica serving.  Admission control bounds
+    in-flight {e requests} (not shard jobs), mirroring
+    {!Query_service}. *)
 
 type t
 
-val create : ?domains:int -> ?max_queue:int -> Xk_index.Sharding.t -> t
-(** Wrap a sharded index: one engine per shard, one shared pool.
-    [domains] as in {!Domain_pool.create}; [max_queue] bounds admitted
-    in-flight requests (raises [Invalid_argument] when [< 1]). *)
+val create :
+  ?domains:int ->
+  ?max_queue:int ->
+  ?replicas:int ->
+  ?breaker:Xk_resilience.Circuit_breaker.config ->
+  ?clock:(unit -> float) ->
+  ?hedge_delay_ms:float ->
+  Xk_index.Sharding.t ->
+  t
+(** Wrap a sharded index: [replicas] (default 1) engines per shard, one
+    shared pool.  [domains] as in {!Domain_pool.create}; [max_queue]
+    bounds admitted in-flight requests; [breaker] configures every
+    replica's circuit breaker; [clock] (ms, injectable for tests) feeds
+    breakers, health latency, and deadline anchoring; [hedge_delay_ms]
+    enables hedged attempts once a replica has been slower than this
+    for a given shard job (absent: hedging off).  Raises
+    [Invalid_argument] on [max_queue < 1], [replicas < 1] or a negative
+    hedge delay. *)
 
 val sharding : t -> Xk_index.Sharding.t
 val engine : t -> int -> Xk_core.Engine.t
+(** Replica 0's engine for the shard — presentation helpers only. *)
+
 val shard_count : t -> int
+val replica_count : t -> int
+
 val domains : t -> int
+
+val replica_health : t -> shard:int -> replica:int -> Xk_resilience.Health.snapshot
+val breaker_state : t -> shard:int -> replica:int -> Xk_resilience.Circuit_breaker.state
 
 val exec :
   ?deadline_ms:float ->
@@ -44,9 +86,11 @@ val exec :
   Xk_core.Engine.request ->
   Query_service.outcome
 (** Run one request over every shard and gather.  [deadline_ms] applies
-    when the request carries none; each shard gets its own budget over
-    the same wall-clock deadline.  [budget_for] overrides the budget per
-    shard index — deterministic tick budgets for tests. *)
+    when the request carries none; the deadline is anchored at admission
+    and shared by all of a shard's replica attempts (queueing and failed
+    attempts consume it).  [budget_for] overrides the budget per shard
+    index and is re-invoked for {e each} replica attempt — deterministic
+    tick budgets for tests. *)
 
 val exec_batch :
   ?deadline_ms:float ->
@@ -59,14 +103,19 @@ val exec_batch :
 
 type stats = {
   shards : int;
+  replicas : int;  (** replicas per shard *)
   domains : int;
   batches : int;  (** [exec]/[exec_batch] calls so far *)
   queries : int;  (** requests received (admitted or not) *)
   completed : int;
   partials : int;
+  degraded : int;  (** requests served with lost shards *)
   timeouts : int;
   rejected : int;
   failed : int;
+  failovers : int;  (** replica attempts beyond the first, per shard job *)
+  hedges : int;  (** hedged attempts actually launched *)
+  hedge_wins : int;  (** hedged attempts that beat the primary *)
   max_queue : int option;
   cache : Xk_index.Shard_cache.stats;
       (** {!Xk_index.Sharding.cache_stats} aggregate over all shards *)

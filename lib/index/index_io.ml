@@ -22,10 +22,17 @@ type error =
   | Corrupted of string
   | Io_failed of string
 
+type load_error = { error : error; attempts : int }
+
 let error_message = function
   | Truncated msg -> "truncated segment: " ^ msg
   | Corrupted msg -> "corrupted segment: " ^ msg
   | Io_failed msg -> "io error: " ^ msg
+
+let load_error_message { error; attempts } =
+  if attempts > 1 then
+    Printf.sprintf "%s (after %d attempts)" (error_message error) attempts
+  else error_message error
 
 exception Format_error of string
 
@@ -116,11 +123,51 @@ let decode_payload ?damping ?cache_capacity ?stats
    - a re-read distinguishes the two, and the carried error is reported
    if every retry sees it again.  Only [`Fatal] skips retrying: it is
    raised after the checksum verified, so the bytes are authentic. *)
-let attempt ?damping ?cache_capacity ?stats label path :
-    ( Index.t,
-      [ `Transient of string | `Crc of string | `Suspect of error | `Fatal of error ]
-    )
-    result =
+(* Framing check shared by the loader and {!verify}: magic, version,
+   declared payload length, payload CRC.  Returns the payload offset. *)
+let check_framing data :
+    (int, [> `Crc of string | `Suspect of error ]) result =
+  let mlen = String.length magic in
+  if String.length data < mlen then
+    Error (`Suspect (Truncated "shorter than the segment magic"))
+  else
+    let m = String.sub data 0 mlen in
+    if m = magic_v1 then
+      Error
+        (`Suspect
+          (Corrupted "legacy v1 segment without checksum; rebuild the index"))
+    else if m <> magic then Error (`Suspect (Corrupted "bad magic"))
+    else
+      match
+        let c = Xk_storage.Varint.cursor_at data mlen in
+        let v = Xk_storage.Varint.read c in
+        let plen = Xk_storage.Varint.read c in
+        let crc = Xk_storage.Varint.read c in
+        (v, plen, crc, c.pos)
+      with
+      | exception Invalid_argument _ ->
+          Error (`Suspect (Truncated "header cut short"))
+      | v, _, _, _ when v <> version ->
+          Error (`Suspect (Corrupted (Printf.sprintf "unsupported version %d" v)))
+      | _, plen, crc, body ->
+          let avail = String.length data - body in
+          if avail < plen then
+            Error
+              (`Suspect
+                (Truncated
+                   (Printf.sprintf "payload has %d of %d bytes" avail plen)))
+          else if avail > plen then
+            Error
+              (`Suspect
+                (Corrupted
+                   (Printf.sprintf "%d trailing bytes after the payload"
+                      (avail - plen))))
+          else if Xk_storage.Crc32.sub data ~pos:body ~len:plen <> crc then
+            Error (`Crc "payload checksum mismatch")
+          else Ok body
+
+let read_all path :
+    (string, [> `Transient of string ]) result =
   match
     Xk_resilience.Fault_injection.before_io ~path;
     let ic = open_in_bin path in
@@ -134,71 +181,61 @@ let attempt ?damping ?cache_capacity ?stats label path :
   | exception Xk_resilience.Fault_injection.Injected_io msg ->
       Error (`Transient msg)
   | exception Sys_error msg -> Error (`Transient msg)
-  | data -> (
-      let mlen = String.length magic in
-      if String.length data < mlen then
-        Error (`Suspect (Truncated "shorter than the segment magic"))
-      else
-        let m = String.sub data 0 mlen in
-        if m = magic_v1 then
-          Error
-            (`Suspect
-              (Corrupted "legacy v1 segment without checksum; rebuild the index"))
-        else if m <> magic then Error (`Suspect (Corrupted "bad magic"))
-        else
+  | data -> Ok data
+
+let attempt ?damping ?cache_capacity ?stats label path :
+    ( Index.t,
+      [ `Transient of string | `Crc of string | `Suspect of error | `Fatal of error ]
+    )
+    result =
+  match read_all path with
+  | Error _ as e -> e
+  | Ok data -> (
+      match check_framing data with
+      | Error _ as e -> e
+      | Ok body -> (
           match
-            let c = Xk_storage.Varint.cursor_at data mlen in
-            let v = Xk_storage.Varint.read c in
-            let plen = Xk_storage.Varint.read c in
-            let crc = Xk_storage.Varint.read c in
-            (v, plen, crc, c.pos)
+            decode_payload ?damping ?cache_capacity ?stats label data ~pos:body
           with
-          | exception Invalid_argument _ ->
-              Error (`Suspect (Truncated "header cut short"))
-          | v, _, _, _ when v <> version ->
-              Error
-                (`Suspect (Corrupted (Printf.sprintf "unsupported version %d" v)))
-          | _, plen, crc, body -> (
-              let avail = String.length data - body in
-              if avail < plen then
-                Error
-                  (`Suspect
-                    (Truncated
-                       (Printf.sprintf "payload has %d of %d bytes" avail plen)))
-              else if avail > plen then
-                Error
-                  (`Suspect
-                    (Corrupted
-                       (Printf.sprintf "%d trailing bytes after the payload"
-                          (avail - plen))))
-              else if Xk_storage.Crc32.sub data ~pos:body ~len:plen <> crc then
-                Error (`Crc "payload checksum mismatch")
-              else
-                match
-                  decode_payload ?damping ?cache_capacity ?stats label data
-                    ~pos:body
-                with
-                | idx -> Ok idx
-                | exception Decode msg -> Error (`Fatal (Corrupted msg))))
+          | idx -> Ok idx
+          | exception Decode msg -> Error (`Fatal (Corrupted msg))))
+
+let retryable = function
+  | `Transient _ | `Crc _ | `Suspect _ -> true
+  | `Fatal _ -> false
+
+let classify = function
+  | `Transient msg -> Io_failed msg
+  | `Crc msg -> Corrupted msg
+  | `Suspect e | `Fatal e -> e
 
 let load_result ?damping ?cache_capacity ?stats ?(retries = 4)
     ?(backoff_ms = 1.0) label path =
   match
-    Xk_resilience.Retry.with_backoff ~retries ~backoff_ms
-      ~retryable:(function
-        | `Transient _ | `Crc _ | `Suspect _ -> true
-        | `Fatal _ -> false)
+    Xk_resilience.Retry.with_backoff_info ~retries ~backoff_ms ~retryable
       (fun () -> attempt ?damping ?cache_capacity ?stats label path)
   with
-  | Ok idx -> Ok idx
-  | Error (`Transient msg) -> Error (Io_failed msg)
-  | Error (`Crc msg) -> Error (Corrupted msg)
-  | Error (`Suspect e) | Error (`Fatal e) -> Error e
+  | Ok idx, _ -> Ok idx
+  | Error e, attempts -> Error { error = classify e; attempts }
+
+let verify ?(retries = 4) ?(backoff_ms = 1.0) path =
+  match
+    Xk_resilience.Retry.with_backoff_info ~retries ~backoff_ms ~retryable
+      (fun () ->
+        match read_all path with
+        | Error _ as e -> e
+        | Ok data -> (
+            match check_framing data with
+            | Error _ as e -> e
+            | Ok _body -> Ok ()))
+  with
+  | Ok (), _ -> Ok ()
+  | Error e, attempts -> Error { error = classify e; attempts }
 
 let load ?damping label path =
   match load_result ?damping label path with
   | Ok idx -> idx
-  | Error e -> raise (Format_error (error_message e))
+  | Error e -> raise (Format_error (load_error_message e))
 
 let file_size path =
   let ic = open_in_bin path in

@@ -20,7 +20,15 @@ type error =
           payload, or a document/node-count mismatch *)
   | Io_failed of string  (** transient IO failures survived every retry *)
 
+type load_error = { error : error; attempts : int }
+(** A load failure plus the number of read attempts the shared
+    {!Xk_resilience.Retry} policy made before reporting it, so an
+    exhausted retry budget is distinguishable from a first-try
+    permanent failure. *)
+
 val error_message : error -> string
+
+val load_error_message : load_error -> string
 
 exception Format_error of string
 (** Raised by the legacy {!load} wrapper, with {!error_message} applied. *)
@@ -36,12 +44,18 @@ val load_result :
   ?backoff_ms:float ->
   Xk_encoding.Labeling.t ->
   string ->
-  (Index.t, error) result
+  (Index.t, load_error) result
 (** Load a segment, retrying transient IO errors and checksum mismatches
     up to [retries] (default 4) times with exponential backoff starting at
     [backoff_ms] (default 1.0).  Never raises on bad input.  [stats]
     overrides the ranking statistics as in {!Index.of_raw} (sharded
     segments, see {!Shard_io}). *)
+
+val verify : ?retries:int -> ?backoff_ms:float -> string -> (unit, load_error) result
+(** Check a segment's framing — magic, version, declared length, payload
+    CRC — without decoding the payload.  Same retry policy as
+    {!load_result}.  Replica writers run this after each copy so a
+    damaged replica is caught at save time, not at failover time. *)
 
 val load : ?damping:Xk_score.Damping.t -> Xk_encoding.Labeling.t -> string -> Index.t
 (** {!load_result}, raising {!Format_error} on any error (legacy API). *)

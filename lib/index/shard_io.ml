@@ -1,28 +1,48 @@
 (* Sharded-index persistence: a small checksummed manifest that records
-   the partition, next to one Index_io segment per shard.
+   the partition, next to N Index_io segment replicas per shard.
 
-   Manifest layout:  magic "XKSHM001" | version varint | payload-length
-   varint | payload CRC-32 varint | payload.  The payload is the shard
-   count, the subtree count, the assignment array, then each shard's
-   segment basename.  Node data lives only in the per-shard segments;
-   reloading re-derives the sub-documents from the corpus and the stored
-   assignment, so a manifest stays valid for exactly the document it was
-   built from (per-shard node-count checks enforce that). *)
+   Manifest layout (version 2):  magic "XKSHM002" | version varint |
+   payload-length varint | payload CRC-32 varint | payload.  The payload
+   is the shard count, the subtree count, the assignment array, then per
+   shard a replica count followed by that many segment basenames.  Node
+   data lives only in the per-shard segments; reloading re-derives the
+   sub-documents from the corpus and the stored assignment, so a
+   manifest stays valid for exactly the document it was built from
+   (per-shard node-count checks enforce that).
 
-let magic = "XKSHM001"
-let version = 1
+   Replicas are written and verified independently (framing + CRC check
+   after each copy), and the loader falls back across them in manifest
+   order: a shard is lost only when every replica fails, and the typed
+   error then carries each replica's failure and attempt count. *)
+
+let magic = "XKSHM002"
+let magic_v1 = "XKSHM001"
+let version = 2
 
 type error =
-  | Manifest of Index_io.error
-  | Shard of { shard : int; file : string; error : Index_io.error }
+  | Manifest of { error : Index_io.error; attempts : int }
+  | Shard of { shard : int; failures : (string * Index_io.load_error) list }
 
 let error_message = function
-  | Manifest e -> "manifest: " ^ Index_io.error_message e
-  | Shard { shard; file; error } ->
-      Printf.sprintf "shard %d (%s): %s" shard file
-        (Index_io.error_message error)
+  | Manifest { error; attempts } ->
+      "manifest: "
+      ^ Index_io.load_error_message { Index_io.error; attempts }
+  | Shard { shard; failures } ->
+      let per_replica =
+        List.map
+          (fun (file, e) ->
+            Printf.sprintf "%s: %s" file (Index_io.load_error_message e))
+          failures
+      in
+      Printf.sprintf "shard %d: all %d replicas failed (%s)" shard
+        (List.length failures)
+        (String.concat "; " per_replica)
 
 let segment_path path ~shard = Printf.sprintf "%s.%03d.seg" path shard
+
+let replica_path path ~shard ~replica =
+  if replica = 0 then segment_path path ~shard
+  else Printf.sprintf "%s.%03d.r%d.seg" path shard replica
 
 let write_atomically path (write : out_channel -> unit) =
   let tmp = path ^ ".tmp" in
@@ -36,7 +56,10 @@ let write_atomically path (write : out_channel -> unit) =
      raise e);
   Sys.rename tmp path
 
-let save t path =
+exception Verify_failed of string
+
+let save ?(replicas = 1) t path =
+  if replicas < 1 then Xk_util.Err.invalid "Shard_io.save: replicas < 1";
   let payload = Buffer.create 256 in
   let shards = Sharding.count t in
   Xk_storage.Varint.write payload shards;
@@ -44,9 +67,12 @@ let save t path =
   Xk_storage.Varint.write payload (Array.length assignment);
   Array.iter (Xk_storage.Varint.write payload) assignment;
   for s = 0 to shards - 1 do
-    let base = Filename.basename (segment_path path ~shard:s) in
-    Xk_storage.Varint.write payload (String.length base);
-    Buffer.add_string payload base
+    Xk_storage.Varint.write payload replicas;
+    for r = 0 to replicas - 1 do
+      let base = Filename.basename (replica_path path ~shard:s ~replica:r) in
+      Xk_storage.Varint.write payload (String.length base);
+      Buffer.add_string payload base
+    done
   done;
   let payload = Buffer.contents payload in
   write_atomically path (fun oc ->
@@ -57,13 +83,31 @@ let save t path =
       Xk_storage.Varint.write header (Xk_storage.Crc32.string payload);
       Buffer.output_buffer oc header;
       output_string oc payload);
+  (* Each replica is written and verified independently: a write that
+     slips through [Index_io.save]'s atomic rename but lands damaged
+     must surface now, not at failover time. *)
   for s = 0 to shards - 1 do
-    Index_io.save (Sharding.index t s) (segment_path path ~shard:s)
+    for r = 0 to replicas - 1 do
+      let file = replica_path path ~shard:s ~replica:r in
+      Index_io.save (Sharding.index t s) file;
+      match Index_io.verify file with
+      | Ok () -> ()
+      | Error e ->
+          raise
+            (Verify_failed
+               (Printf.sprintf "replica %s failed post-save verification: %s"
+                  file
+                  (Index_io.load_error_message e)))
+    done
   done
 
 exception Decode of string
 
-type manifest = { m_shards : int; m_assignment : int array; m_files : string array }
+type manifest = {
+  m_shards : int;
+  m_assignment : int array;
+  m_files : string array array; (* per shard, replica basenames in order *)
+}
 
 let decode_manifest data ~pos =
   let c = Xk_storage.Varint.cursor_at data pos in
@@ -79,12 +123,15 @@ let decode_manifest data ~pos =
     in
     let files =
       Array.init shards (fun _ ->
-          let len = Xk_storage.Varint.read c in
-          if c.pos + len > String.length data then
-            raise (Decode "segment name cut short");
-          let f = String.sub data c.pos len in
-          c.pos <- c.pos + len;
-          f)
+          let replicas = Xk_storage.Varint.read c in
+          if replicas < 1 then raise (Decode "shard with no replicas");
+          Array.init replicas (fun _ ->
+              let len = Xk_storage.Varint.read c in
+              if c.pos + len > String.length data then
+                raise (Decode "segment name cut short");
+              let f = String.sub data c.pos len in
+              c.pos <- c.pos + len;
+              f))
     in
     { m_shards = shards; m_assignment = assignment; m_files = files }
   with Invalid_argument _ -> raise (Decode "payload structure cut short")
@@ -116,6 +163,11 @@ let attempt_manifest path :
       let mlen = String.length magic in
       if String.length data < mlen then
         Error (`Suspect (Index_io.Truncated "shorter than the manifest magic"))
+      else if String.sub data 0 mlen = magic_v1 then
+        Error
+          (`Suspect
+            (Index_io.Corrupted
+               "legacy v1 manifest without replica lists; rebuild the index"))
       else if String.sub data 0 mlen <> magic then
         Error (`Suspect (Index_io.Corrupted "bad manifest magic"))
       else
@@ -155,16 +207,21 @@ let attempt_manifest path :
 
 let load_manifest ?(retries = 4) ?(backoff_ms = 1.0) path =
   match
-    Xk_resilience.Retry.with_backoff ~retries ~backoff_ms
+    Xk_resilience.Retry.with_backoff_info ~retries ~backoff_ms
       ~retryable:(function
         | `Transient _ | `Crc _ | `Suspect _ -> true
         | `Fatal _ -> false)
       (fun () -> attempt_manifest path)
   with
-  | Ok m -> Ok m
-  | Error (`Transient msg) -> Error (Manifest (Index_io.Io_failed msg))
-  | Error (`Crc msg) -> Error (Manifest (Index_io.Corrupted msg))
-  | Error (`Suspect e) | Error (`Fatal e) -> Error (Manifest e)
+  | Ok m, _ -> Ok m
+  | Error e, attempts ->
+      let error =
+        match e with
+        | `Transient msg -> Index_io.Io_failed msg
+        | `Crc msg -> Index_io.Corrupted msg
+        | `Suspect e | `Fatal e -> e
+      in
+      Error (Manifest { error; attempts })
 
 let load_result ?damping ?cache_capacity ?retries ?backoff_ms
     (doc : Xk_xml.Xml_tree.document) path =
@@ -175,23 +232,44 @@ let load_result ?damping ?cache_capacity ?retries ?backoff_ms
       if Array.length m.m_assignment <> subtrees then
         Error
           (Manifest
-             (Index_io.Corrupted
-                (Printf.sprintf "manifest covers %d subtrees, document has %d"
-                   (Array.length m.m_assignment)
-                   subtrees)))
+             {
+               error =
+                 Index_io.Corrupted
+                   (Printf.sprintf
+                      "manifest covers %d subtrees, document has %d"
+                      (Array.length m.m_assignment)
+                      subtrees);
+               attempts = 1;
+             })
       else
         let dir = Filename.dirname path in
         let make ~shard label ~stats =
-          let file = Filename.concat dir m.m_files.(shard) in
-          match
-            Index_io.load_result ?damping ?cache_capacity ~stats ?retries
-              ?backoff_ms label file
-          with
-          | Ok idx -> Ok idx
-          | Error e -> Error (Shard { shard; file; error = e })
+          (* Replica fallback: try each copy in manifest order, succeed
+             on the first clean load, and report every failure when the
+             whole shard is lost. *)
+          let rec try_replicas failures = function
+            | [] ->
+                Error (Shard { shard; failures = List.rev failures })
+            | file :: rest -> (
+                let full = Filename.concat dir file in
+                match
+                  Index_io.load_result ?damping ?cache_capacity ~stats
+                    ?retries ?backoff_ms label full
+                with
+                | Ok idx -> Ok idx
+                | Error e -> try_replicas ((full, e) :: failures) rest)
+          in
+          try_replicas [] (Array.to_list m.m_files.(shard))
         in
         Sharding.build_with ~shards:m.m_shards ~assignment:m.m_assignment ~make
           doc
+
+let replica_files path =
+  match load_manifest path with
+  | Error _ as e -> e
+  | Ok m ->
+      let dir = Filename.dirname path in
+      Ok (Array.map (Array.map (Filename.concat dir)) m.m_files)
 
 let is_manifest path =
   match
@@ -200,5 +278,5 @@ let is_manifest path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (String.length magic))
   with
-  | m -> m = magic
+  | m -> m = magic || m = magic_v1
   | exception (Sys_error _ | End_of_file) -> false

@@ -1,34 +1,49 @@
-(** Persistence for sharded indices: one CRC-checked manifest plus one
-    {!Index_io} segment per shard.
+(** Persistence for sharded indices: one CRC-checked manifest plus N
+    {!Index_io} segment replicas per shard.
 
     The manifest records the partition (subtree-to-shard assignment and
-    shard count) and the shard segments' basenames; segments live next to
-    the manifest, so a saved shard set can be moved as a directory.
+    shard count) and each shard's replica basenames; segments live next
+    to the manifest, so a saved shard set can be moved as a directory.
     Loading re-derives each shard's sub-document from the corpus and the
     stored assignment, then attaches the shard segments with
     corpus-global ranking statistics — exactly what {!Sharding.partition}
     builds in memory.
 
-    Failures are typed per layer: a bad manifest is {!Manifest}, a bad
-    shard segment is {!Shard} and names the shard, so one corrupted
-    segment degrades into a reportable per-shard failure instead of a
-    crash.  Both layers run the same retry/fault-injection machinery as
-    {!Index_io}. *)
+    Replicas are the storage failure domain: each copy is written and
+    verified independently at save time, and the loader falls back
+    across copies in manifest order on [Corrupted] / [Truncated] /
+    [Io_failed], so a shard is lost only when {e every} replica fails.
+    Failures are typed per layer: a bad manifest is {!Manifest}, a lost
+    shard is {!Shard} and carries every replica's failure with its
+    attempt count.  Both layers run the same retry/fault-injection
+    machinery as {!Index_io}. *)
 
 type error =
-  | Manifest of Index_io.error  (** the manifest itself failed to load *)
-  | Shard of { shard : int; file : string; error : Index_io.error }
-      (** a shard segment failed to load *)
+  | Manifest of { error : Index_io.error; attempts : int }
+      (** the manifest itself failed to load, after [attempts] reads *)
+  | Shard of { shard : int; failures : (string * Index_io.load_error) list }
+      (** every replica of a shard failed; one entry per replica file *)
 
 val error_message : error -> string
 
 val segment_path : string -> shard:int -> string
-(** Where shard [shard] of the manifest at [path] stores its segment
-    ([path] with a [.NNN.seg] suffix). *)
+(** Where shard [shard] of the manifest at [path] stores its primary
+    segment ([path] with a [.NNN.seg] suffix) — replica 0. *)
 
-val save : Sharding.t -> string -> unit
-(** Write the manifest at [path] and every shard segment beside it, each
-    atomically (temp file + rename). *)
+val replica_path : string -> shard:int -> replica:int -> string
+(** Replica [replica] of shard [shard]: replica 0 is {!segment_path},
+    further copies add an [.rN] infix ([path.NNN.rN.seg]). *)
+
+exception Verify_failed of string
+(** Raised by {!save} when a freshly written replica fails its
+    post-save framing/CRC verification. *)
+
+val save : ?replicas:int -> Sharding.t -> string -> unit
+(** Write the manifest at [path] and [replicas] (default 1) segment
+    copies per shard beside it, each atomically (temp file + rename)
+    and each verified ({!Index_io.verify}) after the write.  Raises
+    [Invalid_argument] on [replicas < 1] and {!Verify_failed} if a
+    written copy does not read back clean. *)
 
 val load_result :
   ?damping:Xk_score.Damping.t ->
@@ -38,12 +53,18 @@ val load_result :
   Xk_xml.Xml_tree.document ->
   string ->
   (Sharding.t, error) result
-(** Load a sharded index of [doc] from the manifest at [path].  Transient
-    IO errors and checksum mismatches are retried per file with
-    exponential backoff (defaults as in {!Index_io.load_result}); never
-    raises on bad input. *)
+(** Load a sharded index of [doc] from the manifest at [path], falling
+    back across each shard's replicas in manifest order.  Transient IO
+    errors and checksum mismatches are retried per file with exponential
+    backoff (defaults as in {!Index_io.load_result}); never raises on
+    bad input. *)
+
+val replica_files : string -> (string array array, error) result
+(** The full replica paths recorded in the manifest at [path], indexed
+    [shard][replica].  Chaos drivers use this to map (shard, replica)
+    corruption targets onto segment files. *)
 
 val is_manifest : string -> bool
-(** Whether the file starts with the shard-manifest magic (used by the
-    CLI to sniff sharded vs. plain segments).  False on unreadable
-    files. *)
+(** Whether the file starts with a shard-manifest magic (current or
+    legacy v1; used by the CLI to sniff sharded vs. plain segments).
+    False on unreadable files. *)

@@ -1,0 +1,180 @@
+(* Deterministic chaos schedules for replica serving.
+
+   A schedule is a list of events addressed by (shard, replica), with
+   [`*`] wildcards.  Determinism comes from a global attempt tick: every
+   [on_attempt] advances the counter, and kill/slow events arm at a
+   fixed tick, so a test or CI matrix replays the same failure sequence
+   on every run.  Segment corruption is not simulated here — callers map
+   [Corrupt] targets to replica file paths and register them with
+   [Fault_injection.mark_corrupt] before loading.
+
+   [on_attempt] decides under the schedule lock but raises / sleeps
+   outside it. *)
+
+exception Killed of { shard : int; replica : int }
+
+type target = { t_shard : int option; t_replica : int option }
+
+type event =
+  | Kill of { target : target; from_tick : int }
+  | Slow of { target : target; from_tick : int; ms : float }
+  | Corrupt of { target : target }
+
+type schedule = event list
+
+type state = {
+  mutable events : schedule;
+  mutable tick : int;
+  mutable sleep : float -> unit;
+  mutable kills : int; (* attempts killed so far *)
+  mutable slowdowns : int; (* attempts delayed so far *)
+}
+
+let default_sleep ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
+
+let state =
+  Xk_util.Sync.Protected.create
+    { events = []; tick = 0; sleep = default_sleep; kills = 0; slowdowns = 0 }
+
+let matches t ~shard ~replica =
+  (match t.t_shard with None -> true | Some s -> s = shard)
+  && match t.t_replica with None -> true | Some r -> r = replica
+
+let install ?(sleep = default_sleep) events =
+  Xk_util.Sync.Protected.with_ state (fun st ->
+      st.events <- events;
+      st.tick <- 0;
+      st.sleep <- sleep;
+      st.kills <- 0;
+      st.slowdowns <- 0)
+
+let clear () = install []
+
+let active () = Xk_util.Sync.Protected.with_ state (fun st -> st.events <> [])
+let tick () = Xk_util.Sync.Protected.with_ state (fun st -> st.tick)
+
+type counters = { kills : int; slowdowns : int }
+
+let counters () =
+  Xk_util.Sync.Protected.with_ state (fun st ->
+      { kills = st.kills; slowdowns = st.slowdowns })
+
+let corrupt_targets () =
+  Xk_util.Sync.Protected.with_ state (fun st ->
+      List.filter_map
+        (function Corrupt { target } -> Some target | Kill _ | Slow _ -> None)
+        st.events)
+
+let corrupt_matches ~shard ~replica =
+  List.exists (fun t -> matches t ~shard ~replica) (corrupt_targets ())
+
+let on_attempt ~shard ~replica =
+  (* Decide under the lock, act outside it. *)
+  let verdict =
+    Xk_util.Sync.Protected.with_ state (fun st ->
+        if st.events = [] then `Pass
+        else begin
+          st.tick <- st.tick + 1;
+          let now = st.tick in
+          let kill =
+            List.exists
+              (function
+                | Kill { target; from_tick } ->
+                    now >= from_tick && matches target ~shard ~replica
+                | Slow _ | Corrupt _ -> false)
+              st.events
+          in
+          if kill then begin
+            st.kills <- st.kills + 1;
+            `Kill
+          end
+          else begin
+            let delay =
+              List.fold_left
+                (fun acc -> function
+                  | Slow { target; from_tick; ms }
+                    when now >= from_tick && matches target ~shard ~replica ->
+                      acc +. ms
+                  | Kill _ | Slow _ | Corrupt _ -> acc)
+                0.0 st.events
+            in
+            if delay > 0. then begin
+              st.slowdowns <- st.slowdowns + 1;
+              `Slow (st.sleep, delay)
+            end
+            else `Pass
+          end
+        end)
+  in
+  match verdict with
+  | `Pass -> ()
+  | `Kill -> raise (Killed { shard; replica })
+  | `Slow (sleep, ms) -> sleep ms
+
+(* Spec syntax, comma-separated events:
+     kill@s<S>r<R>:<tick>         kill attempts on shard S replica R from tick
+     slow@s<S>r<R>:<tick>:<ms>    add <ms> latency from tick
+     corrupt@s<S>r<R>             corrupt that replica's segment on disk
+   S and R accept [*] as a wildcard, e.g. [kill@s*r1:0]. *)
+
+let parse_target s =
+  match String.index_opt s 'r' with
+  | Some i when String.length s > 1 && s.[0] = 's' ->
+      let shard_str = String.sub s 1 (i - 1) in
+      let rep_str = String.sub s (i + 1) (String.length s - i - 1) in
+      let part name = function
+        | "*" -> Ok None
+        | v -> (
+            match int_of_string_opt v with
+            | Some n when n >= 0 -> Ok (Some n)
+            | _ -> Error (Printf.sprintf "bad %s %S" name v))
+      in
+      Result.bind (part "shard" shard_str) (fun t_shard ->
+          Result.map
+            (fun t_replica -> { t_shard; t_replica })
+            (part "replica" rep_str))
+  | _ -> Error (Printf.sprintf "bad target %S (want s<N>r<M>)" s)
+
+let parse_event item =
+  match String.index_opt item '@' with
+  | None -> Error (Printf.sprintf "bad chaos event %S (missing '@')" item)
+  | Some i -> (
+      let kind = String.sub item 0 i in
+      let rest = String.sub item (i + 1) (String.length item - i - 1) in
+      let fields = String.split_on_char ':' rest in
+      match (kind, fields) with
+      | "kill", [ tgt; tick ] ->
+          Result.bind (parse_target tgt) (fun target ->
+              match int_of_string_opt tick with
+              | Some from_tick when from_tick >= 0 ->
+                  Ok (Kill { target; from_tick })
+              | _ -> Error (Printf.sprintf "bad kill tick %S" tick))
+      | "slow", [ tgt; tick; ms ] ->
+          Result.bind (parse_target tgt) (fun target ->
+              match (int_of_string_opt tick, float_of_string_opt ms) with
+              | Some from_tick, Some ms when from_tick >= 0 && ms >= 0. ->
+                  Ok (Slow { target; from_tick; ms })
+              | _ -> Error (Printf.sprintf "bad slow params %S" rest))
+      | "corrupt", [ tgt ] ->
+          Result.map (fun target -> Corrupt { target }) (parse_target tgt)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad chaos event %S (want kill@T:tick, slow@T:tick:ms, \
+                corrupt@T)"
+               item))
+
+let of_spec spec =
+  let items =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if items = [] then Error "empty chaos spec"
+  else
+    List.fold_left
+      (fun acc item ->
+        Result.bind acc (fun evs ->
+            Result.map (fun ev -> ev :: evs) (parse_event item)))
+      (Ok []) items
+    |> Result.map List.rev

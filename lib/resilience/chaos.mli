@@ -1,0 +1,66 @@
+(** Deterministic chaos schedules for replica serving, layered on
+    {!Fault_injection}.
+
+    A schedule addresses events at (shard, replica) pairs — with
+    wildcards — and arms kill / latency events at a global {e attempt
+    tick} that every {!on_attempt} call advances, so a given schedule
+    replays the same failure sequence on every run.  The schedule is
+    process-global, like [Fault_injection]'s config: install it once at
+    startup (or per test, under the test lock).
+
+    Corruption events are disk-level rather than attempt-level: callers
+    resolve [Corrupt] targets to replica segment paths themselves (via
+    [Shard_io.replica_path]) and register them with
+    [Fault_injection.mark_corrupt] before loading — this module never
+    touches storage. *)
+
+exception Killed of { shard : int; replica : int }
+(** Raised by {!on_attempt} for an armed kill event: the replica is
+    "down" for this attempt.  [Shard_exec] treats it as a replica
+    failure and fails over. *)
+
+type target = { t_shard : int option; t_replica : int option }
+(** [None] is a wildcard matching every shard / replica. *)
+
+type event =
+  | Kill of { target : target; from_tick : int }
+  | Slow of { target : target; from_tick : int; ms : float }
+  | Corrupt of { target : target }
+
+type schedule = event list
+
+type counters = {
+  kills : int;  (** attempts killed so far *)
+  slowdowns : int;  (** attempts delayed so far *)
+}
+
+val install : ?sleep:(float -> unit) -> schedule -> unit
+(** Replace the global schedule and reset the tick and counters.
+    [sleep] (ms) services [Slow] events; tests inject a recorder. *)
+
+val clear : unit -> unit
+val active : unit -> bool
+
+val tick : unit -> int
+(** Attempts observed since {!install}. *)
+
+val counters : unit -> counters
+
+val on_attempt : shard:int -> replica:int -> unit
+(** Advance the tick and apply the schedule to this attempt: raises
+    {!Killed} for an armed kill, sleeps for armed latency (decision is
+    made under the schedule lock, the sleep happens outside it).  No-op
+    when no schedule is installed — the tick does not advance either,
+    so background traffic cannot skew an armed schedule. *)
+
+val corrupt_targets : unit -> target list
+(** The [Corrupt] targets of the installed schedule, for callers to map
+    to segment paths and register via [Fault_injection.mark_corrupt]. *)
+
+val corrupt_matches : shard:int -> replica:int -> bool
+
+val of_spec : string -> (schedule, string) result
+(** Parse a comma-separated spec: [kill@s<S>r<R>:<tick>],
+    [slow@s<S>r<R>:<tick>:<ms>], [corrupt@s<S>r<R>]; [S]/[R] accept
+    [*] as a wildcard (e.g. [kill@s*r1:0] kills replica 1 of every
+    shard from the first attempt). *)

@@ -1,0 +1,129 @@
+(* Closed / Open / Half_open circuit breaker.
+
+   Closed counts consecutive failures; at [failure_threshold] the
+   breaker opens and [allow] rejects until [reset_after_ms] has elapsed
+   on the injected clock, then Half_open admits up to
+   [half_open_probes] trial requests: any failure re-opens (and restarts
+   the cooldown), [half_open_probes] consecutive successes close.
+
+   The clock is a plain [unit -> float] in milliseconds so tests drive
+   state transitions without sleeping.  All state sits behind one
+   [Sync.Protected]; the clock is sampled before taking the lock. *)
+
+type state = Closed | Open | Half_open
+
+type config = {
+  failure_threshold : int;
+  reset_after_ms : float;
+  half_open_probes : int;
+}
+
+let default_config =
+  { failure_threshold = 5; reset_after_ms = 1000.0; half_open_probes = 1 }
+
+type core = {
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float; (* clock ms when we last tripped *)
+  mutable probes_in_flight : int; (* Half_open admissions not yet resolved *)
+  mutable probe_successes : int;
+  mutable opens : int;
+  mutable rejected : int;
+}
+
+type t = { config : config; clock : unit -> float; core : core Xk_util.Sync.Protected.t }
+
+type stats = { state : state; consecutive_failures : int; opens : int; rejected : int }
+
+let default_clock () = Unix.gettimeofday () *. 1000.0
+
+let create ?(config = default_config) ?(clock = default_clock) () =
+  if config.failure_threshold < 1 then
+    Xk_util.Err.invalid "Circuit_breaker.create: failure_threshold < 1";
+  if config.half_open_probes < 1 then
+    Xk_util.Err.invalid "Circuit_breaker.create: half_open_probes < 1";
+  {
+    config;
+    clock;
+    core =
+      Xk_util.Sync.Protected.create
+        {
+          state = Closed;
+          consecutive_failures = 0;
+          opened_at = neg_infinity;
+          probes_in_flight = 0;
+          probe_successes = 0;
+          opens = 0;
+          rejected = 0;
+        };
+  }
+
+let trip t (core : core) =
+  core.state <- Open;
+  core.opened_at <- t.clock ();
+  core.opens <- core.opens + 1;
+  core.probes_in_flight <- 0;
+  core.probe_successes <- 0
+
+let allow t =
+  let now = t.clock () in
+  Xk_util.Sync.Protected.with_ t.core (fun core ->
+      match core.state with
+      | Closed -> true
+      | Open when now -. core.opened_at >= t.config.reset_after_ms ->
+          core.state <- Half_open;
+          core.probes_in_flight <- 1;
+          core.probe_successes <- 0;
+          true
+      | Open ->
+          core.rejected <- core.rejected + 1;
+          false
+      | Half_open when core.probes_in_flight < t.config.half_open_probes ->
+          core.probes_in_flight <- core.probes_in_flight + 1;
+          true
+      | Half_open ->
+          core.rejected <- core.rejected + 1;
+          false)
+
+let record_success t =
+  Xk_util.Sync.Protected.with_ t.core (fun core ->
+      core.consecutive_failures <- 0;
+      match core.state with
+      | Closed -> ()
+      | Half_open ->
+          core.probe_successes <- core.probe_successes + 1;
+          if core.probe_successes >= t.config.half_open_probes then begin
+            core.state <- Closed;
+            core.probes_in_flight <- 0;
+            core.probe_successes <- 0
+          end
+      | Open ->
+          (* Late success from a request admitted before the trip: the
+             cooldown still stands, but don't count it against anyone. *)
+          ())
+
+let record_failure t =
+  Xk_util.Sync.Protected.with_ t.core (fun core ->
+      match core.state with
+      | Half_open -> trip t core
+      | Open -> ()
+      | Closed ->
+          core.consecutive_failures <- core.consecutive_failures + 1;
+          if core.consecutive_failures >= t.config.failure_threshold then
+            trip t core)
+
+let state t = Xk_util.Sync.Protected.with_ t.core (fun core -> core.state)
+
+let stats t =
+  Xk_util.Sync.Protected.with_ t.core (fun core ->
+      {
+        state = core.state;
+        consecutive_failures = core.consecutive_failures;
+        opens = core.opens;
+        rejected = core.rejected;
+      })
+
+let state_label = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"

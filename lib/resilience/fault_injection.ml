@@ -63,6 +63,7 @@ type state = {
   mutable override : config option;
   io_attempts : (string, int) Hashtbl.t;
   read_attempts : (string, int) Hashtbl.t;
+  corrupt_paths : (string, unit) Hashtbl.t;
   mutable queries_seen : int;
 }
 
@@ -72,6 +73,7 @@ let state =
       override = None;
       io_attempts = Hashtbl.create 8;
       read_attempts = Hashtbl.create 8;
+      corrupt_paths = Hashtbl.create 8;
       queries_seen = 0;
     }
 
@@ -80,6 +82,7 @@ let with_state f = Xk_util.Sync.Protected.with_ state f
 let clear_counters st =
   Hashtbl.reset st.io_attempts;
   Hashtbl.reset st.read_attempts;
+  Hashtbl.reset st.corrupt_paths;
   st.queries_seen <- 0
 
 let configure c =
@@ -115,18 +118,30 @@ let before_io ~path =
               (attempt + 1) path))
   end
 
+let mark_corrupt ~path =
+  with_state (fun st -> Hashtbl.replace st.corrupt_paths path ())
+
+let marked_corrupt ~path =
+  with_state (fun st -> Hashtbl.mem st.corrupt_paths path)
+
+let flip_byte data =
+  let b = Bytes.of_string data in
+  let pos = Bytes.length b / 2 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x42));
+  Bytes.unsafe_to_string b
+
 let mangle_read ~path data =
-  let c = active () in
-  if c.corrupt_reads = 0 || String.length data = 0 then data
+  if String.length data = 0 then data
   else begin
-    let read = with_state (fun st -> bump st.read_attempts path) in
-    if read >= c.corrupt_reads then data
-    else begin
-      let b = Bytes.of_string data in
-      let pos = Bytes.length b / 2 in
-      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x42));
-      Bytes.unsafe_to_string b
-    end
+    let marked = with_state (fun st -> Hashtbl.mem st.corrupt_paths path) in
+    if marked then flip_byte data
+    else
+      let c = active () in
+      if c.corrupt_reads = 0 then data
+      else begin
+        let read = with_state (fun st -> bump st.read_attempts path) in
+        if read >= c.corrupt_reads then data else flip_byte data
+      end
   end
 
 let on_query () =

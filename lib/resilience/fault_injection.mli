@@ -53,7 +53,17 @@ val before_io : path:string -> unit
 
 val mangle_read : path:string -> string -> string
 (** Storage read hook: flips one byte of the data for the first
-    [corrupt_reads] reads of [path]. *)
+    [corrupt_reads] reads of [path], and on {e every} read of a path
+    registered via {!mark_corrupt} (persistent corruption — a damaged
+    replica segment stays damaged, independent of the config). *)
+
+val mark_corrupt : path:string -> unit
+(** Register persistent corruption for [path]: all subsequent reads are
+    byte-flipped even when no fault config is active.  [Chaos] drivers
+    use this to take out specific replica segments.  Cleared by
+    {!configure} / {!reset}. *)
+
+val marked_corrupt : path:string -> bool
 
 val on_query : unit -> unit
 (** Query-execution hook: sleeps [query_latency_ms], then raises

@@ -1,0 +1,157 @@
+(* Hedged execution: run [primary] inline; if it has not settled after
+   [delay_ms], launch [hedge] on a borrowed worker and take the first
+   {e successful} response.  The loser's budget is cancelled so it winds
+   down cooperatively instead of burning a replica for a discarded
+   answer.
+
+   The primary runs in the calling thread on purpose: hedging must
+   never deadlock a saturated pool, so [spawn] only ever carries the
+   watcher and the optional second attempt — if the pool has no free
+   worker, neither runs and the primary completes alone.
+
+   Failure rules: a hedge failure never preempts a still-running
+   primary, and a primary failure only waits for a hedge that has
+   actually started running (a merely-queued hedge is revoked, so a
+   worker never blocks on pool capacity). *)
+
+type winner = Primary | Hedge
+
+type 'a outcome = { value : 'a; winner : winner; fired : bool }
+
+type 'a state = {
+  mutable result : (winner * 'a) option; (* first success wins *)
+  mutable primary_error : exn option;
+  mutable hedge_error : exn option;
+  mutable hedge_state : [ `Idle | `Revoked | `Running | `Done ];
+  mutable hedge_spawned : bool;
+}
+
+let default_clock () = Unix.gettimeofday () *. 1000.0
+let default_sleep ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
+
+(* [make_budget] may hand back [Budget.unlimited], which refuses
+   cancellation; losing the loser-kill there is fine (the budget can
+   never bound work anyway). *)
+let cancel_quietly b =
+  try Budget.cancel b with Invalid_argument _ -> ()
+
+let run ?(clock = default_clock) ?(sleep = default_sleep)
+    ?(make_budget = fun () -> Budget.create ()) ~spawn ~delay_ms ~primary
+    ~hedge () =
+  if delay_ms < 0. then Xk_util.Err.invalid "Hedge.run: delay_ms < 0";
+  let slot =
+    Xk_util.Sync.Protected.create
+      {
+        result = None;
+        primary_error = None;
+        hedge_error = None;
+        hedge_state = `Idle;
+        hedge_spawned = false;
+      }
+  in
+  let primary_budget = make_budget () in
+  let hedge_budget = make_budget () in
+  let with_slot f = Xk_util.Sync.Protected.with_ slot f in
+  let hedge_job () =
+    let admitted =
+      with_slot (fun s ->
+          match s.hedge_state with
+          | `Idle when s.result = None ->
+              s.hedge_state <- `Running;
+              true
+          | `Idle ->
+              s.hedge_state <- `Revoked;
+              false
+          | `Revoked | `Running | `Done -> false)
+    in
+    if admitted then begin
+      (match hedge hedge_budget with
+      | v ->
+          let won =
+            with_slot (fun s ->
+                s.hedge_state <- `Done;
+                match s.result with
+                | Some _ -> false
+                | None ->
+                    s.result <- Some (Hedge, v);
+                    true)
+          in
+          if won then cancel_quietly primary_budget
+      | exception e ->
+          with_slot (fun s ->
+              s.hedge_state <- `Done;
+              s.hedge_error <- Some e))
+    end
+  in
+  let fire_hedge () =
+    let launch =
+      with_slot (fun s ->
+          if s.result = None && s.primary_error = None && s.hedge_state = `Idle
+             && not s.hedge_spawned
+          then begin
+            s.hedge_spawned <- true;
+            true
+          end
+          else false)
+    in
+    if launch then spawn hedge_job
+  in
+  let deadline = clock () +. delay_ms in
+  (* Watcher on a borrowed worker: sleep out the delay, fire the hedge
+     if the primary is still running. *)
+  spawn (fun () ->
+      let rec wait () =
+        if
+          with_slot (fun s ->
+              s.result = None && s.primary_error = None
+              && s.hedge_state = `Idle)
+        then begin
+          let now = clock () in
+          if now >= deadline then fire_hedge ()
+          else begin
+            sleep (Float.min 1.0 (deadline -. now));
+            wait ()
+          end
+        end
+      in
+      wait ());
+  (* Primary, inline. *)
+  (match primary primary_budget with
+  | v ->
+      let won =
+        with_slot (fun s ->
+            match s.result with
+            | Some _ -> false
+            | None ->
+                s.result <- Some (Primary, v);
+                true)
+      in
+      if won then cancel_quietly hedge_budget
+  | exception e -> with_slot (fun s -> s.primary_error <- Some e));
+  let finish s =
+    match (s.result, s.primary_error) with
+    | Some (winner, value), _ -> `Done { value; winner; fired = s.hedge_spawned }
+    | None, Some pe -> (
+        (* Primary failed.  Wait only for a hedge that is truly running;
+           revoke one that is idle or merely queued. *)
+        match s.hedge_state with
+        | `Running -> `Wait
+        | `Done -> (
+            match s.hedge_error with
+            | Some _ | None -> `Raise pe)
+        | `Idle | `Revoked ->
+            s.hedge_state <- `Revoked;
+            `Raise pe)
+    | None, None ->
+        Xk_util.Err.unreachable
+          "Hedge.run: primary returned with neither result nor error"
+  in
+  let rec settle () =
+    match with_slot finish with
+    | `Done outcome -> outcome
+    | `Raise e -> raise e
+    | `Wait ->
+        sleep 0.2;
+        settle ()
+  in
+  settle ()

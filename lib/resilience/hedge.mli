@@ -1,0 +1,44 @@
+(** Budget-aware hedged requests: run the primary attempt inline and,
+    if it is still unresolved after [delay_ms], launch one hedged
+    attempt on a borrowed worker.  First successful response wins; the
+    loser's {!Budget.t} is cancelled so anytime algorithms stop
+    cooperatively.
+
+    Deadlock freedom: the calling thread only ever runs the primary.
+    [spawn] (typically [Domain_pool.submit]) carries the delay watcher
+    and the hedge; if the pool is saturated and never runs them, the
+    primary completes alone.  A primary failure waits only for a hedge
+    that has actually started executing — a queued-but-unstarted hedge
+    is revoked, so no worker blocks on pool capacity.
+
+    A hedge failure never preempts a running primary; the hedge's
+    error surfaces only if the primary also fails.  [clock] / [sleep]
+    (milliseconds) are injectable so tests drive the race without
+    real waiting. *)
+
+type winner = Primary | Hedge
+
+type 'a outcome = {
+  value : 'a;
+  winner : winner;
+  fired : bool;  (** whether the hedge attempt was launched at all *)
+}
+
+val run :
+  ?clock:(unit -> float) ->
+  ?sleep:(float -> unit) ->
+  ?make_budget:(unit -> Budget.t) ->
+  spawn:((unit -> unit) -> unit) ->
+  delay_ms:float ->
+  primary:(Budget.t -> 'a) ->
+  hedge:(Budget.t -> 'a) ->
+  unit ->
+  'a outcome
+(** Both attempts receive a fresh budget from [make_budget] (default: a
+    plain cancellable {!Budget.create}); poll it with
+    [Budget.alive]/[check] to honour loser cancellation.  Callers with
+    deadline or tick budgets pass them via [make_budget] so one token
+    carries both the work bound and the loser-kill (an uncancellable
+    {!Budget.unlimited} is tolerated — the kill is skipped).  Raises
+    the primary's exception when both attempts fail (or the hedge never
+    ran); raises [Invalid_argument] on negative [delay_ms]. *)

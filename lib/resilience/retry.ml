@@ -1,10 +1,16 @@
-let with_backoff ?(retries = 4) ?(backoff_ms = 1.0) ~retryable f =
+let default_sleep ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
+
+let with_backoff_info ?(retries = 4) ?(backoff_ms = 1.0) ?(sleep = default_sleep)
+    ~retryable f =
   let rec go attempt delay =
     match f () with
-    | Ok _ as ok -> ok
+    | Ok _ as ok -> (ok, attempt + 1)
     | Error e when attempt < retries && retryable e ->
-        if delay > 0. then Unix.sleepf (delay /. 1000.);
+        sleep delay;
         go (attempt + 1) (delay *. 2.)
-    | Error _ as err -> err
+    | Error _ as err -> (err, attempt + 1)
   in
   go 0 backoff_ms
+
+let with_backoff ?retries ?backoff_ms ?sleep ~retryable f =
+  fst (with_backoff_info ?retries ?backoff_ms ?sleep ~retryable f)

@@ -1,9 +1,15 @@
 (** Bounded retry with exponential backoff for operations whose failures
-    split into a transient class (worth retrying) and a permanent one. *)
+    split into a transient class (worth retrying) and a permanent one.
+
+    This is the {e only} retry loop in the tree: storage readers
+    ([Index_io], [Shard_io]) route every retryable class through it —
+    including the [`Suspect] header re-read class — so attempt budgets
+    are uniform and the attempt count can be surfaced in typed errors. *)
 
 val with_backoff :
   ?retries:int ->
   ?backoff_ms:float ->
+  ?sleep:(float -> unit) ->
   retryable:('e -> bool) ->
   (unit -> ('a, 'e) result) ->
   ('a, 'e) result
@@ -11,4 +17,17 @@ val with_backoff :
     it returns a [retryable] error, sleeping [backoff_ms] (default 1.0)
     before the first retry and doubling after each.  The last error is
     returned when retries run out; non-retryable errors return
-    immediately. *)
+    immediately.  [sleep] overrides the delay action (milliseconds) —
+    tests inject a recorder so backoff growth is observable without
+    sleeping. *)
+
+val with_backoff_info :
+  ?retries:int ->
+  ?backoff_ms:float ->
+  ?sleep:(float -> unit) ->
+  retryable:('e -> bool) ->
+  (unit -> ('a, 'e) result) ->
+  ('a, 'e) result * int
+(** {!with_backoff} plus the number of attempts actually made (>= 1):
+    callers that report typed errors attach it so an exhausted retry
+    budget is distinguishable from a first-try permanent failure. *)

@@ -77,6 +77,40 @@ let bare_lock () =
     ("[@@@xklint.allow bare-lock]\n" ^ bad);
   check_rules ~file:"bench/fixture.ml" "outside lib" [] bad
 
+(* --- blocking-io-under-lock ------------------------------------------ *)
+
+let lock_io () =
+  let bad =
+    "let read t =\n\
+    \  Xk_util.Sync.with_lock t.lock (fun () -> Unix.read t.fd buf 0 len)\n"
+  in
+  check_rules ~file:"lib/index/fixture.ml" "Unix call under with_lock"
+    [ "blocking-io-under-lock" ] bad;
+  check_rules ~file:"lib/resilience/fixture.ml" "channel IO under Protected"
+    [ "blocking-io-under-lock" ]
+    "let dump t oc =\n\
+    \  Xk_util.Sync.Protected.with_ t (fun st ->\n\
+    \      Out_channel.output_string oc st.log)\n";
+  check_rules ~file:"lib/exec/fixture.ml" "sleep under short Sync path"
+    [ "blocking-io-under-lock" ]
+    "let wait t = Sync.with_lock t.lock (fun () -> Unix.sleepf 0.1)\n";
+  check_rules ~file:"lib/index/fixture.ml" "decide under lock, act outside" []
+    "let read t =\n\
+    \  let fd = Xk_util.Sync.with_lock t.lock (fun () -> t.fd) in\n\
+    \  Unix.read fd buf 0 len\n";
+  (* a nested critical section is scanned on its own visit, not twice *)
+  check slist "nested sections report once" [ "blocking-io-under-lock" ]
+    (rules
+       (lint ~file:"lib/index/fixture.ml"
+          "let f t =\n\
+          \  Xk_util.Sync.with_lock a (fun () ->\n\
+          \      Xk_util.Sync.with_lock b (fun () -> Unix.close t.fd))\n"));
+  check_rules ~file:"lib/index/fixture.ml" "attribute allow" []
+    "let read t =\n\
+    \  Xk_util.Sync.with_lock t.lock (fun () ->\n\
+    \      (Unix.read t.fd buf 0 len) [@xklint.allow blocking-io-under-lock])\n";
+  check_rules ~file:"bench/fixture.ml" "outside lib" [] bad
+
 (* --- shared-state ---------------------------------------------------- *)
 
 let shared_state () =
@@ -213,6 +247,7 @@ let suite =
         tc "budget-loop: let rec" `Quick budget_rec;
         tc "budget-loop: allows" `Quick budget_allow;
         tc "bare-lock" `Quick bare_lock;
+        tc "blocking-io-under-lock" `Quick lock_io;
         tc "shared-state" `Quick shared_state;
         tc "typed-error" `Quick typed_error;
         tc "parse error" `Quick parse_error;

@@ -198,7 +198,8 @@ let with_saved_index f =
 let load_ok label path =
   match Xk_index.Index_io.load_result ~backoff_ms:0. label path with
   | Ok idx -> idx
-  | Error e -> Alcotest.failf "load failed: %s" (Xk_index.Index_io.error_message e)
+  | Error e ->
+      Alcotest.failf "load failed: %s" (Xk_index.Index_io.load_error_message e)
 
 let io_transients_heal () =
   with_saved_index (fun idx label path ->
@@ -212,9 +213,10 @@ let io_transients_exhaust () =
   with_saved_index (fun _ label path ->
       Fault_injection.configure { Fault_injection.none with io_failures = 10 };
       match Xk_index.Index_io.load_result ~retries:2 ~backoff_ms:0. label path with
-      | Error (Io_failed _) -> ()
+      | Error { error = Io_failed _; attempts = 3 } -> ()
       | Error e ->
-          Alcotest.failf "wrong class: %s" (Xk_index.Index_io.error_message e)
+          Alcotest.failf "wrong class: %s"
+            (Xk_index.Index_io.load_error_message e)
       | Ok _ -> Alcotest.fail "10 injected failures survived 2 retries")
 
 let torn_reads_heal () =
@@ -243,9 +245,10 @@ let persistent_corruption () =
       output_bytes oc b;
       close_out oc;
       match Xk_index.Index_io.load_result ~backoff_ms:0. label path with
-      | Error (Corrupted _) -> ()
+      | Error { error = Corrupted _; _ } -> ()
       | Error e ->
-          Alcotest.failf "wrong class: %s" (Xk_index.Index_io.error_message e)
+          Alcotest.failf "wrong class: %s"
+            (Xk_index.Index_io.load_error_message e)
       | Ok _ -> Alcotest.fail "corrupted payload loaded")
 
 let truncation_detected () =
@@ -270,10 +273,10 @@ let truncation_detected () =
               match
                 Xk_index.Index_io.load_result ~backoff_ms:0. label cut
               with
-              | Error (Truncated _) -> ()
+              | Error { error = Truncated _; _ } -> ()
               | Error e ->
                   Alcotest.failf "keep=%d: wrong class: %s" keep
-                    (Xk_index.Index_io.error_message e)
+                    (Xk_index.Index_io.load_error_message e)
               | Ok _ -> Alcotest.failf "keep=%d: truncated segment loaded" keep))
         [ 4; 9; full / 2; full - 1 ])
 
@@ -287,11 +290,11 @@ let garbage_classified () =
       in
       write "this is not an index segment at all";
       (match Xk_index.Index_io.load_result ~backoff_ms:0. label path with
-      | Error (Corrupted _) -> ()
+      | Error { error = Corrupted _; _ } -> ()
       | _ -> Alcotest.fail "garbage not classified as corrupted");
       write "XKIDX001legacy-body";
       (match Xk_index.Index_io.load_result ~backoff_ms:0. label path with
-      | Error (Corrupted msg) ->
+      | Error { error = Corrupted msg; _ } ->
           check Alcotest.bool "legacy message" true (String.length msg > 0)
       | _ -> Alcotest.fail "v1 segment not classified as corrupted");
       (* The legacy raising wrapper still raises on errors. *)
@@ -440,6 +443,282 @@ let fault_spec_parsing () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bogus fault class accepted"
 
+(* --- Retry policy ---------------------------------------------------- *)
+
+let retry_classification () =
+  (* Drive the loop with a scripted error sequence: transients burn the
+     retry budget, the first permanent error returns immediately. *)
+  let run ~retryable script =
+    let q = ref script in
+    Retry.with_backoff_info ~retries:3 ~backoff_ms:0.
+      ~sleep:(fun _ -> ())
+      ~retryable
+      (fun () ->
+        match !q with
+        | [] -> Ok ()
+        | r :: rest ->
+            q := rest;
+            r)
+  in
+  let transient = function `Transient -> true | `Permanent -> false in
+  (match run ~retryable:transient [ Error `Transient; Error `Transient ] with
+  | Ok (), 3 -> ()
+  | _, n -> Alcotest.failf "two transients should heal on attempt 3, got %d" n);
+  (match run ~retryable:transient [ Error `Permanent ] with
+  | Error `Permanent, 1 -> ()
+  | _, n -> Alcotest.failf "permanent error retried: %d attempts" n);
+  (match run ~retryable:transient [ Error `Transient; Error `Permanent ] with
+  | Error `Permanent, 2 -> ()
+  | _, n ->
+      Alcotest.failf "permanent after transient should stop at 2, got %d" n);
+  match run ~retryable:transient [] with
+  | Ok (), 1 -> ()
+  | _, n -> Alcotest.failf "clean first try made %d attempts" n
+
+let retry_backoff_growth () =
+  let slept = ref [] in
+  let result, attempts =
+    Retry.with_backoff_info ~retries:4 ~backoff_ms:2.
+      ~sleep:(fun ms -> slept := ms :: !slept)
+      ~retryable:(fun _ -> true)
+      (fun () -> Error `Transient)
+  in
+  (match result with
+  | Error `Transient -> ()
+  | Ok () -> Alcotest.fail "always-failing thunk returned Ok");
+  check Alcotest.int "exhaustion reports retries + 1 attempts" 5 attempts;
+  check
+    Alcotest.(list (float 1e-9))
+    "backoff doubles, no sleep after the last attempt" [ 2.; 4.; 8.; 16. ]
+    (List.rev !slept);
+  (* with_backoff is the same loop minus the attempt count *)
+  match
+    Retry.with_backoff ~retries:1 ~backoff_ms:0.
+      ~sleep:(fun _ -> ())
+      ~retryable:(fun _ -> true)
+      (fun () -> Error `Transient)
+  with
+  | Error `Transient -> ()
+  | Ok () -> Alcotest.fail "with_backoff disagreed with with_backoff_info"
+
+(* --- Replica health -------------------------------------------------- *)
+
+let health_window () =
+  let h = Health.create ~window:4 () in
+  let s0 = Health.snapshot h in
+  check (Alcotest.float 0.) "fresh window is fully healthy" 1.0
+    s0.Health.success_rate;
+  Health.record h ~ok:false ~latency_ms:10.;
+  Health.record h ~ok:false ~latency_ms:10.;
+  Health.record h ~ok:true ~latency_ms:2.;
+  Health.record h ~ok:true ~latency_ms:4.;
+  let s = Health.snapshot h in
+  check Alcotest.int "successes" 2 s.Health.successes;
+  check Alcotest.int "failures" 2 s.Health.failures;
+  check (Alcotest.float 1e-9) "success rate" 0.5 s.Health.success_rate;
+  check (Alcotest.float 1e-9) "mean latency" 6.5 s.Health.mean_latency_ms;
+  (* the window rolls: two more successes evict the two failures *)
+  Health.record h ~ok:true ~latency_ms:2.;
+  Health.record h ~ok:true ~latency_ms:2.;
+  let s = Health.snapshot h in
+  check (Alcotest.float 1e-9) "window rolled" 1.0 s.Health.success_rate;
+  check Alcotest.int "observations keep counting" 6 s.Health.observations
+
+let health_score_orders () =
+  let window = 8 in
+  let filled ~ok ~latency_ms =
+    let h = Health.create ~window () in
+    for _ = 1 to window do
+      Health.record h ~ok ~latency_ms
+    done;
+    h
+  in
+  let good = filled ~ok:true ~latency_ms:1. in
+  let bad = filled ~ok:false ~latency_ms:1. in
+  check Alcotest.bool "healthy outranks failing" true
+    (Health.score good > Health.score bad);
+  let slow = filled ~ok:true ~latency_ms:500. in
+  check Alcotest.bool "latency breaks success-rate ties" true
+    (Health.score good > Health.score slow);
+  (* ...but can never outweigh a real success-rate difference *)
+  let flaky_fast = Health.create ~window () in
+  for i = 1 to window do
+    Health.record flaky_fast ~ok:(i > 1) ~latency_ms:0.01
+  done;
+  check Alcotest.bool "success rate dominates latency" true
+    (Health.score slow > Health.score flaky_fast)
+
+(* --- Circuit breaker ------------------------------------------------- *)
+
+let breaker_config =
+  {
+    Circuit_breaker.failure_threshold = 3;
+    reset_after_ms = 100.;
+    half_open_probes = 1;
+  }
+
+let breaker_state b = Circuit_breaker.state_label (Circuit_breaker.state b)
+
+let breaker_trips_and_recovers () =
+  let now = ref 0. in
+  let b =
+    Circuit_breaker.create ~config:breaker_config ~clock:(fun () -> !now) ()
+  in
+  check Alcotest.bool "closed admits" true (Circuit_breaker.allow b);
+  Circuit_breaker.record_failure b;
+  Circuit_breaker.record_failure b;
+  check Alcotest.string "below threshold stays closed" "closed"
+    (breaker_state b);
+  Circuit_breaker.record_failure b;
+  check Alcotest.string "opens at the threshold" "open" (breaker_state b);
+  check Alcotest.bool "open rejects" false (Circuit_breaker.allow b);
+  now := 50.;
+  check Alcotest.bool "cooldown not elapsed" false (Circuit_breaker.allow b);
+  now := 100.;
+  check Alcotest.bool "cooldown admits a probe" true (Circuit_breaker.allow b);
+  check Alcotest.string "half-open" "half-open" (breaker_state b);
+  check Alcotest.bool "probe budget bounds admissions" false
+    (Circuit_breaker.allow b);
+  Circuit_breaker.record_success b;
+  check Alcotest.string "probe success closes" "closed" (breaker_state b);
+  let st = Circuit_breaker.stats b in
+  check Alcotest.int "one open counted" 1 st.Circuit_breaker.opens;
+  check Alcotest.bool "rejections counted" true (st.Circuit_breaker.rejected >= 3)
+
+let breaker_probe_failure_reopens () =
+  let now = ref 0. in
+  let b =
+    Circuit_breaker.create ~config:breaker_config ~clock:(fun () -> !now) ()
+  in
+  for _ = 1 to 3 do
+    Circuit_breaker.record_failure b
+  done;
+  now := 100.;
+  check Alcotest.bool "probe admitted" true (Circuit_breaker.allow b);
+  Circuit_breaker.record_failure b;
+  check Alcotest.string "probe failure re-opens" "open" (breaker_state b);
+  (* the cooldown restarted at the re-trip, not the original trip *)
+  now := 150.;
+  check Alcotest.bool "cooldown restarted" false (Circuit_breaker.allow b);
+  now := 200.;
+  check Alcotest.bool "second probe admitted" true (Circuit_breaker.allow b);
+  Circuit_breaker.record_success b;
+  check Alcotest.string "recovers" "closed" (breaker_state b)
+
+let breaker_consecutive_only () =
+  let b = Circuit_breaker.create ~config:breaker_config ~clock:(fun () -> 0.) () in
+  for _ = 1 to 10 do
+    Circuit_breaker.record_failure b;
+    Circuit_breaker.record_success b
+  done;
+  check Alcotest.string "interleaved successes keep it closed" "closed"
+    (breaker_state b);
+  (* a late success while Open does not short-circuit the cooldown *)
+  for _ = 1 to 3 do
+    Circuit_breaker.record_failure b
+  done;
+  Circuit_breaker.record_success b;
+  check Alcotest.string "late success while open is ignored" "open"
+    (breaker_state b);
+  check Alcotest.bool "still rejecting" false (Circuit_breaker.allow b)
+
+(* --- Hedged attempts -------------------------------------------------- *)
+
+(* [spawn] stands in for the pool: [run_now] is an idle worker that runs
+   the job inline (so with delay 0 the hedge starts before the primary),
+   [drop] is a saturated pool that never runs it. *)
+let run_now f = f ()
+let drop (_ : unit -> unit) = ()
+let no_sleep (_ : float) = ()
+
+let hedge_primary_wins () =
+  let o =
+    Hedge.run ~clock:(fun () -> 0.) ~sleep:no_sleep ~spawn:drop ~delay_ms:5.
+      ~primary:(fun _ -> "primary")
+      ~hedge:(fun _ -> "hedge")
+      ()
+  in
+  check Alcotest.string "primary's answer" "primary" o.Hedge.value;
+  check Alcotest.bool "primary won" true (o.Hedge.winner = Hedge.Primary);
+  check Alcotest.bool "hedge never fired" false o.Hedge.fired
+
+let hedge_fires_and_wins () =
+  let budgets = ref [] in
+  let make_budget () =
+    let b = Budget.create () in
+    budgets := !budgets @ [ b ];
+    b
+  in
+  let o =
+    Hedge.run ~clock:(fun () -> 0.) ~sleep:no_sleep ~make_budget ~spawn:run_now
+      ~delay_ms:0.
+      ~primary:(fun _ -> "primary")
+      ~hedge:(fun _ -> "hedge")
+      ()
+  in
+  check Alcotest.string "hedge answered first" "hedge" o.Hedge.value;
+  check Alcotest.bool "hedge won" true (o.Hedge.winner = Hedge.Hedge);
+  check Alcotest.bool "fired" true o.Hedge.fired;
+  match !budgets with
+  | [ primary; hedge ] ->
+      check Alcotest.bool "loser's budget cancelled" false (Budget.alive primary);
+      check Alcotest.bool "winner's budget lives" true (Budget.alive hedge)
+  | bs -> Alcotest.failf "expected two budgets, got %d" (List.length bs)
+
+let hedge_covers_primary_failure () =
+  let o =
+    Hedge.run ~clock:(fun () -> 0.) ~sleep:no_sleep ~spawn:run_now ~delay_ms:0.
+      ~primary:(fun _ -> failwith "primary down")
+      ~hedge:(fun _ -> "hedge")
+      ()
+  in
+  check Alcotest.string "hedge rescued the request" "hedge" o.Hedge.value
+
+let hedge_failure_never_preempts () =
+  let o =
+    Hedge.run ~clock:(fun () -> 0.) ~sleep:no_sleep ~spawn:run_now ~delay_ms:0.
+      ~primary:(fun _ -> "primary")
+      ~hedge:(fun _ -> failwith "hedge down")
+      ()
+  in
+  check Alcotest.string "primary survives a failed hedge" "primary"
+    o.Hedge.value;
+  check Alcotest.bool "hedge was fired" true o.Hedge.fired;
+  check Alcotest.bool "primary won" true (o.Hedge.winner = Hedge.Primary)
+
+let hedge_both_fail_raises_primary () =
+  (match
+     Hedge.run ~clock:(fun () -> 0.) ~sleep:no_sleep ~spawn:run_now ~delay_ms:0.
+       ~primary:(fun _ -> failwith "primary down")
+       ~hedge:(fun _ -> failwith "hedge down")
+       ()
+   with
+  | (_ : string Hedge.outcome) ->
+      Alcotest.fail "both attempts failed yet run returned"
+  | exception Failure msg ->
+      check Alcotest.string "the primary's error surfaces" "primary down" msg);
+  (* a queued-but-never-started hedge is revoked, not waited on *)
+  match
+    Hedge.run ~clock:(fun () -> 0.) ~sleep:no_sleep ~spawn:drop ~delay_ms:0.
+      ~primary:(fun _ -> failwith "primary down")
+      ~hedge:(fun _ -> "hedge")
+      ()
+  with
+  | (_ : string Hedge.outcome) -> Alcotest.fail "expected the primary's error"
+  | exception Failure msg -> check Alcotest.string "raises" "primary down" msg
+
+let hedge_unlimited_budget_ok () =
+  (* Budget.unlimited refuses cancellation; the loser-kill is skipped. *)
+  let o =
+    Hedge.run ~clock:(fun () -> 0.) ~sleep:no_sleep
+      ~make_budget:(fun () -> Budget.unlimited)
+      ~spawn:run_now ~delay_ms:0.
+      ~primary:(fun _ -> "primary")
+      ~hedge:(fun _ -> "hedge")
+      ()
+  in
+  check Alcotest.string "uncancellable budgets tolerated" "hedge" o.Hedge.value
+
 let suite =
   [
     ( "resilience.budget",
@@ -470,5 +749,31 @@ let suite =
         tc "deadlines degrade and time out" `Quick service_deadlines;
         tc "overload rejects, service recovers" `Quick overload_rejects;
         tc "fault spec parsing" `Quick fault_spec_parsing;
+      ] );
+    ( "resilience.retry",
+      [
+        tc "transient/permanent classification" `Quick retry_classification;
+        tc "backoff growth and exhaustion" `Quick retry_backoff_growth;
+      ] );
+    ( "resilience.health",
+      [
+        tc "rolling window" `Quick health_window;
+        tc "routing score ordering" `Quick health_score_orders;
+      ] );
+    ( "resilience.breaker",
+      [
+        tc "trips, cools down, recovers" `Quick breaker_trips_and_recovers;
+        tc "probe failure re-opens" `Quick breaker_probe_failure_reopens;
+        tc "consecutive failures only" `Quick breaker_consecutive_only;
+      ] );
+    ( "resilience.hedge",
+      [
+        tc "primary wins on a saturated pool" `Quick hedge_primary_wins;
+        tc "hedge fires and wins" `Quick hedge_fires_and_wins;
+        tc "hedge covers a failed primary" `Quick hedge_covers_primary_failure;
+        tc "hedge failure never preempts" `Quick hedge_failure_never_preempts;
+        tc "both failing raises the primary's error" `Quick
+          hedge_both_fail_raises_primary;
+        tc "unlimited budgets tolerated" `Quick hedge_unlimited_budget_ok;
       ] );
   ]

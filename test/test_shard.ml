@@ -366,7 +366,9 @@ let shard_io_failures () =
          media corruption survives every retry. *)
       flip_last_byte (Xk_index.Shard_io.segment_path path ~shard:1);
       (match Xk_index.Shard_io.load_result doc path with
-      | Error (Xk_index.Shard_io.Shard { shard = 1; error = Corrupted _; _ }) ->
+      | Error
+          (Xk_index.Shard_io.Shard
+            { shard = 1; failures = [ (_, { error = Corrupted _; _ }) ] }) ->
           ()
       | Error e ->
           Alcotest.failf "corrupt segment: wrong error %s"
@@ -385,7 +387,9 @@ let shard_io_failures () =
       Xk_index.Shard_io.save sharded path;
       Sys.remove (Xk_index.Shard_io.segment_path path ~shard:2);
       (match Xk_index.Shard_io.load_result doc path with
-      | Error (Xk_index.Shard_io.Shard { shard = 2; error = Io_failed _; _ }) ->
+      | Error
+          (Xk_index.Shard_io.Shard
+            { shard = 2; failures = [ (_, { error = Io_failed _; _ }) ] }) ->
           ()
       | Error e ->
           Alcotest.failf "missing segment: wrong error %s"
@@ -398,11 +402,121 @@ let shard_io_failures () =
       check Alcotest.bool "garbage is not a manifest" false
         (Xk_index.Shard_io.is_manifest path);
       match Xk_index.Shard_io.load_result doc path with
-      | Error (Xk_index.Shard_io.Manifest (Corrupted _)) -> ()
+      | Error (Xk_index.Shard_io.Manifest { error = Corrupted _; _ }) -> ()
       | Error e ->
           Alcotest.failf "garbage manifest: wrong error %s"
             (Xk_index.Shard_io.error_message e)
       | Ok _ -> Alcotest.fail "garbage manifest loaded")
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Replicated segments: save writes N verified copies per shard, the
+   loader falls back across them, and a shard is lost only when every
+   copy fails. *)
+let shard_io_replicas () =
+  let doc = Tutil.random_doc 404 in
+  let sharded = Xk_index.Sharding.partition ~shards:3 doc in
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "corpus.shards" in
+      Xk_index.Shard_io.save ~replicas:2 sharded path;
+      (* The manifest records a [shard][replica] grid and every file in
+         it exists; replica 0 is the primary segment path. *)
+      let files =
+        match Xk_index.Shard_io.replica_files path with
+        | Ok files -> files
+        | Error e ->
+            Alcotest.failf "replica_files: %s"
+              (Xk_index.Shard_io.error_message e)
+      in
+      check Alcotest.int "one replica row per shard" 3 (Array.length files);
+      Array.iteri
+        (fun s row ->
+          check Alcotest.int "two replicas per shard" 2 (Array.length row);
+          check Alcotest.string "replica 0 is the primary segment"
+            (Xk_index.Shard_io.segment_path path ~shard:s)
+            row.(0);
+          check Alcotest.string "replica 1 carries the rN infix"
+            (Xk_index.Shard_io.replica_path path ~shard:s ~replica:1)
+            row.(1);
+          Array.iter
+            (fun f -> check Alcotest.bool "replica file exists" true
+                (Sys.file_exists f))
+            row)
+        files;
+      (* Losing one copy is invisible: corrupt the primary of shard 1
+         and the loader serves from replica 1. *)
+      flip_last_byte files.(1).(0);
+      (match Xk_index.Shard_io.load_result doc path with
+      | Ok reloaded ->
+          check Alcotest.(array int) "fallback load keeps the assignment"
+            (Xk_index.Sharding.assignment sharded)
+            (Xk_index.Sharding.assignment reloaded)
+      | Error e ->
+          Alcotest.failf "one corrupt replica should fall back: %s"
+            (Xk_index.Shard_io.error_message e));
+      (* Losing every copy is a typed per-shard error carrying each
+         replica's failure: corrupt the survivor too. *)
+      flip_last_byte files.(1).(1);
+      (match Xk_index.Shard_io.load_result doc path with
+      | Error
+          (Xk_index.Shard_io.Shard
+            {
+              shard = 1;
+              failures =
+                [ (_, { error = Corrupted _; _ }); (_, { error = Corrupted _; _ }) ];
+            }) ->
+          ()
+      | Error e ->
+          Alcotest.failf "all replicas corrupt: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "shard with no clean replica loaded");
+      (* Removed copies classify as IO failures, one entry per file. *)
+      Sys.remove files.(1).(0);
+      Sys.remove files.(1).(1);
+      (match Xk_index.Shard_io.load_result doc path with
+      | Error
+          (Xk_index.Shard_io.Shard
+            {
+              shard = 1;
+              failures =
+                [ (_, { error = Io_failed _; _ }); (_, { error = Io_failed _; _ }) ];
+            }) ->
+          ()
+      | Error e ->
+          Alcotest.failf "all replicas missing: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "shard with no replica files loaded");
+      (* A copy that lands damaged surfaces at save time, not at
+         failover time: persistent read corruption on one replica path
+         defeats the post-save verification no matter the retries. *)
+      let path2 = Filename.concat dir "damaged.shards" in
+      Xk_resilience.Fault_injection.mark_corrupt
+        ~path:(Xk_index.Shard_io.replica_path path2 ~shard:0 ~replica:1);
+      Fun.protect ~finally:Xk_resilience.Fault_injection.reset (fun () ->
+          match Xk_index.Shard_io.save ~replicas:2 sharded path2 with
+          | () -> Alcotest.fail "save verified a damaged replica"
+          | exception Xk_index.Shard_io.Verify_failed msg ->
+              check Alcotest.bool "verify error names the replica" true
+                (contains msg ".r1.seg"));
+      (* A legacy v1 manifest is typed corruption telling the operator
+         to rebuild, not a crash. *)
+      let legacy = Filename.concat dir "legacy.shards" in
+      let oc = open_out_bin legacy in
+      output_string oc "XKSHM001";
+      close_out oc;
+      check Alcotest.bool "legacy magic still sniffs as manifest" true
+        (Xk_index.Shard_io.is_manifest legacy);
+      match Xk_index.Shard_io.load_result doc legacy with
+      | Error (Xk_index.Shard_io.Manifest { error = Corrupted msg; _ }) ->
+          check Alcotest.bool "legacy error says to rebuild" true
+            (contains msg "legacy")
+      | Error e ->
+          Alcotest.failf "legacy manifest: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "legacy manifest loaded")
 
 (* --- Aggregated stats ------------------------------------------------- *)
 
@@ -506,5 +620,6 @@ let suite =
       [
         tc "manifest + segments round-trip" `Quick shard_io_roundtrip;
         tc "typed per-shard failures" `Quick shard_io_failures;
+        tc "replica fallback and loss" `Quick shard_io_replicas;
       ] );
   ]

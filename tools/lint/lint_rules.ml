@@ -1,4 +1,4 @@
-(* The four invariants, checked over ppxlib's parsetree (so the same
+(* The five invariants, checked over ppxlib's parsetree (so the same
    source parses on every compiler in the CI matrix):
 
    - [budget-loop]: in the algorithm layers ([lib/core], [lib/baselines])
@@ -19,6 +19,11 @@
      bare [assert false] (use [Err.unreachable] with context), no
      partial stdlib calls ([List.hd]/[List.tl]/[Option.get]) and no
      [Array.unsafe_*] in [lib/].
+   - [blocking-io-under-lock]: the body handed to [Sync.with_lock] or
+     [Sync.Protected.with_] must not call [Unix.*]/[In_channel.*]/
+     [Out_channel.*] - a sleep, read or write under the lock stalls
+     every domain contending for it.  Decide under the lock, perform
+     the IO outside (the pattern Chaos/Fault_injection follow).
 
    Any finding can be waived in place with [[@xklint.allow <rule>]] on
    an enclosing expression or binding, [[@@@xklint.allow <rule>]] for a
@@ -30,6 +35,7 @@ let rule_budget = "budget-loop"
 let rule_lock = "bare-lock"
 let rule_state = "shared-state"
 let rule_error = "typed-error"
+let rule_lock_io = "blocking-io-under-lock"
 
 type ctx = {
   file : string;
@@ -186,6 +192,44 @@ let scan_toplevel_state ~on_hit =
 
 let locked_idents = [ "Mutex.lock"; "Mutex.unlock"; "Mutex.try_lock" ]
 
+(* Application heads whose function argument runs with a lock held. *)
+let lock_wrappers =
+  [
+    "Sync.with_lock";
+    "Xk_util.Sync.with_lock";
+    "with_lock";
+    "Sync.Protected.with_";
+    "Xk_util.Sync.Protected.with_";
+    "Protected.with_";
+  ]
+
+let blocking_prefixes = [ "Unix."; "In_channel."; "Out_channel." ]
+
+(* Blocking-call scan over a critical-section body.  A nested lock
+   wrapper is skipped here: the outer traversal visits it on its own
+   and opens a fresh scan, so each call site reports exactly once. *)
+let scan_blocking_io ~on_hit =
+  object
+    inherit Ast_traverse.iter as super
+
+    method! expression e =
+      let allows = allows_of_attributes e.pexp_attributes in
+      if List.mem rule_lock_io allows || List.mem "*" allows then ()
+      else
+        match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+          when List.mem (strip_stdlib (ident_path txt)) lock_wrappers ->
+            ()
+        | Pexp_ident { txt; _ } ->
+            let path = strip_stdlib (ident_path txt) in
+            if
+              List.exists
+                (fun p -> String.starts_with ~prefix:p path)
+                blocking_prefixes
+            then on_hit e.pexp_loc path
+        | _ -> super#expression e
+  end
+
 let partial_msg = function
   | ("List.hd" | "List.tl" | "Option.get") as p ->
       Some (Printf.sprintf "partial call '%s'; match on the shape instead" p)
@@ -305,6 +349,22 @@ class linter ctx =
                  "while loop in '%s' never polls Budget.check/alive; poll the \
                   request budget each iteration (or allowlist a pure helper)"
                  (enclosing_fn ctx))
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+        when ctx.check_lib
+             && List.mem (strip_stdlib (ident_path txt)) lock_wrappers ->
+          let wrapper = strip_stdlib (ident_path txt) in
+          let fn = enclosing_fn ctx in
+          List.iter
+            (fun ((_, arg) : arg_label * expression) ->
+              (scan_blocking_io ~on_hit:(fun loc path ->
+                   report ctx ~loc ~rule:rule_lock_io ~name:path
+                     (Printf.sprintf
+                        "blocking call '%s' inside a '%s' critical section \
+                         (in '%s'); decide under the lock, perform the IO \
+                         outside it"
+                        path wrapper fn)))
+                #expression arg)
+            args
       | Pexp_let (Recursive, vbs, _) -> self#check_rec_bindings vbs
       | _ -> ());
       super#expression e;
