@@ -52,6 +52,24 @@ let load_sharded ?index_file ~shards path =
     (Unix.gettimeofday () -. t0);
   sharded
 
+(* The endpoint grid for --remote: every replica of the manifest must
+   carry a recorded (host, port). *)
+let remote_endpoints ~index_file =
+  match index_file with
+  | None -> failwith "--remote needs --index MANIFEST (with recorded endpoints)"
+  | Some p -> (
+      match Xk_index.Shard_io.endpoints p with
+      | Error e -> failwith (Xk_index.Shard_io.error_message e)
+      | Ok eps ->
+          Array.map
+            (Array.map (function
+              | Some hp -> hp
+              | None ->
+                  failwith
+                    "--remote: the manifest has replicas without endpoints \
+                     (rebuild with `xkq index --shards --rpc-base-port`)"))
+            eps)
+
 (* ------------------------------------------------------------------ *)
 
 let generate dataset scale out =
@@ -78,8 +96,10 @@ let generate_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let index_doc path out shards replicas =
+let index_doc path out shards replicas rpc_host rpc_base_port =
   if shards <= 1 then begin
+    if rpc_base_port <> None then
+      failwith "--rpc-base-port needs --shards (endpoints live in the manifest)";
     let eng = load_engine path in
     Xk_index.Index_io.save (Xk_core.Engine.index eng) out;
     Printf.printf "wrote %s (%.2f MB)\n" out
@@ -87,7 +107,17 @@ let index_doc path out shards replicas =
   end
   else begin
     let sharded = load_sharded ~shards path in
-    Xk_index.Shard_io.save ~replicas sharded out;
+    (* Endpoint layout mirrors the fleet bring-up loop: shard s replica
+       r serves on base + s*replicas + r. *)
+    let endpoints =
+      Option.map
+        (fun base ->
+          Array.init (Xk_index.Sharding.count sharded) (fun s ->
+              Array.init replicas (fun r ->
+                  (rpc_host, base + (s * replicas) + r))))
+        rpc_base_port
+    in
+    Xk_index.Shard_io.save ~replicas ?endpoints sharded out;
     let mb b = float_of_int b /. 1048576. in
     let total = ref (Xk_index.Index_io.file_size out) in
     Printf.printf "wrote %s (manifest, %d shards x %d replica(s))\n" out
@@ -138,9 +168,29 @@ let index_cmd =
              copies per shard; loaders fall back across copies on \
              corruption or IO failure.")
   in
+  let rpc_host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "rpc-host" ]
+          ~doc:"With $(b,--rpc-base-port), the host recorded per endpoint.")
+  in
+  let rpc_base_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rpc-base-port" ]
+          ~doc:
+            "Record a serving endpoint per replica in the manifest: shard S \
+             replica R gets port BASE + S*replicas + R on $(b,--rpc-host).  \
+             `xkq batch --remote` dials these; `xkq serve-shard` binds \
+             them.")
+  in
   Cmd.v
     (Cmd.info "index" ~doc:"Build and save an index for an XML file.")
-    Term.(const index_doc $ path $ out $ shards $ replicas)
+    Term.(
+      const index_doc $ path $ out $ shards $ replicas $ rpc_host
+      $ rpc_base_port)
 
 (* ------------------------------------------------------------------ *)
 
@@ -189,8 +239,10 @@ let request_of words semantics algo top topk_algo =
   | None -> Xk_core.Engine.complete_request ~semantics ~algorithm:algo words
 
 let search path words semantics algo top topk_algo limit index_file explain
-    shards replicas =
+    shards replicas remote =
   if words = [] then failwith "no query keywords given";
+  if remote && shards = None then
+    failwith "--remote serves shards; add --shards N and --index MANIFEST";
   match shards with
   | None ->
       let eng = load_engine ?index_file path in
@@ -208,7 +260,10 @@ let search path words semantics algo top topk_algo limit index_file explain
       print_hits eng words explain hits limit
   | Some n ->
       let sharded = load_sharded ?index_file ~shards:n path in
-      let sx = Xk_exec.Shard_exec.create ~replicas sharded in
+      let endpoints =
+        if remote then Some (remote_endpoints ~index_file) else None
+      in
+      let sx = Xk_exec.Shard_exec.create ~replicas ?endpoints sharded in
       let req = request_of words semantics algo top topk_algo in
       let t0 = Unix.gettimeofday () in
       let outcome = Xk_exec.Shard_exec.exec sx req in
@@ -290,11 +345,20 @@ let search_cmd =
       & info [ "replicas" ]
           ~doc:"With $(b,--shards), serving replicas per shard.")
   in
+  let remote =
+    Arg.(
+      value & flag
+      & info [ "remote" ]
+          ~doc:
+            "Serve shards from the `xkq serve-shard` fleet recorded in the \
+             manifest's endpoints instead of in-process engines (needs \
+             $(b,--shards) and $(b,--index)).")
+  in
   Cmd.v
     (Cmd.info "search" ~doc:"Run a keyword query against an XML file.")
     Term.(
       const search $ path $ words $ semantics $ algo $ top $ topk_algo $ limit
-      $ index_file $ explain $ shards $ replicas)
+      $ index_file $ explain $ shards $ replicas $ remote)
 
 (* ------------------------------------------------------------------ *)
 
@@ -418,7 +482,9 @@ let install_chaos ~index_file spec =
 
 let batch path queries_file semantics algo top topk_algo domains repeat gen
     gen_k seed check index_file deadline_ms max_queue faults shards replicas
-    hedge_ms chaos =
+    hedge_ms chaos remote =
+  if remote && shards = None then
+    failwith "--remote serves shards; add --shards N and --index MANIFEST";
   (match faults with
   | None -> ()
   | Some spec -> (
@@ -489,9 +555,12 @@ let batch path queries_file semantics algo top topk_algo domains repeat gen
           (fun words -> request_of words semantics algo top topk_algo)
           queries
       in
+      let endpoints =
+        if remote then Some (remote_endpoints ~index_file) else None
+      in
       let sx =
         Xk_exec.Shard_exec.create ~domains ?max_queue ~replicas
-          ?hedge_delay_ms:hedge_ms sharded
+          ?hedge_delay_ms:hedge_ms ?endpoints sharded
       in
       let n = List.length reqs in
       let wall, last =
@@ -662,8 +731,19 @@ let batch_cmd =
             "Deterministic chaos schedule, comma-separated events: \
              kill@sSrR:TICK (replica R of shard S is down from attempt \
              TICK), slow@sSrR:TICK:MS (added latency), corrupt@sSrR \
-             (replica segment corrupted on disk; needs $(b,--index)).  S/R \
-             accept * as a wildcard.  Requires $(b,--shards).")
+             (replica segment corrupted on disk; needs $(b,--index)), \
+             drop@sSrR:TICK (connections to that replica are refused; \
+             $(b,--remote) only).  S/R accept * as a wildcard.  Requires \
+             $(b,--shards).")
+  in
+  let remote =
+    Arg.(
+      value & flag
+      & info [ "remote" ]
+          ~doc:
+            "Serve shards from the `xkq serve-shard` fleet recorded in the \
+             manifest's endpoints instead of in-process engines (needs \
+             $(b,--shards) and $(b,--index)).")
   in
   Cmd.v
     (Cmd.info "batch"
@@ -680,7 +760,7 @@ let batch_cmd =
       const batch $ path $ queries_file $ semantics $ algo $ top $ topk_algo
       $ domains $ repeat $ gen $ gen_k $ seed $ check $ index_file
       $ deadline_ms $ max_queue $ faults $ shards $ replicas $ hedge_ms
-      $ chaos)
+      $ chaos $ remote)
 
 (* ------------------------------------------------------------------ *)
 
@@ -738,6 +818,91 @@ let terms_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* Long-lived shard server: load the manifest (the full manifest — per
+   shard scoring needs corpus-global statistics, so every shard's
+   dictionary must be present), then answer this one shard's queries
+   over the frame protocol until killed. *)
+let serve_shard path index_file shard replica port host chaos =
+  (match chaos with
+  | None -> ()
+  | Some spec -> install_chaos ~index_file:(Some index_file) spec);
+  let sharded = load_sharded ~index_file ~shards:1 path in
+  let server =
+    Xk_exec.Shard_server.create ~sharding:sharded ~shard ~replica
+  in
+  match Xk_exec.Shard_server.serve ~host ~port server with
+  | Error msg -> failwith (Printf.sprintf "serve-shard: %s" msg)
+  | Ok listener ->
+      (* Ephemeral ports (--port 0) are announced so a harness can
+         collect the bound address before sending traffic. *)
+      Printf.printf "serving shard %d replica %d on %s:%d\n%!" shard replica
+        (Xk_rpc.Server.host listener)
+        (Xk_rpc.Server.port listener);
+      Xk_rpc.Server.run listener
+        ~handler:(Xk_exec.Shard_server.dispatch server)
+
+let serve_shard_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let index_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "index" ]
+          ~doc:"Shard manifest (from `xkq index --shards`).")
+  in
+  let shard =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "shard" ] ~doc:"The shard this server answers for.")
+  in
+  let replica =
+    Arg.(
+      value & opt int 0
+      & info [ "replica" ]
+          ~doc:"This server's replica identity (chaos targeting).")
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ]
+          ~doc:"TCP port to bind; 0 picks an ephemeral port (announced).")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~doc:"Address to bind.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ]
+          ~doc:
+            "Chaos schedule applied server-side (same syntax as `xkq \
+             batch --chaos`); an armed kill@ closes connections without a \
+             reply.")
+  in
+  Cmd.v
+    (Cmd.info "serve-shard"
+       ~doc:"Serve one index shard over the binary RPC protocol."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Loads the shard manifest and answers per-shard query frames \
+              for one (shard, replica) identity until the process is \
+              killed.  A fleet of these — one per replica recorded in the \
+              manifest's endpoints — backs `xkq batch --remote` and `xkq \
+              search --remote`.";
+         ])
+    Term.(
+      const serve_shard $ path $ index_file $ shard $ replica $ port $ host
+      $ chaos)
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let info =
     Cmd.info "xkq" ~version:"1.0.0"
@@ -746,4 +911,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; index_cmd; search_cmd; batch_cmd; stats_cmd; terms_cmd ]))
+          [
+            generate_cmd;
+            index_cmd;
+            search_cmd;
+            batch_cmd;
+            serve_shard_cmd;
+            stats_cmd;
+            terms_cmd;
+          ]))

@@ -22,17 +22,18 @@
    point the gather degrades coverage instead of failing the query:
    the missing shard's upper bound is +inf (nothing can be confirmed
    against the full corpus), but the confirmed prefix over the
-   reachable shards is still sound for the reachable data. *)
+   reachable shards is still sound for the reachable data.
 
-type shard_result = {
+   Transports: a replica is either an in-process engine or a remote
+   shard server (Xk_rpc endpoint).  Both run the same Shard_run job —
+   the server re-executes it under a budget rebuilt from the request
+   frame — so routing, hedging, failover and gathering are transport
+   blind, and remote answers are bit-identical to local ones. *)
+
+type shard_result = Shard_run.result = {
   sr_summary : Xk_index.Sharding.root_summary option;
-      (* None: the budget expired before the summary finished *)
   sr_outcome : Xk_core.Engine.run_outcome;
-      (* hits in global numbering, shard-local root hits dropped *)
   sr_bound : float;
-      (* upper bound on the score of anything the shard did not confirm:
-         [neg_infinity] once a shard can no longer place a new hit in the
-         global top-K, [+inf] for a shard that reported nothing *)
 }
 
 type shard_status =
@@ -40,8 +41,12 @@ type shard_status =
   | Unreachable of { attempts : int }
       (* every replica of the shard failed; [attempts] were made *)
 
+type transport =
+  | Engine of Xk_core.Engine.t
+  | Endpoint of { host : string; port : int }
+
 type replica = {
-  rep_engine : Xk_core.Engine.t;
+  rep_transport : transport;
   rep_health : Xk_resilience.Health.t;
   rep_breaker : Xk_resilience.Circuit_breaker.t;
 }
@@ -68,9 +73,11 @@ type stats = {
 type t = {
   sharding : Xk_index.Sharding.t;
   reps : replica array array; (* [shard].(replica) *)
+  pres : Xk_core.Engine.t Lazy.t array; (* presentation engine per shard *)
   pool : Domain_pool.t;
   max_queue : int option;
   hedge_delay_ms : float option;
+  rpc_timeout_ms : float;
   clock : unit -> float;
   in_flight : int Atomic.t;
   batches : int Atomic.t;
@@ -89,7 +96,8 @@ type t = {
 let default_clock () = Unix.gettimeofday () *. 1000.0
 
 let create ?domains ?max_queue ?(replicas = 1) ?breaker
-    ?(clock = default_clock) ?hedge_delay_ms sharding =
+    ?(clock = default_clock) ?hedge_delay_ms ?endpoints
+    ?(rpc_timeout_ms = 5000.) sharding =
   (match max_queue with
   | Some m when m < 1 -> Xk_util.Err.invalid "Shard_exec.create: max_queue < 1"
   | _ -> ());
@@ -98,21 +106,47 @@ let create ?domains ?max_queue ?(replicas = 1) ?breaker
   | Some d when d < 0. ->
       Xk_util.Err.invalid "Shard_exec.create: hedge_delay_ms < 0"
   | _ -> ());
+  let shards = Xk_index.Sharding.count sharding in
+  (* With endpoints, the fleet shape comes from the manifest: one remote
+     replica per recorded (host, port), uniform across shards. *)
+  let replicas, transport_for =
+    match endpoints with
+    | None ->
+        ( replicas,
+          fun s _ ->
+            Engine (Xk_core.Engine.of_index (Xk_index.Sharding.index sharding s))
+        )
+    | Some (e : (string * int) array array) ->
+        if
+          Array.length e <> shards || shards = 0
+          || Array.length e.(0) < 1
+          || Array.exists (fun row -> Array.length row <> Array.length e.(0)) e
+        then
+          Xk_util.Err.invalid
+            "Shard_exec.create: endpoints shape must be shards x replicas";
+        ( Array.length e.(0),
+          fun s r ->
+            let host, port = e.(s).(r) in
+            Endpoint { host; port } )
+  in
   {
     sharding;
     reps =
-      Array.init (Xk_index.Sharding.count sharding) (fun s ->
-          Array.init replicas (fun _ ->
+      Array.init shards (fun s ->
+          Array.init replicas (fun r ->
               {
-                rep_engine =
-                  Xk_core.Engine.of_index (Xk_index.Sharding.index sharding s);
+                rep_transport = transport_for s r;
                 rep_health = Xk_resilience.Health.create ();
                 rep_breaker =
                   Xk_resilience.Circuit_breaker.create ?config:breaker ~clock ();
               }));
+    pres =
+      Array.init shards (fun s ->
+          lazy (Xk_core.Engine.of_index (Xk_index.Sharding.index sharding s)));
     pool = Domain_pool.create ?domains ();
     max_queue;
     hedge_delay_ms;
+    rpc_timeout_ms;
     clock;
     in_flight = Atomic.make 0;
     batches = Atomic.make 0;
@@ -129,9 +163,19 @@ let create ?domains ?max_queue ?(replicas = 1) ?breaker
   }
 
 let sharding t = t.sharding
-let engine t s = t.reps.(s).(0).rep_engine
+
+(* Presentation engines are built lazily from the locally loaded index:
+   with a remote transport, replica slots hold endpoints, not engines. *)
+let engine t s = Lazy.force t.pres.(s)
 let shard_count t = Array.length t.reps
 let replica_count t = Array.length t.reps.(0)
+
+let remote t =
+  Array.exists
+    (Array.exists (fun r ->
+         match r.rep_transport with Endpoint _ -> true | Engine _ -> false))
+    t.reps
+
 let domains t = Domain_pool.size t.pool
 
 let replica_health t ~shard ~replica =
@@ -140,10 +184,8 @@ let replica_health t ~shard ~replica =
 let breaker_state t ~shard ~replica =
   Xk_resilience.Circuit_breaker.state t.reps.(shard).(replica).rep_breaker
 
-(* The keyword positions of every root summary, and the summation order of
-   the root score: canonical terms, exactly the engine's plan order. *)
-let canonical_words words =
-  List.sort_uniq String.compare (List.map String.lowercase_ascii words)
+let canonical_words = Shard_run.canonical_words
+let is_anytime = Shard_run.is_anytime
 
 let admit t =
   let n = Atomic.fetch_and_add t.in_flight 1 in
@@ -155,76 +197,45 @@ let admit t =
 
 (* --- The per-shard job ------------------------------------------------ *)
 
-let is_anytime (r : Xk_core.Engine.request) =
-  match r.req_mode with
-  | Topk ((Topk_join | Hybrid), _) -> true
-  | Topk ((Complete_then_sort | Rdil_baseline), _) | Complete _ -> false
-
-let last_score hits =
-  match List.rev hits with [] -> infinity | (h : Xk_baselines.Hit.t) :: _ -> h.score
-
-(* One engine run over one replica's engine; exceptions (chaos kills,
-   injected faults, genuine bugs) propagate to the failover loop. *)
-let run_shard t engine ~shard ~budget ~words (req : Xk_core.Engine.request) =
-  (* The summary runs first under the same budget: gathering needs it to
-     reconstruct the root even when the query part only gets half-way. *)
-  match Xk_index.Sharding.root_summary ~budget t.sharding ~shard words with
-  | exception Xk_resilience.Budget.Expired ->
-      {
-        sr_summary = None;
-        sr_outcome = (if is_anytime req then Partial [] else Timed_out);
-        sr_bound = infinity;
-      }
-  | summary ->
-      let req' : Xk_core.Engine.request =
-        match req.req_mode with
-        | Topk (alg, k) ->
-            (* One extra slot: a shard-local root hit is dropped below, and
-               the re-derived global root can displace one deep hit. *)
-            { req with req_mode = Topk (alg, k + 1) }
-        | Complete _ -> req
-      in
-      let out = Xk_core.Engine.run_request_outcome ~budget engine req' in
-      (* The bound reflects what the shard did NOT confirm, so it is taken
-         before the root hit is dropped. *)
-      let bound =
-        match out with
-        | Done _ ->
-            (* Complete answer, or full local top-(K+1): anything unreturned
-               is dominated by K returned hits of this very shard, so it
-               cannot enter the global top-K. *)
-            neg_infinity
-        | Partial hs -> last_score hs
-        | Timed_out -> infinity
-      in
-      let globalize hs =
-        List.filter_map
-          (fun (h : Xk_baselines.Hit.t) ->
-            if h.node = 0 then None
-            else
-              Some
-                { h with node = Xk_index.Sharding.to_global t.sharding ~shard h.node })
-          hs
-      in
-      let out : Xk_core.Engine.run_outcome =
-        match out with
-        | Done hs -> Done (globalize hs)
-        | Partial hs -> Partial (globalize hs)
-        | Timed_out -> Timed_out
-      in
-      { sr_summary = Some summary; sr_outcome = out; sr_bound = bound }
+(* One attempt over the wire: the connection drill runs after the
+   attempt hooks, the remaining budget travels in the request frame, and
+   any transport or protocol failure surfaces as [Client.Rpc_failed] —
+   which the failover loop treats like any other replica exception. *)
+let remote_attempt t ~host ~port ~shard ~ri ~budget
+    (req : Xk_core.Engine.request) =
+  Xk_resilience.Chaos.on_connect ~shard ~replica:ri;
+  let q : Xk_rpc.Wire.query =
+    {
+      q_shard = shard;
+      q_words = req.req_words;
+      q_semantics = req.req_semantics;
+      q_mode = req.req_mode;
+      q_deadline_ms = Xk_resilience.Budget.remaining_ms budget;
+      q_ticks = Xk_resilience.Budget.ticks_left budget;
+    }
+  in
+  let s = Xk_rpc.Client.query ~timeout_ms:t.rpc_timeout_ms ~host ~port q in
+  {
+    sr_summary = s.Xk_rpc.Wire.s_summary;
+    sr_outcome = s.s_outcome;
+    sr_bound = s.s_bound;
+  }
 
 (* One attempt on one replica: chaos and fault hooks first, then the
-   engine run; health and breaker record the outcome either way.  A
-   budget-bounded run that merely times out still {e served} — only an
-   exception is a replica failure. *)
+   engine run (in-process or over the wire); health and breaker record
+   the outcome either way.  A budget-bounded run that merely times out
+   still {e served} — only an exception is a replica failure. *)
 let attempt_replica t ~shard ~ri ~budget ~words req =
   let rep = t.reps.(shard).(ri) in
   let start = t.clock () in
   match
     Xk_resilience.Chaos.on_attempt ~shard ~replica:ri;
     Xk_resilience.Fault_injection.on_query ();
-    run_shard t rep.rep_engine ~shard ~budget ~words req
+    match rep.rep_transport with
+    | Engine engine ->
+        Shard_run.run ~sharding:t.sharding ~engine ~shard ~budget ~words req
+    | Endpoint { host; port } ->
+        remote_attempt t ~host ~port ~shard ~ri ~budget req
   with
   | r ->
       Xk_resilience.Health.record rep.rep_health ~ok:true

@@ -44,7 +44,23 @@
     exact score needs every shard's summary).  [Failed] remains only
     for errors outside replica serving.  Admission control bounds
     in-flight {e requests} (not shard jobs), mirroring
-    {!Query_service}. *)
+    {!Query_service}.
+
+    {2 Transports}
+
+    A replica is either an in-process engine over the shard's index or
+    a remote shard server ([xkq serve-shard]) addressed by an
+    [endpoints] (host, port) grid — typically read back from the v3
+    manifest ({!Xk_index.Shard_io.endpoints}).  Remote attempts send
+    the request — with the budget's {e remaining} deadline and tick
+    allowance — over the {!Xk_rpc} frame protocol; the server re-runs
+    the identical {!Shard_run} job, so remote answers are bit-identical
+    to local ones.  Connection failures, malformed frames and remote
+    refusals raise inside the attempt like any replica fault: health
+    and breaker record them, and the job fails over to the next
+    replica.  When every replica of a shard is unreachable the query
+    degrades exactly as above — the +inf bound rule is transport
+    blind. *)
 
 type t
 
@@ -55,6 +71,8 @@ val create :
   ?breaker:Xk_resilience.Circuit_breaker.config ->
   ?clock:(unit -> float) ->
   ?hedge_delay_ms:float ->
+  ?endpoints:(string * int) array array ->
+  ?rpc_timeout_ms:float ->
   Xk_index.Sharding.t ->
   t
 (** Wrap a sharded index: [replicas] (default 1) engines per shard, one
@@ -63,13 +81,25 @@ val create :
     replica's circuit breaker; [clock] (ms, injectable for tests) feeds
     breakers, health latency, and deadline anchoring; [hedge_delay_ms]
     enables hedged attempts once a replica has been slower than this
-    for a given shard job (absent: hedging off).  Raises
-    [Invalid_argument] on [max_queue < 1], [replicas < 1] or a negative
-    hedge delay. *)
+    for a given shard job (absent: hedging off).
+
+    [endpoints] switches every replica to the remote transport: slot
+    [(s, r)] dials [endpoints.(s).(r)] instead of running an in-process
+    engine, and the replica count comes from the grid's (uniform) row
+    length, overriding [replicas].  [rpc_timeout_ms] (default 5000)
+    bounds unbudgeted remote attempts so a wedged server fails over
+    rather than hanging a shard job.  Raises [Invalid_argument] on
+    [max_queue < 1], [replicas < 1], a negative hedge delay, or a
+    mis-shaped endpoint grid. *)
 
 val sharding : t -> Xk_index.Sharding.t
 val engine : t -> int -> Xk_core.Engine.t
-(** Replica 0's engine for the shard — presentation helpers only. *)
+(** A presentation engine for the shard, built lazily from the locally
+    loaded index (replica slots may be remote and hold no engine) —
+    presentation helpers only. *)
+
+val remote : t -> bool
+(** Whether any replica uses the remote transport. *)
 
 val shard_count : t -> int
 val replica_count : t -> int

@@ -1,0 +1,72 @@
+(* The per-shard job, factored out of the scatter/gather so the RPC
+   shard server runs the identical code path — remote parity with the
+   in-process run is by construction, not by re-implementation. *)
+
+type result = {
+  sr_summary : Xk_index.Sharding.root_summary option;
+  sr_outcome : Xk_core.Engine.run_outcome;
+  sr_bound : float;
+}
+
+let canonical_words words =
+  List.sort_uniq String.compare (List.map String.lowercase_ascii words)
+
+let is_anytime (r : Xk_core.Engine.request) =
+  match r.req_mode with
+  | Topk ((Topk_join | Hybrid), _) -> true
+  | Topk ((Complete_then_sort | Rdil_baseline), _) | Complete _ -> false
+
+let last_score hits =
+  match List.rev hits with
+  | [] -> infinity
+  | (h : Xk_baselines.Hit.t) :: _ -> h.score
+
+let run ~sharding ~engine ~shard ~budget ~words (req : Xk_core.Engine.request)
+    =
+  (* The summary runs first under the same budget: gathering needs it to
+     reconstruct the root even when the query part only gets half-way. *)
+  match Xk_index.Sharding.root_summary ~budget sharding ~shard words with
+  | exception Xk_resilience.Budget.Expired ->
+      {
+        sr_summary = None;
+        sr_outcome = (if is_anytime req then Partial [] else Timed_out);
+        sr_bound = infinity;
+      }
+  | summary ->
+      let req' : Xk_core.Engine.request =
+        match req.req_mode with
+        | Topk (alg, k) ->
+            (* One extra slot: a shard-local root hit is dropped below, and
+               the re-derived global root can displace one deep hit. *)
+            { req with req_mode = Topk (alg, k + 1) }
+        | Complete _ -> req
+      in
+      let out = Xk_core.Engine.run_request_outcome ~budget engine req' in
+      (* The bound reflects what the shard did NOT confirm, so it is taken
+         before the root hit is dropped. *)
+      let bound =
+        match out with
+        | Done _ ->
+            (* Complete answer, or full local top-(K+1): anything unreturned
+               is dominated by K returned hits of this very shard, so it
+               cannot enter the global top-K. *)
+            neg_infinity
+        | Partial hs -> last_score hs
+        | Timed_out -> infinity
+      in
+      let globalize hs =
+        List.filter_map
+          (fun (h : Xk_baselines.Hit.t) ->
+            if h.node = 0 then None
+            else
+              Some
+                { h with node = Xk_index.Sharding.to_global sharding ~shard h.node })
+          hs
+      in
+      let out : Xk_core.Engine.run_outcome =
+        match out with
+        | Done hs -> Done (globalize hs)
+        | Partial hs -> Partial (globalize hs)
+        | Timed_out -> Timed_out
+      in
+      { sr_summary = Some summary; sr_outcome = out; sr_bound = bound }

@@ -1,0 +1,44 @@
+(** The per-shard unit of work, shared by every transport: the local
+    scatter/gather in {!Shard_exec} and the RPC {!Shard_server} both run
+    exactly this job, which is what makes remote serving bit-identical
+    to in-process serving.
+
+    One run evaluates a request against one shard's engine under a
+    budget: root summary first (the gather needs it to reconstruct the
+    root even from a half-finished shard), then the budget-aware engine
+    with one extra top-K slot, then the shard's confirmation bound and
+    the translation of hit nodes to global numbering. *)
+
+type result = {
+  sr_summary : Xk_index.Sharding.root_summary option;
+      (** [None]: the budget expired before the summary finished *)
+  sr_outcome : Xk_core.Engine.run_outcome;
+      (** hits in global numbering, shard-local root hits dropped *)
+  sr_bound : float;
+      (** upper bound on the score of anything the shard did not
+          confirm: [neg_infinity] once a shard can no longer place a new
+          hit in the global top-K, [+inf] for a shard that reported
+          nothing *)
+}
+
+val canonical_words : string list -> string list
+(** The keyword positions of every root summary, and the summation
+    order of the root score: canonical terms, exactly the engine's plan
+    order. *)
+
+val is_anytime : Xk_core.Engine.request -> bool
+(** Whether the request's mode degrades to a confirmed [Partial] prefix
+    on budget expiry rather than [Timed_out]. *)
+
+val run :
+  sharding:Xk_index.Sharding.t ->
+  engine:Xk_core.Engine.t ->
+  shard:int ->
+  budget:Xk_resilience.Budget.t ->
+  words:string list ->
+  Xk_core.Engine.request ->
+  result
+(** One engine run over one replica's engine; [words] must be
+    {!canonical_words} of the request.  Exceptions (chaos kills,
+    injected faults, genuine bugs) propagate to the caller's failover
+    loop. *)

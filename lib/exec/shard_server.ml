@@ -1,0 +1,80 @@
+(* One shard replica behind the RPC frame protocol.  The query path is
+   the same [Shard_run] job the in-process transport runs, under a
+   budget rebuilt from the request frame — so remote answers are
+   bit-identical to local ones, stragglers included. *)
+
+type t = {
+  sharding : Xk_index.Sharding.t;
+  engine : Xk_core.Engine.t;
+  shard : int;
+  replica : int;
+}
+
+let create ~sharding ~shard ~replica =
+  if shard < 0 || shard >= Xk_index.Sharding.count sharding then
+    Xk_util.Err.invalid "Shard_server.create: shard out of range";
+  {
+    sharding;
+    engine = Xk_core.Engine.of_index (Xk_index.Sharding.index sharding shard);
+    shard;
+    replica;
+  }
+
+(* The budget is rebuilt from what the caller had left at send time:
+   the remote run works against the caller's deadline, not a fresh
+   one, so deadline-driven degradation is preserved across the hop. *)
+let handle_query t (q : Xk_rpc.Wire.query) : Xk_rpc.Wire.reply =
+  if q.q_shard <> t.shard then
+    Refused
+      (Printf.sprintf "this server serves shard %d, not %d" t.shard q.q_shard)
+  else
+    let budget =
+      if q.q_deadline_ms = None && q.q_ticks = None then
+        Xk_resilience.Budget.unlimited
+      else
+        Xk_resilience.Budget.create ?deadline_ms:q.q_deadline_ms
+          ?ticks:q.q_ticks ()
+    in
+    let req : Xk_core.Engine.request =
+      {
+        req_words = q.q_words;
+        req_semantics = q.q_semantics;
+        req_mode = q.q_mode;
+        req_deadline_ms = q.q_deadline_ms;
+      }
+    in
+    let words = Shard_run.canonical_words q.q_words in
+    match
+      Shard_run.run ~sharding:t.sharding ~engine:t.engine ~shard:t.shard
+        ~budget ~words req
+    with
+    | r ->
+        Served
+          {
+            s_summary = r.sr_summary;
+            s_outcome = r.sr_outcome;
+            s_bound = r.sr_bound;
+          }
+    | exception (Xk_resilience.Chaos.Killed _ as e) -> raise e
+    | exception e -> Refused (Printexc.to_string e)
+
+let dispatch t (kind : Xk_rpc.Frame.kind) payload =
+  match kind with
+  | Ping -> Some (Xk_rpc.Frame.Pong, "")
+  | Query -> (
+      match
+        (* An armed kill drops the connection before any work — on the
+           wire this is the process dying mid-request. *)
+        Xk_resilience.Chaos.on_attempt ~shard:t.shard ~replica:t.replica;
+        match Xk_rpc.Wire.decode_query payload with
+        | Error e -> Xk_rpc.Wire.Refused (Xk_rpc.Frame.error_message e)
+        | Ok q -> handle_query t q
+      with
+      | reply -> Some (Xk_rpc.Frame.Reply, Xk_rpc.Wire.encode_reply reply)
+      | exception Xk_resilience.Chaos.Killed _ -> None)
+  | Pong | Reply ->
+      Some
+        ( Xk_rpc.Frame.Reply,
+          Xk_rpc.Wire.encode_reply (Refused "unexpected frame kind") )
+
+let serve ?host ~port _t = Xk_rpc.Server.create ?host ~port ()

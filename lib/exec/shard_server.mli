@@ -1,0 +1,44 @@
+(** The server side of remote shard serving: a {!Shard_run} job behind
+    the {!Xk_rpc} frame protocol.
+
+    A shard server wraps a fully loaded sharded index (scoring uses
+    corpus-global statistics, so every shard's dictionary must be
+    present) but serves queries for exactly one [(shard, replica)]
+    identity.  {!handle_query} rebuilds a fresh
+    {!Xk_resilience.Budget.t} from the deadline and tick allowance
+    propagated in the request — a remote shard degrades to a confirmed
+    [Partial] prefix under the caller's budget exactly like an
+    in-process one.
+
+    Chaos: when a schedule is installed in the server process,
+    {!Xk_resilience.Chaos.on_attempt} runs before each query with the
+    server's own identity; an armed kill closes the connection without a
+    reply — on the wire, indistinguishable from the process dying.  Any
+    other handler exception answers [Refused], which the client treats
+    as a replica failure and fails over. *)
+
+type t
+
+val create : sharding:Xk_index.Sharding.t -> shard:int -> replica:int -> t
+(** A server identity over a loaded index.  Raises [Invalid_argument]
+    when [shard] is out of range. *)
+
+val handle_query : t -> Xk_rpc.Wire.query -> Xk_rpc.Wire.reply
+(** Serve one decoded query: checks the request targets this server's
+    shard, threads a {!Xk_resilience.Budget.t} rebuilt from the
+    request's remaining deadline / ticks through the {!Shard_run} job,
+    and never lets an exception escape — failures become [Refused]. *)
+
+val dispatch :
+  t -> Xk_rpc.Frame.kind -> string -> (Xk_rpc.Frame.kind * string) option
+(** The frame-level handler for {!Xk_rpc.Server.run}: [Ping] answers
+    [Pong], [Query] decodes and runs {!handle_query} (undecodable
+    payloads answer [Refused] with the typed frame error's message), an
+    armed chaos kill returns [None] (abrupt close).  Unexpected kinds
+    answer [Refused]. *)
+
+val serve : ?host:string -> port:int -> t -> (Xk_rpc.Server.t, string) result
+(** Bind a listener for this server ([port = 0] picks an ephemeral
+    one).  The caller drives it: [Xk_rpc.Server.run listener
+    ~handler:(dispatch t)], and [Xk_rpc.Server.stop] from another
+    domain to shut down. *)

@@ -1,11 +1,14 @@
 (* Sharded-index persistence: a small checksummed manifest that records
    the partition, next to N Index_io segment replicas per shard.
 
-   Manifest layout (version 2):  magic "XKSHM002" | version varint |
+   Manifest layout (version 3):  magic "XKSHM003" | version varint |
    payload-length varint | payload CRC-32 varint | payload.  The payload
    is the shard count, the subtree count, the assignment array, then per
-   shard a replica count followed by that many segment basenames.  Node
-   data lives only in the per-shard segments; reloading re-derives the
+   shard a replica count followed by, per replica, the segment basename
+   and an optional serving endpoint (presence flag, then host bytes and
+   a port varint).  Version 2 manifests (no endpoints) still load; v1
+   (no replica lists at all) is refused with a rebuild hint.  Node data
+   lives only in the per-shard segments; reloading re-derives the
    sub-documents from the corpus and the stored assignment, so a
    manifest stays valid for exactly the document it was built from
    (per-shard node-count checks enforce that).
@@ -15,9 +18,11 @@
    order: a shard is lost only when every replica fails, and the typed
    error then carries each replica's failure and attempt count. *)
 
-let magic = "XKSHM002"
+let magic = "XKSHM003"
+let magic_v2 = "XKSHM002"
 let magic_v1 = "XKSHM001"
-let version = 2
+let version = 3
+let version_v2 = 2
 
 type error =
   | Manifest of { error : Index_io.error; attempts : int }
@@ -58,10 +63,19 @@ let write_atomically path (write : out_channel -> unit) =
 
 exception Verify_failed of string
 
-let save ?(replicas = 1) t path =
+let save ?(replicas = 1) ?endpoints t path =
   if replicas < 1 then Xk_util.Err.invalid "Shard_io.save: replicas < 1";
-  let payload = Buffer.create 256 in
   let shards = Sharding.count t in
+  (match endpoints with
+  | None -> ()
+  | Some e ->
+      if
+        Array.length e <> shards
+        || Array.exists (fun row -> Array.length row <> replicas) e
+      then
+        Xk_util.Err.invalid
+          "Shard_io.save: endpoints shape must be shards x replicas");
+  let payload = Buffer.create 256 in
   Xk_storage.Varint.write payload shards;
   let assignment = Sharding.assignment t in
   Xk_storage.Varint.write payload (Array.length assignment);
@@ -71,7 +85,15 @@ let save ?(replicas = 1) t path =
     for r = 0 to replicas - 1 do
       let base = Filename.basename (replica_path path ~shard:s ~replica:r) in
       Xk_storage.Varint.write payload (String.length base);
-      Buffer.add_string payload base
+      Buffer.add_string payload base;
+      match endpoints with
+      | None -> Xk_storage.Varint.write payload 0
+      | Some e ->
+          let host, port = e.(s).(r) in
+          Xk_storage.Varint.write payload 1;
+          Xk_storage.Varint.write payload (String.length host);
+          Buffer.add_string payload host;
+          Xk_storage.Varint.write payload port
     done
   done;
   let payload = Buffer.contents payload in
@@ -107,10 +129,20 @@ type manifest = {
   m_shards : int;
   m_assignment : int array;
   m_files : string array array; (* per shard, replica basenames in order *)
+  m_endpoints : (string * int) option array array;
+      (* same shape as [m_files]; v2 manifests decode to all-[None] *)
 }
 
-let decode_manifest data ~pos =
+let decode_manifest data ~pos ~with_endpoints =
   let c = Xk_storage.Varint.cursor_at data pos in
+  let read_str what =
+    let len = Xk_storage.Varint.read c in
+    if len < 0 || c.pos + len > String.length data then
+      raise (Decode (what ^ " cut short"));
+    let s = String.sub data c.pos len in
+    c.pos <- c.pos + len;
+    s
+  in
   try
     let shards = Xk_storage.Varint.read c in
     if shards < 1 then raise (Decode "no shards");
@@ -121,19 +153,36 @@ let decode_manifest data ~pos =
           if s >= shards then raise (Decode "assignment names a missing shard");
           s)
     in
+    let endpoints = ref [] in
     let files =
       Array.init shards (fun _ ->
           let replicas = Xk_storage.Varint.read c in
           if replicas < 1 then raise (Decode "shard with no replicas");
-          Array.init replicas (fun _ ->
-              let len = Xk_storage.Varint.read c in
-              if c.pos + len > String.length data then
-                raise (Decode "segment name cut short");
-              let f = String.sub data c.pos len in
-              c.pos <- c.pos + len;
-              f))
+          let row_eps = Array.make replicas None in
+          let row =
+            Array.init replicas (fun r ->
+                let f = read_str "segment name" in
+                if with_endpoints then begin
+                  match Xk_storage.Varint.read c with
+                  | 0 -> ()
+                  | 1 ->
+                      let host = read_str "endpoint host" in
+                      let port = Xk_storage.Varint.read c in
+                      if port > 0xFFFF then raise (Decode "endpoint port > 65535");
+                      row_eps.(r) <- Some (host, port)
+                  | _ -> raise (Decode "bad endpoint flag")
+                end;
+                f)
+          in
+          endpoints := row_eps :: !endpoints;
+          row)
     in
-    { m_shards = shards; m_assignment = assignment; m_files = files }
+    {
+      m_shards = shards;
+      m_assignment = assignment;
+      m_files = files;
+      m_endpoints = Array.of_list (List.rev !endpoints);
+    }
   with Invalid_argument _ -> raise (Decode "payload structure cut short")
 
 (* One manifest read attempt; same failure classes and fault-injection
@@ -168,42 +217,50 @@ let attempt_manifest path :
           (`Suspect
             (Index_io.Corrupted
                "legacy v1 manifest without replica lists; rebuild the index"))
-      else if String.sub data 0 mlen <> magic then
-        Error (`Suspect (Index_io.Corrupted "bad manifest magic"))
       else
-        match
-          let c = Xk_storage.Varint.cursor_at data mlen in
-          let v = Xk_storage.Varint.read c in
-          let plen = Xk_storage.Varint.read c in
-          let crc = Xk_storage.Varint.read c in
-          (v, plen, crc, c.pos)
-        with
-        | exception Invalid_argument _ ->
-            Error (`Suspect (Index_io.Truncated "header cut short"))
-        | v, _, _, _ when v <> version ->
-            Error
-              (`Suspect
-                (Index_io.Corrupted
-                   (Printf.sprintf "unsupported manifest version %d" v)))
-        | _, plen, crc, body -> (
-            let avail = String.length data - body in
-            if avail < plen then
-              Error
-                (`Suspect
-                  (Index_io.Truncated
-                     (Printf.sprintf "payload has %d of %d bytes" avail plen)))
-            else if avail > plen then
+        (* v2 manifests (no endpoints) stay loadable; the magic decides
+           which payload layout and version number to expect. *)
+        let file_magic = String.sub data 0 mlen in
+        let expected_version, with_endpoints =
+          if file_magic = magic_v2 then (version_v2, false) else (version, true)
+        in
+        if file_magic <> magic && file_magic <> magic_v2 then
+          Error (`Suspect (Index_io.Corrupted "bad manifest magic"))
+        else
+          match
+            let c = Xk_storage.Varint.cursor_at data mlen in
+            let v = Xk_storage.Varint.read c in
+            let plen = Xk_storage.Varint.read c in
+            let crc = Xk_storage.Varint.read c in
+            (v, plen, crc, c.pos)
+          with
+          | exception Invalid_argument _ ->
+              Error (`Suspect (Index_io.Truncated "header cut short"))
+          | v, _, _, _ when v <> expected_version ->
               Error
                 (`Suspect
                   (Index_io.Corrupted
-                     (Printf.sprintf "%d trailing bytes after the payload"
-                        (avail - plen))))
-            else if Xk_storage.Crc32.sub data ~pos:body ~len:plen <> crc then
-              Error (`Crc "manifest checksum mismatch")
-            else
-              match decode_manifest data ~pos:body with
-              | m -> Ok m
-              | exception Decode msg -> Error (`Fatal (Index_io.Corrupted msg))))
+                     (Printf.sprintf "unsupported manifest version %d" v)))
+          | _, plen, crc, body -> (
+              let avail = String.length data - body in
+              if avail < plen then
+                Error
+                  (`Suspect
+                    (Index_io.Truncated
+                       (Printf.sprintf "payload has %d of %d bytes" avail plen)))
+              else if avail > plen then
+                Error
+                  (`Suspect
+                    (Index_io.Corrupted
+                       (Printf.sprintf "%d trailing bytes after the payload"
+                          (avail - plen))))
+              else if Xk_storage.Crc32.sub data ~pos:body ~len:plen <> crc then
+                Error (`Crc "manifest checksum mismatch")
+              else
+                match decode_manifest data ~pos:body ~with_endpoints with
+                | m -> Ok m
+                | exception Decode msg ->
+                    Error (`Fatal (Index_io.Corrupted msg))))
 
 let load_manifest ?(retries = 4) ?(backoff_ms = 1.0) path =
   match
@@ -271,6 +328,11 @@ let replica_files path =
       let dir = Filename.dirname path in
       Ok (Array.map (Array.map (Filename.concat dir)) m.m_files)
 
+let endpoints path =
+  match load_manifest path with
+  | Error _ as e -> e
+  | Ok m -> Ok m.m_endpoints
+
 let is_manifest path =
   match
     let ic = open_in_bin path in
@@ -278,5 +340,5 @@ let is_manifest path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (String.length magic))
   with
-  | m -> m = magic || m = magic_v1
+  | m -> m = magic || m = magic_v2 || m = magic_v1
   | exception (Sys_error _ | End_of_file) -> false

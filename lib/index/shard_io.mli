@@ -38,12 +38,20 @@ exception Verify_failed of string
 (** Raised by {!save} when a freshly written replica fails its
     post-save framing/CRC verification. *)
 
-val save : ?replicas:int -> Sharding.t -> string -> unit
+val save :
+  ?replicas:int ->
+  ?endpoints:(string * int) array array ->
+  Sharding.t ->
+  string ->
+  unit
 (** Write the manifest at [path] and [replicas] (default 1) segment
     copies per shard beside it, each atomically (temp file + rename)
-    and each verified ({!Index_io.verify}) after the write.  Raises
-    [Invalid_argument] on [replicas < 1] and {!Verify_failed} if a
-    written copy does not read back clean. *)
+    and each verified ({!Index_io.verify}) after the write.
+    [endpoints], when given, records a serving (host, port) per replica
+    — shape [shards x replicas] — so a gather tier can dial the fleet
+    straight from the manifest.  Raises [Invalid_argument] on
+    [replicas < 1] or a mis-shaped [endpoints], and {!Verify_failed} if
+    a written copy does not read back clean. *)
 
 val load_result :
   ?damping:Xk_score.Damping.t ->
@@ -64,7 +72,12 @@ val replica_files : string -> (string array array, error) result
     [shard][replica].  Chaos drivers use this to map (shard, replica)
     corruption targets onto segment files. *)
 
+val endpoints : string -> ((string * int) option array array, error) result
+(** The serving endpoints recorded in the manifest at [path], indexed
+    [shard][replica]; [None] per replica with no endpoint (and for every
+    replica of a v2 manifest). *)
+
 val is_manifest : string -> bool
-(** Whether the file starts with a shard-manifest magic (current or
-    legacy v1; used by the CLI to sniff sharded vs. plain segments).
-    False on unreadable files. *)
+(** Whether the file starts with a shard-manifest magic (current v3,
+    v2, or legacy v1; used by the CLI to sniff sharded vs. plain
+    segments).  False on unreadable files. *)

@@ -56,3 +56,10 @@ let alive t =
 let check t = if not (alive t) then raise Expired
 let exhausted t = t.tripped
 let is_limited t = t.deadline <> None || t.ticks <> None
+
+let remaining_ms t =
+  Option.map
+    (fun d -> Float.max 0. ((d -. Unix.gettimeofday ()) *. 1000.))
+    t.deadline
+
+let ticks_left t = Option.map (fun n -> max 0 (n - t.count)) t.ticks

@@ -44,3 +44,13 @@ val exhausted : t -> bool
 
 val is_limited : t -> bool
 (** Whether the budget can ever expire (deadline or ticks set). *)
+
+val remaining_ms : t -> float option
+(** Milliseconds of wall budget left, clamped at 0; [None] when the
+    budget has no deadline.  Used to propagate the {e remaining} budget
+    into an RPC request so a remote shard works against the caller's
+    deadline, not a fresh one. *)
+
+val ticks_left : t -> int option
+(** Ticks left in the deterministic allowance, clamped at 0; [None]
+    when the budget has no tick bound. *)

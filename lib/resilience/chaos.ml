@@ -19,6 +19,7 @@ type event =
   | Kill of { target : target; from_tick : int }
   | Slow of { target : target; from_tick : int; ms : float }
   | Corrupt of { target : target }
+  | Drop of { target : target; from_tick : int }
 
 type schedule = event list
 
@@ -28,13 +29,21 @@ type state = {
   mutable sleep : float -> unit;
   mutable kills : int; (* attempts killed so far *)
   mutable slowdowns : int; (* attempts delayed so far *)
+  mutable drops : int; (* connections refused so far *)
 }
 
 let default_sleep ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
 
 let state =
   Xk_util.Sync.Protected.create
-    { events = []; tick = 0; sleep = default_sleep; kills = 0; slowdowns = 0 }
+    {
+      events = [];
+      tick = 0;
+      sleep = default_sleep;
+      kills = 0;
+      slowdowns = 0;
+      drops = 0;
+    }
 
 let matches t ~shard ~replica =
   (match t.t_shard with None -> true | Some s -> s = shard)
@@ -46,23 +55,26 @@ let install ?(sleep = default_sleep) events =
       st.tick <- 0;
       st.sleep <- sleep;
       st.kills <- 0;
-      st.slowdowns <- 0)
+      st.slowdowns <- 0;
+      st.drops <- 0)
 
 let clear () = install []
 
 let active () = Xk_util.Sync.Protected.with_ state (fun st -> st.events <> [])
 let tick () = Xk_util.Sync.Protected.with_ state (fun st -> st.tick)
 
-type counters = { kills : int; slowdowns : int }
+type counters = { kills : int; slowdowns : int; drops : int }
 
 let counters () =
   Xk_util.Sync.Protected.with_ state (fun st ->
-      { kills = st.kills; slowdowns = st.slowdowns })
+      { kills = st.kills; slowdowns = st.slowdowns; drops = st.drops })
 
 let corrupt_targets () =
   Xk_util.Sync.Protected.with_ state (fun st ->
       List.filter_map
-        (function Corrupt { target } -> Some target | Kill _ | Slow _ -> None)
+        (function
+          | Corrupt { target } -> Some target
+          | Kill _ | Slow _ | Drop _ -> None)
         st.events)
 
 let corrupt_matches ~shard ~replica =
@@ -81,7 +93,7 @@ let on_attempt ~shard ~replica =
               (function
                 | Kill { target; from_tick } ->
                     now >= from_tick && matches target ~shard ~replica
-                | Slow _ | Corrupt _ -> false)
+                | Slow _ | Corrupt _ | Drop _ -> false)
               st.events
           in
           if kill then begin
@@ -95,7 +107,7 @@ let on_attempt ~shard ~replica =
                   | Slow { target; from_tick; ms }
                     when now >= from_tick && matches target ~shard ~replica ->
                       acc +. ms
-                  | Kill _ | Slow _ | Corrupt _ -> acc)
+                  | Kill _ | Slow _ | Corrupt _ | Drop _ -> acc)
                 0.0 st.events
             in
             if delay > 0. then begin
@@ -111,10 +123,32 @@ let on_attempt ~shard ~replica =
   | `Kill -> raise (Killed { shard; replica })
   | `Slow (sleep, ms) -> sleep ms
 
+(* Connection-level drill: checked by the remote transport before it
+   dials a replica.  Reads the current tick without advancing it —
+   [on_attempt] already ticked for this attempt, and a drop must hit
+   the same attempt its kill-sibling would. *)
+let on_connect ~shard ~replica =
+  let dropped =
+    Xk_util.Sync.Protected.with_ state (fun st ->
+        st.events <> []
+        && List.exists
+             (function
+               | Drop { target; from_tick } ->
+                   st.tick >= from_tick && matches target ~shard ~replica
+               | Kill _ | Slow _ | Corrupt _ -> false)
+             st.events
+        && begin
+             st.drops <- st.drops + 1;
+             true
+           end)
+  in
+  if dropped then raise (Killed { shard; replica })
+
 (* Spec syntax, comma-separated events:
      kill@s<S>r<R>:<tick>         kill attempts on shard S replica R from tick
      slow@s<S>r<R>:<tick>:<ms>    add <ms> latency from tick
      corrupt@s<S>r<R>             corrupt that replica's segment on disk
+     drop@s<S>r<R>:<tick>         refuse connections to that replica from tick
    S and R accept [*] as a wildcard, e.g. [kill@s*r1:0]. *)
 
 let parse_target s =
@@ -157,11 +191,17 @@ let parse_event item =
               | _ -> Error (Printf.sprintf "bad slow params %S" rest))
       | "corrupt", [ tgt ] ->
           Result.map (fun target -> Corrupt { target }) (parse_target tgt)
+      | "drop", [ tgt; tick ] ->
+          Result.bind (parse_target tgt) (fun target ->
+              match int_of_string_opt tick with
+              | Some from_tick when from_tick >= 0 ->
+                  Ok (Drop { target; from_tick })
+              | _ -> Error (Printf.sprintf "bad drop tick %S" tick))
       | _ ->
           Error
             (Printf.sprintf
                "bad chaos event %S (want kill@T:tick, slow@T:tick:ms, \
-                corrupt@T)"
+                corrupt@T, drop@T:tick)"
                item))
 
 let of_spec spec =

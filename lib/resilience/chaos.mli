@@ -26,12 +26,16 @@ type event =
   | Kill of { target : target; from_tick : int }
   | Slow of { target : target; from_tick : int; ms : float }
   | Corrupt of { target : target }
+  | Drop of { target : target; from_tick : int }
+      (** connection-level: refuse to dial the replica (remote transport
+          only — in-process replicas have no connection to drop) *)
 
 type schedule = event list
 
 type counters = {
   kills : int;  (** attempts killed so far *)
   slowdowns : int;  (** attempts delayed so far *)
+  drops : int;  (** connections refused so far *)
 }
 
 val install : ?sleep:(float -> unit) -> schedule -> unit
@@ -53,6 +57,13 @@ val on_attempt : shard:int -> replica:int -> unit
     when no schedule is installed — the tick does not advance either,
     so background traffic cannot skew an armed schedule. *)
 
+val on_connect : shard:int -> replica:int -> unit
+(** Apply armed [Drop] events to a connection attempt: raises {!Killed}
+    when the target's connections are being refused.  Reads the tick
+    {e without} advancing it — the surrounding {!on_attempt} already
+    counted this attempt.  Called by the remote transport just before
+    dialing a replica. *)
+
 val corrupt_targets : unit -> target list
 (** The [Corrupt] targets of the installed schedule, for callers to map
     to segment paths and register via [Fault_injection.mark_corrupt]. *)
@@ -61,6 +72,7 @@ val corrupt_matches : shard:int -> replica:int -> bool
 
 val of_spec : string -> (schedule, string) result
 (** Parse a comma-separated spec: [kill@s<S>r<R>:<tick>],
-    [slow@s<S>r<R>:<tick>:<ms>], [corrupt@s<S>r<R>]; [S]/[R] accept
-    [*] as a wildcard (e.g. [kill@s*r1:0] kills replica 1 of every
-    shard from the first attempt). *)
+    [slow@s<S>r<R>:<tick>:<ms>], [corrupt@s<S>r<R>],
+    [drop@s<S>r<R>:<tick>]; [S]/[R] accept [*] as a wildcard
+    (e.g. [kill@s*r1:0] kills replica 1 of every shard from the first
+    attempt). *)

@@ -1,0 +1,93 @@
+(* Connection-per-request RPC client.  Plain blocking sockets with
+   kernel timeouts: the fleet is loopback-or-LAN scale, so connect
+   latency is dwarfed by query time, and a fresh connection per call
+   keeps failover trivial (no half-dead pooled sockets). *)
+
+type error =
+  | Frame of Frame.error
+  | Remote of string
+  | Unexpected of Frame.kind
+
+let error_message = function
+  | Frame e -> Frame.error_message e
+  | Remote msg -> "server refused: " ^ msg
+  | Unexpected _ -> "unexpected reply kind"
+
+exception Rpc_failed of error
+
+let fail e = raise (Rpc_failed e)
+
+let default_timeout_ms = 5000.
+
+(* A write to a server that died mid-exchange must surface as EPIPE, not
+   kill the process. *)
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ())
+
+let resolve host port =
+  match Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+  with
+  | { Unix.ai_addr; _ } :: _ -> ai_addr
+  | [] -> fail (Frame (Frame.Io (Printf.sprintf "cannot resolve %s" host)))
+
+let connect ~host ~port ~timeout_ms =
+  Lazy.force ignore_sigpipe;
+  let addr = resolve host port in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  let secs = Float.max 0.001 (timeout_ms /. 1000.) in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO secs;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO secs
+   with Unix.Unix_error _ -> ());
+  match Unix.connect fd addr with
+  | () -> fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail
+        (Frame
+           (Frame.Io
+              (Printf.sprintf "connect %s:%d: %s" host port
+                 (Unix.error_message e))))
+
+let with_connection ~host ~port ~timeout_ms f =
+  let fd = connect ~host ~port ~timeout_ms in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let exchange fd kind payload =
+  (match Frame.write_fd fd kind payload with
+  | Ok () -> ()
+  | Error e -> fail (Frame e));
+  match Frame.read_fd fd with
+  | Ok reply -> reply
+  | Error e -> fail (Frame e)
+
+(* Give the server's own budgeted degradation a chance to answer before
+   the client cuts the connection. *)
+let slack_ms = 250.
+
+let query ?(timeout_ms = default_timeout_ms) ~host ~port (q : Wire.query) =
+  let timeout_ms =
+    match q.q_deadline_ms with
+    | Some d -> Float.max 1. d +. slack_ms
+    | None -> timeout_ms
+  in
+  with_connection ~host ~port ~timeout_ms (fun fd ->
+      match exchange fd Frame.Query (Wire.encode_query q) with
+      | Frame.Reply, payload -> (
+          match Wire.decode_reply payload with
+          | Ok (Wire.Served s) -> s
+          | Ok (Wire.Refused msg) -> fail (Remote msg)
+          | Error e -> fail (Frame e))
+      | kind, _ -> fail (Unexpected kind))
+
+let ping ?(timeout_ms = default_timeout_ms) ~host ~port () =
+  with_connection ~host ~port ~timeout_ms (fun fd ->
+      match exchange fd Frame.Ping "" with
+      | Frame.Pong, _ -> ()
+      | kind, _ -> fail (Unexpected kind))

@@ -1,0 +1,82 @@
+(* Iterative accept-loop server.  [stop] must wake a [run] blocked in
+   accept from another domain; on Linux closing the fd does not, so stop
+   shuts the socket down first (accept fails with EINVAL) and the
+   stopping flag tells the loop that the failure was deliberate. *)
+
+type t = {
+  fd : Unix.file_descr;
+  s_host : string;
+  s_port : int;
+  stopping : bool Atomic.t;
+}
+
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ())
+
+let create ?(host = "127.0.0.1") ~port () =
+  Lazy.force ignore_sigpipe;
+  match
+    let addr = Unix.inet_addr_of_string host in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (addr, port));
+       Unix.listen fd 16
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    let s_port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    in
+    { fd; s_host = host; s_port; stopping = Atomic.make false }
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Failure msg -> Error ("bad listen address: " ^ msg)
+
+let port t = t.s_port
+let host t = t.s_host
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Frames arrive until clean EOF, an error, or a [None] from the handler
+   (abrupt close — the wire-visible form of a chaos kill). *)
+let serve_conn conn ~handler =
+  let rec loop () =
+    match Frame.read_fd conn with
+    | Error _ -> ()
+    | Ok (kind, payload) -> (
+        match handler kind payload with
+        | None | (exception _) -> ()
+        | Some (rk, rp) -> (
+            match Frame.write_fd conn rk rp with
+            | Ok () -> loop ()
+            | Error _ -> ()))
+  in
+  loop ()
+
+let run t ~handler =
+  let rec accept_loop () =
+    match Unix.accept t.fd with
+    | conn, _ ->
+        Fun.protect
+          ~finally:(fun () -> close_quietly conn)
+          (fun () -> serve_conn conn ~handler);
+        if Atomic.get t.stopping then () else accept_loop ()
+    | exception Unix.Unix_error (EINTR, _, _) ->
+        if Atomic.get t.stopping then () else accept_loop ()
+    | exception Unix.Unix_error (_, _, _) when Atomic.get t.stopping -> ()
+  in
+  accept_loop ()
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    close_quietly t.fd
+  end

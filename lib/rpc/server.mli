@@ -1,0 +1,35 @@
+(** Listener side of the shard RPC: an iterative accept loop that feeds
+    every decoded frame to a caller-supplied handler.
+
+    The server is deliberately sequential — one connection at a time,
+    one frame at a time.  A shard query saturates the process anyway
+    (the engine walk is CPU-bound), so concurrency would only add
+    shared-state hazards; scale comes from running more replica
+    processes, which is exactly what the manifest describes.
+
+    A handler returning [None] closes the connection without a reply —
+    that is the chaos [Kill] drill seen from the wire: the client
+    observes an abrupt EOF and fails over.  Malformed frames are
+    answered with nothing and the connection is dropped; the framing
+    layer guarantees they arrive as typed errors, never exceptions. *)
+
+type t
+
+val create : ?host:string -> port:int -> unit -> (t, string) result
+(** Bind and listen.  [port = 0] picks an ephemeral port; read it back
+    with {!port}.  [host] defaults to ["127.0.0.1"]. *)
+
+val port : t -> int
+val host : t -> string
+
+val run :
+  t -> handler:(Frame.kind -> string -> (Frame.kind * string) option) -> unit
+(** Accept connections until {!stop}.  Per connection: read frames until
+    EOF or error, pass each to [handler], write back its reply.  An
+    exception escaping [handler] drops the connection but keeps the
+    server alive. *)
+
+val stop : t -> unit
+(** Stop accepting and close the listening socket.  Safe to call from
+    another domain or a signal handler while {!run} is blocked in
+    [accept] — the shutdown wakes it. *)

@@ -1,0 +1,44 @@
+(** Payload codecs for the shard-serving RPC: a per-shard query request
+    and its reply, carried inside {!Frame} payloads.
+
+    Everything reuses the storage codecs: varints ({!Xk_storage.Varint})
+    for counts and indices, raw IEEE-754 bits for scores (so a score
+    crosses the wire bit-exactly — the gather's parity guarantee needs
+    float identity, not approximation), length-prefixed bytes for
+    keywords.  Decoders validate every tag and length and return
+    [Frame.Malformed] on anything else; they never raise.
+
+    Deadline propagation: the client serializes the {e remaining} budget
+    (wall milliseconds and/or deterministic ticks) into the request; the
+    server rebuilds a fresh {!Xk_resilience.Budget.t} from it, so a
+    remote shard degrades to a confirmed [Partial] prefix exactly like
+    an in-process one. *)
+
+type query = {
+  q_shard : int;  (** which shard the server is expected to serve *)
+  q_words : string list;  (** the request's keywords, as given *)
+  q_semantics : Xk_core.Engine.semantics;
+  q_mode : Xk_core.Engine.mode;
+  q_deadline_ms : float option;  (** remaining wall budget at send time *)
+  q_ticks : int option;  (** remaining deterministic tick allowance *)
+}
+
+type served = {
+  s_summary : Xk_index.Sharding.root_summary option;
+      (** [None]: the budget expired before the summary finished *)
+  s_outcome : Xk_core.Engine.run_outcome;
+      (** hits in global numbering, shard-local root hits dropped *)
+  s_bound : float;
+      (** upper bound on anything the shard did not confirm *)
+}
+
+type reply =
+  | Served of served
+  | Refused of string
+      (** the server could not serve: wrong shard, undecodable request,
+          or a handler exception — a replica failure to the client *)
+
+val encode_query : query -> string
+val decode_query : string -> (query, Frame.error) result
+val encode_reply : reply -> string
+val decode_reply : string -> (reply, Frame.error) result

@@ -130,6 +130,33 @@ let shared_state () =
   check_rules ~file:"lib/index/fixture.ml" "binding attribute allow" []
     "let cache = (Hashtbl.create 16 [@xklint.allow shared-state])\n"
 
+(* --- rpc-budget ------------------------------------------------------ *)
+
+let rpc_budget () =
+  let bad = "let handle_query t q = run t q\n" in
+  check_rules ~file:"lib/rpc/fixture.ml" "budget-less handler"
+    [ "rpc-budget" ] bad;
+  check_rules ~file:"lib/exec/fixture.ml" "serving layer covered too"
+    [ "rpc-budget" ] bad;
+  check_rules ~file:"lib/rpc/fixture.ml" "handler threading a budget" []
+    "let handle_query t q =\n\
+    \  let budget = Xk_resilience.Budget.create ?deadline_ms:q.dl () in\n\
+    \  run t ~budget q\n";
+  check_rules ~file:"lib/rpc/fixture.ml" "short Budget path counts" []
+    "let handle_ping t q = run t (Budget.unlimited) q\n";
+  (* only handle* names are handlers; framing plumbing is exempt *)
+  check_rules ~file:"lib/rpc/fixture.ml" "dispatch is not a handler" []
+    "let dispatch t q = run t q\n";
+  (* non-function bindings are not handlers *)
+  check_rules ~file:"lib/rpc/fixture.ml" "value binding is not a handler" []
+    "let handled = 12\n";
+  check_rules ~file:"lib/core/fixture.ml" "outside the serving layers" [] bad;
+  check_rules ~file:"lib/rpc/fixture.ml" "attribute allow" []
+    "let handle_query t q = (run t q) [@@xklint.allow rpc-budget]\n";
+  check_rules ~file:"lib/rpc/fixture.ml"
+    ~config:"allow rpc-budget lib/rpc/fixture.ml handle_query"
+    "config allow" [] bad
+
 (* --- typed-error ----------------------------------------------------- *)
 
 let typed_error () =
@@ -150,8 +177,15 @@ let typed_error () =
     "let f x = assert (x > 0)\n";
   check_rules ~file:"lib/text/fixture.ml" "attribute allow" []
     "let f () = (assert false) [@xklint.allow typed-error]\n";
-  check_rules ~file:"bench/fixture.ml" "outside lib" []
-    "let f () = failwith \"boom\"\n"
+  check_rules ~file:"bench/fixture.ml" "outside the linted trees" []
+    "let f () = failwith \"boom\"\n";
+  (* the error and lock disciplines extend to the CLI and the tools *)
+  check_rules ~file:"bin/fixture.ml" "partial call in bin"
+    [ "typed-error" ] "let f xs = List.hd xs\n";
+  check_rules ~file:"tools/lint/fixture.ml" "failwith in tools"
+    [ "typed-error" ] "let f () = failwith \"boom\"\n";
+  check_rules ~file:"bin/fixture.ml" "bare lock in bin" [ "bare-lock" ]
+    "let f m = Mutex.lock m\n"
 
 let parse_error () =
   check slist "unparsable file" [ "parse-error" ]
@@ -249,6 +283,7 @@ let suite =
         tc "bare-lock" `Quick bare_lock;
         tc "blocking-io-under-lock" `Quick lock_io;
         tc "shared-state" `Quick shared_state;
+        tc "rpc-budget" `Quick rpc_budget;
         tc "typed-error" `Quick typed_error;
         tc "parse error" `Quick parse_error;
       ] );

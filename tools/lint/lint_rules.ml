@@ -1,4 +1,4 @@
-(* The five invariants, checked over ppxlib's parsetree (so the same
+(* The six invariants, checked over ppxlib's parsetree (so the same
    source parses on every compiler in the CI matrix):
 
    - [budget-loop]: in the algorithm layers ([lib/core], [lib/baselines])
@@ -6,9 +6,15 @@
      [Budget.*] identifier somewhere in its own subtree - the
      deadline/cancellation token is polled from inside the loop, not
      around it.  Bounded pure helpers go in the allowlist.
+   - [rpc-budget]: in the serving layers ([lib/rpc], [lib/exec]) every
+     RPC handler - a function binding named [handle*] - must thread a
+     [Budget.*]: the request frame carries the caller's remaining
+     deadline/ticks and a handler that never touches a budget is one
+     that cannot degrade under it.  Framing plumbing that does no query
+     work keeps other names ([dispatch], [serve], ...).
    - [bare-lock]: [Mutex.lock]/[unlock]/[try_lock] never appear outside
      [Xk_util.Sync] - critical sections use [Sync.with_lock], which
-     releases on raise.
+     releases on raise.  Checked in [lib/], [bin/] and [tools/].
    - [shared-state]: a top-level binding in a domain-crossing library
      ([lib/exec], [lib/index], [lib/resilience]) must not build bare
      mutable state ([ref]/[Hashtbl.create]/[Buffer.create]/
@@ -18,7 +24,7 @@
    - [typed-error]: no [failwith]/[invalid_arg] (use [Xk_util.Err]), no
      bare [assert false] (use [Err.unreachable] with context), no
      partial stdlib calls ([List.hd]/[List.tl]/[Option.get]) and no
-     [Array.unsafe_*] in [lib/].
+     [Array.unsafe_*] in [lib/], [bin/] and [tools/].
    - [blocking-io-under-lock]: the body handed to [Sync.with_lock] or
      [Sync.Protected.with_] must not call [Unix.*]/[In_channel.*]/
      [Out_channel.*] - a sleep, read or write under the lock stalls
@@ -32,6 +38,7 @@
 open Ppxlib
 
 let rule_budget = "budget-loop"
+let rule_rpc = "rpc-budget"
 let rule_lock = "bare-lock"
 let rule_state = "shared-state"
 let rule_error = "typed-error"
@@ -46,6 +53,7 @@ type ctx = {
   mutable file_allows : string list; (* from [@@@xklint.allow ...] *)
   mutable expr_depth : int; (* 0 = structure level *)
   check_budget : bool;
+  check_rpc : bool; (* handle* bindings must thread a Budget *)
   check_state : bool;
   check_lib : bool; (* bare-lock + typed-error *)
 }
@@ -62,10 +70,11 @@ let make_ctx config ~file =
     file_allows = [];
     expr_depth = 0;
     check_budget = in_dir "lib/core" file || in_dir "lib/baselines" file;
+    check_rpc = in_dir "lib/rpc" file || in_dir "lib/exec" file;
     check_state =
       in_dir "lib/exec" file || in_dir "lib/index" file
       || in_dir "lib/resilience" file;
-    check_lib = in_dir "lib" file;
+    check_lib = in_dir "lib" file || in_dir "bin" file || in_dir "tools" file;
   }
 
 let ident_path lid =
@@ -230,6 +239,11 @@ let scan_blocking_io ~on_hit =
         | _ -> super#expression e
   end
 
+(* Total stack pop: the push/pop pairs below are balanced by
+   construction, but [tools/] is in typed-error scope now, so the lint
+   must satisfy its own no-[List.tl] rule. *)
+let pop_stack = function [] -> [] | _ :: tl -> tl
+
 let partial_msg = function
   | ("List.hd" | "List.tl" | "Option.get") as p ->
       Some (Printf.sprintf "partial call '%s'; match on the shape instead" p)
@@ -307,15 +321,27 @@ class linter ctx =
         | _ -> None
       in
       let allows = allows_of_attributes vb.pvb_attributes in
+      (if ctx.check_rpc then
+         match fn_name with
+         | Some n
+           when String.starts_with ~prefix:"handle" n
+                && (not (List.mem rule_rpc allows || List.mem "*" allows))
+                && not (mentions_budget vb.pvb_expr) ->
+             report ctx ~loc:vb.pvb_loc ~rule:rule_rpc ~name:n
+               (Printf.sprintf
+                  "RPC handler '%s' never threads a Budget; rebuild one from \
+                   the request's deadline/ticks and run the work under it"
+                  n)
+         | _ -> ());
       ctx.allow_stack <- allows :: ctx.allow_stack;
       (match fn_name with
       | Some n -> ctx.fn_stack <- n :: ctx.fn_stack
       | None -> ());
       super#value_binding vb;
       (match fn_name with
-      | Some _ -> ctx.fn_stack <- List.tl ctx.fn_stack
+      | Some _ -> ctx.fn_stack <- pop_stack ctx.fn_stack
       | None -> ());
-      ctx.allow_stack <- List.tl ctx.allow_stack
+      ctx.allow_stack <- pop_stack ctx.allow_stack
 
     method! expression e =
       let allows = allows_of_attributes e.pexp_attributes in
@@ -369,7 +395,7 @@ class linter ctx =
       | _ -> ());
       super#expression e;
       ctx.expr_depth <- ctx.expr_depth - 1;
-      ctx.allow_stack <- List.tl ctx.allow_stack
+      ctx.allow_stack <- pop_stack ctx.allow_stack
   end
 
 let run config ~file str =
