@@ -97,13 +97,20 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let index_doc path out shards replicas rpc_host rpc_base_port =
-  if shards <= 1 then begin
+  let out_dir = Filename.dirname out in
+  if not (Sys.file_exists out_dir && Sys.is_directory out_dir) then
+    Error
+      (Printf.sprintf "index: output directory %s does not exist" out_dir)
+  else if shards <= 1 then begin
     if rpc_base_port <> None then
-      failwith "--rpc-base-port needs --shards (endpoints live in the manifest)";
-    let eng = load_engine path in
-    Xk_index.Index_io.save (Xk_core.Engine.index eng) out;
-    Printf.printf "wrote %s (%.2f MB)\n" out
-      (float_of_int (Xk_index.Index_io.file_size out) /. 1048576.)
+      Error "--rpc-base-port needs --shards (endpoints live in the manifest)"
+    else begin
+      let eng = load_engine path in
+      Xk_index.Index_io.save (Xk_core.Engine.index eng) out;
+      Printf.printf "wrote %s (%.2f MB)\n" out
+        (float_of_int (Xk_index.Index_io.file_size out) /. 1048576.);
+      Ok ()
+    end
   end
   else begin
     let sharded = load_sharded ~shards path in
@@ -143,7 +150,8 @@ let index_doc path out shards replicas rpc_host rpc_base_port =
       (Xk_index.Sharding.size_reports sharded);
     Printf.printf "total on disk: %.2f MB (manifest + %d segment file(s))\n"
       (mb !total)
-      (Xk_index.Sharding.count sharded * replicas)
+      (Xk_index.Sharding.count sharded * replicas);
+    Ok ()
   end
 
 let index_cmd =
@@ -189,8 +197,283 @@ let index_cmd =
   Cmd.v
     (Cmd.info "index" ~doc:"Build and save an index for an XML file.")
     Term.(
-      const index_doc $ path $ out $ shards $ replicas $ rpc_host
-      $ rpc_base_port)
+      term_result'
+        (const index_doc $ path $ out $ shards $ replicas $ rpc_host
+        $ rpc_base_port))
+
+(* ------------------------------------------------------------------ *)
+
+(* Live mutation: `xkq mutate` and `xkq compact` drive an on-disk
+   {!Xk_index.Live} store.  Exit classes extend the batch convention:
+   0 ok, 1 hard failure, 2 parity-check failure, 3 a --chaos crash
+   drill fired at a durability step — the code the CI crash matrix
+   asserts on before reopening the directory to prove recovery. *)
+
+let live_fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("xkq: " ^ m);
+      exit 1)
+    fmt
+
+(* Only crash@ drills make sense against a store directory (kill/slow/
+   corrupt address the serving layer); validate step names against the
+   store's published crash surface before arming anything. *)
+let install_mutation_chaos spec =
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.iter (fun item ->
+         match String.index_opt item '@' with
+         | Some i when String.sub item 0 i = "crash" ->
+             let step = String.sub item (i + 1) (String.length item - i - 1) in
+             if not (List.mem step Xk_index.Live.crash_steps) then
+               live_fail "--chaos: unknown crash step %S (steps: %s)" step
+                 (String.concat ", " Xk_index.Live.crash_steps)
+         | _ ->
+             live_fail
+               "--chaos: %S is not a crash drill (mutation takes \
+                crash@<step>; kill/slow/corrupt address `xkq batch`)"
+               item);
+  match Xk_resilience.Chaos.of_spec spec with
+  | Error msg -> live_fail "--chaos: %s" msg
+  | Ok schedule -> Xk_resilience.Chaos.install schedule
+
+(* A mutation operand is an XML file if one exists at that path,
+   otherwise inline XML.  Either way the document root becomes the
+   inserted subtree. *)
+let live_subtree src =
+  let parsed =
+    if Sys.file_exists src then
+      Xk_xml.Xml_parser.parse_file ~keep_ws:true src
+    else Xk_xml.Xml_parser.parse_string ~keep_ws:true src
+  in
+  match parsed with
+  | Ok (doc : Xk_xml.Xml_tree.document) -> Xk_xml.Xml_tree.Element doc.root
+  | Error e ->
+      live_fail "cannot parse %S: %s" src
+        (Format.asprintf "%a" Xk_xml.Xml_parser.pp_error e)
+
+let live_open ~init ~fsync ~auto_compact dir =
+  let opened =
+    match init with
+    | Some root_tag ->
+        Xk_index.Live.create ~fsync ?auto_compact ~root_tag dir
+    | None -> Xk_index.Live.open_ ~fsync ?auto_compact dir
+  in
+  match opened with
+  | Ok t -> t
+  | Error e -> live_fail "%s: %s" dir (Xk_index.Live.error_message e)
+
+(* Post-mutation parity: every --check query answered through the
+   snapshot's shards must score identically to a from-scratch engine
+   over the snapshot's own document. *)
+let live_check snap queries =
+  let engine = Xk_core.Engine.create (Xk_index.Snapshot.document snap) in
+  let sx =
+    Xk_exec.Shard_exec.create ~domains:2 (Xk_index.Snapshot.sharding snap)
+  in
+  Fun.protect
+    ~finally:(fun () -> Xk_exec.Shard_exec.shutdown sx)
+    (fun () ->
+      List.for_all
+        (fun words ->
+          let expected = Xk_core.Engine.query_topk engine words ~k:10 in
+          let scores hs =
+            List.map (fun (h : Xk_baselines.Hit.t) -> h.score) hs
+          in
+          match
+            Xk_exec.Shard_exec.exec sx (Xk_core.Engine.topk_request ~k:10 words)
+          with
+          | Xk_exec.Query_service.Ok hits when scores hits = scores expected ->
+              Printf.printf "check: {%s} matches a from-scratch engine (%d hit(s))\n"
+                (String.concat " " words) (List.length hits);
+              true
+          | Xk_exec.Query_service.Ok _ ->
+              Printf.eprintf
+                "check FAILED: {%s} sharded scores differ from engine\n%!"
+                (String.concat " " words);
+              false
+          | _ ->
+              Printf.eprintf "check FAILED: {%s} did not complete\n%!"
+                (String.concat " " words);
+              false)
+        queries)
+
+let live_queries checks =
+  List.map
+    (fun q ->
+      match
+        String.split_on_char ' ' q |> List.filter (fun w -> w <> "")
+      with
+      | [] -> live_fail "--check: empty query"
+      | words -> words)
+    checks
+
+let live_status t =
+  Printf.printf "store %s: %d document(s), lsn %d, %d pending op(s), gens [%s]\n"
+    (Xk_index.Live.dir t)
+    (Xk_index.Live.doc_count t)
+    (Xk_index.Live.lsn t)
+    (Xk_index.Live.pending_ops t)
+    (String.concat "; " (List.map string_of_int (Xk_index.Live.sealed_gens t)))
+
+let mutate dir init adds replaces removes do_compact auto_compact no_fsync
+    chaos checks =
+  Option.iter install_mutation_chaos chaos;
+  let t = live_open ~init ~fsync:(not no_fsync) ~auto_compact dir in
+  let ops =
+    List.map (fun src -> Xk_index.Live.Add (live_subtree src)) adds
+    @ List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | Some i -> (
+              let id = String.sub spec 0 i in
+              let src =
+                String.sub spec (i + 1) (String.length spec - i - 1)
+              in
+              match int_of_string_opt id with
+              | Some id -> Xk_index.Live.Replace (id, live_subtree src)
+              | None -> live_fail "--replace: %S is not a document id" id)
+          | None -> live_fail "--replace wants ID=FILE-OR-XML, got %S" spec)
+        replaces
+    @ List.map (fun id -> Xk_index.Live.Remove id) removes
+  in
+  (try
+     (if ops <> [] then
+        match Xk_index.Live.mutate t ops with
+        | Ok ids ->
+            Printf.printf "applied %d operation(s), ids [%s]\n"
+              (List.length ops)
+              (String.concat "; " (List.map string_of_int ids))
+        | Error e -> live_fail "mutate: %s" (Xk_index.Live.error_message e));
+     if do_compact then
+       match Xk_index.Live.compact t with
+       | Ok () -> ()
+       | Error e -> live_fail "compact: %s" (Xk_index.Live.error_message e)
+   with Xk_resilience.Chaos.Crashed step ->
+     (* The drill's contract: die without cleanup, like a power cut. *)
+     Printf.eprintf "crash drill fired at durability step %s\n%!" step;
+     exit 3);
+  live_status t;
+  let ok =
+    match checks with
+    | [] -> true
+    | qs -> live_check (Xk_index.Live.snapshot t) (live_queries qs)
+  in
+  Xk_index.Live.close t;
+  if not ok then exit 2
+
+let compact_store dir no_fsync chaos checks =
+  Option.iter install_mutation_chaos chaos;
+  let t = live_open ~init:None ~fsync:(not no_fsync) ~auto_compact:None dir in
+  (try
+     match Xk_index.Live.compact t with
+     | Ok () -> ()
+     | Error e -> live_fail "compact: %s" (Xk_index.Live.error_message e)
+   with Xk_resilience.Chaos.Crashed step ->
+     Printf.eprintf "crash drill fired at durability step %s\n%!" step;
+     exit 3);
+  live_status t;
+  let ok =
+    match checks with
+    | [] -> true
+    | qs -> live_check (Xk_index.Live.snapshot t) (live_queries qs)
+  in
+  Xk_index.Live.close t;
+  if not ok then exit 2
+
+let live_dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+
+let live_no_fsync =
+  Arg.(
+    value & flag
+    & info [ "no-fsync" ]
+        ~doc:"Skip fsync on every durability step (tests only; forfeits \
+              crash safety).")
+
+let live_chaos =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          (Printf.sprintf
+             "Crash drill: $(b,crash@STEP) kills the process (exit 3) the \
+              first time the named durability step runs.  Steps: %s."
+             (String.concat ", " Xk_index.Live.crash_steps)))
+
+let live_checks =
+  Arg.(
+    value & opt_all string []
+    & info [ "check" ] ~docv:"QUERY"
+        ~doc:
+          "After the batch, run this space-separated keyword query through \
+           the snapshot's shards and require scores identical to a \
+           from-scratch engine (exit 2 on mismatch).  Repeatable.")
+
+let mutate_cmd =
+  let init =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "init" ] ~docv:"ROOT_TAG"
+          ~doc:
+            "Initialize a fresh store in DIR with this root element tag \
+             (refused if DIR already holds a manifest).")
+  in
+  let adds =
+    Arg.(
+      value & opt_all string []
+      & info [ "add" ] ~docv:"SRC"
+          ~doc:
+            "Insert a document: an XML file path, or inline XML if no such \
+             file exists.  Repeatable; ids are assigned in order.")
+  in
+  let replaces =
+    Arg.(
+      value & opt_all string []
+      & info [ "replace" ] ~docv:"ID=SRC"
+          ~doc:"Replace the document with that id.  Repeatable.")
+  in
+  let removes =
+    Arg.(
+      value & opt_all int []
+      & info [ "remove" ] ~docv:"ID"
+          ~doc:"Remove the document with that id.  Repeatable.")
+  in
+  let do_compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ] ~doc:"Compact after applying the batch.")
+  in
+  let auto_compact =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "auto-compact" ] ~docv:"N"
+          ~doc:"Compact automatically once the delta touches N documents.")
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Apply a batch of insert/replace/remove operations to a live store \
+          (WAL-first, crash-safe).  Adds apply before replaces, replaces \
+          before removes.")
+    Term.(
+      const mutate $ live_dir_arg $ init $ adds $ replaces $ removes
+      $ do_compact $ auto_compact $ live_no_fsync $ live_chaos $ live_checks)
+
+let compact_cmd =
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Fold a live store's delta and dirty generations into a sealed \
+          segment and reset its WAL.")
+    Term.(
+      const compact_store $ live_dir_arg $ live_no_fsync $ live_chaos
+      $ live_checks)
 
 (* ------------------------------------------------------------------ *)
 
@@ -909,11 +1192,13 @@ let () =
       ~doc:"Top-K keyword search in XML databases (ICDE 2010 reproduction)."
   in
   exit
-    (Cmd.eval
+    (Cmd.eval ~term_err:1
        (Cmd.group info
           [
             generate_cmd;
             index_cmd;
+            mutate_cmd;
+            compact_cmd;
             search_cmd;
             batch_cmd;
             serve_shard_cmd;

@@ -65,17 +65,9 @@ let save (idx : Index.t) path =
   Xk_storage.Varint.write header version;
   Xk_storage.Varint.write header (String.length payload);
   Xk_storage.Varint.write header (Xk_storage.Crc32.string payload);
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     Buffer.output_buffer oc header;
-     output_string oc payload;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  Xk_storage.Durable.write_atomically path (fun oc ->
+      Buffer.output_buffer oc header;
+      output_string oc payload)
 
 (* Payload decoding.  The CRC has already been verified when this runs, so
    structural errors indicate a logic-level mismatch and are classified as

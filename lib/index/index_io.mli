@@ -34,7 +34,8 @@ exception Format_error of string
 (** Raised by the legacy {!load} wrapper, with {!error_message} applied. *)
 
 val save : Index.t -> string -> unit
-(** Write a checksummed segment atomically (temp file + rename). *)
+(** Write a checksummed segment durably and atomically: temp file,
+    fsync, rename, directory fsync ({!Xk_storage.Durable}). *)
 
 val load_result :
   ?damping:Xk_score.Damping.t ->

@@ -1,0 +1,641 @@
+(* The live store.  Layout and crash discipline are documented in the
+   interface; the invariants the code below leans on:
+
+   - the [.docs] files plus the WAL are the source of truth; [.idx]
+     files are tokenization caches that rebuild from the [.docs] on any
+     load failure;
+   - the manifest is the commit point of a compaction: every file it
+     references is fully written and fsynced before the manifest rename,
+     and nothing it stopped referencing is unlinked until after;
+   - the published state is one immutable value behind an [Atomic];
+     mutators swap it, readers [Atomic.get] it and never look back;
+   - the writer token is a compare-and-swap flag, so no lock is ever
+     held across file IO (and a competing writer fails fast with
+     [Busy] instead of queueing behind an fsync). *)
+
+module Varint = Xk_storage.Varint
+module Crc32 = Xk_storage.Crc32
+module Durable = Xk_storage.Durable
+module Chaos = Xk_resilience.Chaos
+
+type error =
+  | Busy
+  | Unknown_doc of int
+  | Unstorable of string
+  | Corrupt of string
+  | Io of string
+
+let error_message = function
+  | Busy -> "another mutation is in progress"
+  | Unknown_doc id -> Printf.sprintf "no live document with id %d" id
+  | Unstorable m -> "unstorable subtree: " ^ m
+  | Corrupt m -> "corrupt live store: " ^ m
+  | Io m -> "live store IO failure: " ^ m
+
+let of_wal_error = function
+  | Wal.Corrupted m -> Corrupt m
+  | Wal.Io m -> Io m
+
+type seg = { seg_gen : int; seg_docs : (int * Xk_xml.Xml_tree.node) list }
+
+type state = {
+  st_lsn : int;
+  st_next_doc : int;
+  st_sealed : seg list; (* ascending generation *)
+  st_delta : Delta.t;
+  st_snapshot : Snapshot.t;
+}
+
+type t = {
+  l_dir : string;
+  l_fsync : bool;
+  l_auto : int option;
+  l_damping : Xk_score.Damping.t option;
+  l_root_tag : string;
+  l_root_attrs : Xk_xml.Xml_tree.attribute list;
+  l_writer : bool Atomic.t;
+  mutable l_wal : Wal.t; (* touched only under the writer token *)
+  l_state : state Atomic.t;
+}
+
+type mutation =
+  | Add of Xk_xml.Xml_tree.node
+  | Replace of int * Xk_xml.Xml_tree.node
+  | Remove of int
+
+let crash_steps =
+  [
+    "wal-append";
+    "wal-pre-fsync";
+    "wal-post-fsync";
+    "compact-begin";
+    "compact-docs-torn";
+    "compact-docs";
+    "compact-seg";
+    "compact-manifest";
+    "compact-rotate";
+    "compact-done";
+  ]
+
+(* Paths *)
+
+let manifest_path dir = Filename.concat dir "live.manifest"
+let wal_path dir = Filename.concat dir "wal.log"
+let docs_path dir gen = Filename.concat dir (Printf.sprintf "seg-%04d.docs" gen)
+let idx_path dir gen = Filename.concat dir (Printf.sprintf "seg-%04d.idx" gen)
+
+(* CRC-framed whole files (manifest, sealed documents).  Same outer
+   layout as the WAL and index segments: magic, varint version, varint
+   payload length, varint CRC-32, payload. *)
+
+let manifest_magic = "XKLIV001"
+let docs_magic = "XKDOC001"
+let frame_version = 1
+
+let write_framed ~fsync ~magic path payload =
+  let buf = Buffer.create (String.length payload + 24) in
+  Buffer.add_string buf magic;
+  Varint.write buf frame_version;
+  Varint.write buf (String.length payload);
+  Varint.write buf (Crc32.string payload);
+  Buffer.add_string buf payload;
+  Durable.write_string_atomically ~fsync path (Buffer.contents buf)
+
+let read_framed ~magic path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error (Io m)
+  | data -> (
+      let name = Filename.basename path in
+      let mlen = String.length magic in
+      if String.length data < mlen || String.sub data 0 mlen <> magic then
+        Error (Corrupt (name ^ ": bad magic"))
+      else
+        let cur = Varint.cursor_at data mlen in
+        match (Varint.read_opt cur, Varint.read_opt cur, Varint.read_opt cur) with
+        | Some v, _, _ when v <> frame_version ->
+            Error (Corrupt (Printf.sprintf "%s: unsupported version %d" name v))
+        | Some _, Some plen, Some crc ->
+            if cur.Varint.pos + plen <> String.length data then
+              Error (Corrupt (name ^ ": bad payload length"))
+            else if Crc32.sub data ~pos:cur.Varint.pos ~len:plen <> crc then
+              Error (Corrupt (name ^ ": checksum mismatch"))
+            else Ok (String.sub data cur.Varint.pos plen)
+        | _ -> Error (Corrupt (name ^ ": truncated header")))
+
+(* Payload codecs.  Decoders parse bytes whose CRC already checked out,
+   so a short read here is structural damage, not a torn write; the
+   local exception keeps them readable and is converted to [Corrupt]
+   at the single entry point of each decoder. *)
+
+exception Bad of string
+
+let rd cur =
+  match Varint.read_opt cur with
+  | Some v -> v
+  | None -> raise (Bad "truncated payload")
+
+let rd_string cur =
+  let n = rd cur in
+  if n < 0 || cur.Varint.pos + n > String.length cur.Varint.data then
+    raise (Bad "truncated payload");
+  let s = String.sub cur.Varint.data cur.Varint.pos n in
+  cur.Varint.pos <- cur.Varint.pos + n;
+  s
+
+type manifest = {
+  m_root_tag : string;
+  m_root_attrs : Xk_xml.Xml_tree.attribute list;
+  m_next_doc : int;
+  m_durable_lsn : int;
+  m_gens : int list;
+}
+
+let encode_manifest m =
+  let buf = Buffer.create 256 in
+  let str s =
+    Varint.write buf (String.length s);
+    Buffer.add_string buf s
+  in
+  str m.m_root_tag;
+  Varint.write buf (List.length m.m_root_attrs);
+  List.iter
+    (fun (a : Xk_xml.Xml_tree.attribute) ->
+      str a.attr_name;
+      str a.attr_value)
+    m.m_root_attrs;
+  Varint.write buf m.m_next_doc;
+  Varint.write buf m.m_durable_lsn;
+  Varint.write buf (List.length m.m_gens);
+  List.iter (Varint.write buf) m.m_gens;
+  Buffer.contents buf
+
+let decode_manifest payload =
+  match
+    let cur = Varint.cursor payload in
+    let m_root_tag = rd_string cur in
+    let nattrs = rd cur in
+    let m_root_attrs =
+      List.init nattrs (fun _ ->
+          let attr_name = rd_string cur in
+          let attr_value = rd_string cur in
+          { Xk_xml.Xml_tree.attr_name; attr_value })
+    in
+    let m_next_doc = rd cur in
+    let m_durable_lsn = rd cur in
+    let ngens = rd cur in
+    let m_gens = List.init ngens (fun _ -> rd cur) in
+    { m_root_tag; m_root_attrs; m_next_doc; m_durable_lsn; m_gens }
+  with
+  | m -> Ok m
+  | exception Bad msg -> Error (Corrupt ("manifest: " ^ msg))
+
+let encode_docs docs =
+  let buf = Buffer.create 4096 in
+  Varint.write buf (List.length docs);
+  List.iter
+    (fun (id, subtree) ->
+      Varint.write buf id;
+      Wal.encode_subtree buf subtree)
+    docs;
+  Buffer.contents buf
+
+let decode_docs payload =
+  match
+    let cur = Varint.cursor payload in
+    let n = rd cur in
+    List.init n (fun _ ->
+        let id = rd cur in
+        match Wal.decode_subtree cur with
+        | Ok subtree -> (id, subtree)
+        | Error m -> raise (Bad m))
+  with
+  | docs -> Ok (List.sort (fun (a, _) (b, _) -> Int.compare a b) docs)
+  | exception Bad msg -> Error (Corrupt ("documents: " ^ msg))
+
+(* Snapshot assembly: shard 0 is the delta, one shard per sealed
+   generation after it.  A generation none of whose documents the delta
+   touches is clean and may serve its saved index. *)
+
+let build_snapshot ?damping ~dir ~root_tag ~root_attrs ~lsn ~sealed ~delta () =
+  let delta_group = { Snapshot.g_docs = Delta.upserts delta; g_index = None } in
+  let seg_group seg =
+    let surviving =
+      List.filter (fun (id, _) -> not (Delta.touches delta id)) seg.seg_docs
+    in
+    let dirty = List.compare_lengths surviving seg.seg_docs <> 0 in
+    {
+      Snapshot.g_docs = surviving;
+      g_index = (if dirty then None else Some (idx_path dir seg.seg_gen));
+    }
+  in
+  Snapshot.build ?damping ~root_tag ~root_attrs ~lsn
+    (delta_group :: List.map seg_group sealed)
+
+(* Construction and recovery *)
+
+let create ?(fsync = true) ?auto_compact ?damping ~root_tag ?(root_attrs = [])
+    dir =
+  match
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  with
+  | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  | () -> (
+      if Sys.file_exists (manifest_path dir) then
+        Error (Io (dir ^ ": already a live store"))
+      else
+        match
+          write_framed ~fsync ~magic:manifest_magic (manifest_path dir)
+            (encode_manifest
+               {
+                 m_root_tag = root_tag;
+                 m_root_attrs = root_attrs;
+                 m_next_doc = 0;
+                 m_durable_lsn = 0;
+                 m_gens = [];
+               })
+        with
+        | exception Sys_error m -> Error (Io m)
+        | () ->
+            Result.bind
+              (Result.map_error of_wal_error
+                 (Wal.create ~fsync ~base_lsn:0 (wal_path dir)))
+              (fun wal ->
+                let snapshot =
+                  build_snapshot ?damping ~dir ~root_tag ~root_attrs ~lsn:0
+                    ~sealed:[] ~delta:Delta.empty ()
+                in
+                Ok
+                  {
+                    l_dir = dir;
+                    l_fsync = fsync;
+                    l_auto = auto_compact;
+                    l_damping = damping;
+                    l_root_tag = root_tag;
+                    l_root_attrs = root_attrs;
+                    l_writer = Atomic.make false;
+                    l_wal = wal;
+                    l_state =
+                      Atomic.make
+                        {
+                          st_lsn = 0;
+                          st_next_doc = 0;
+                          st_sealed = [];
+                          st_delta = Delta.empty;
+                          st_snapshot = snapshot;
+                        };
+                  }))
+
+(* seg-<gen>.docs / seg-<gen>.idx basename -> generation *)
+let seg_file_gen name =
+  let parse suffix =
+    if
+      Filename.check_suffix name suffix
+      && String.length name > 4 + String.length suffix
+      && String.sub name 0 4 = "seg-"
+    then
+      int_of_string_opt
+        (String.sub name 4 (String.length name - 4 - String.length suffix))
+    else None
+  in
+  match parse ".docs" with Some g -> Some g | None -> parse ".idx"
+
+(* Remove what no manifest references: temp files of writes that never
+   committed, and segment files of generations the manifest dropped
+   (a crash between segment writes and the manifest rename, or between
+   the rename and the unlink pass). *)
+let gc_orphans dir ~gens =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          let orphan =
+            Filename.check_suffix name ".tmp"
+            || match seg_file_gen name with
+               | Some g -> not (List.mem g gens)
+               | None -> false
+          in
+          if orphan then
+            try Sys.remove (Filename.concat dir name)
+            with Sys_error _ -> ())
+        names
+
+let ( let* ) = Result.bind
+
+let open_ ?(fsync = true) ?auto_compact ?damping dir =
+  let* payload = read_framed ~magic:manifest_magic (manifest_path dir) in
+  let* m = decode_manifest payload in
+  let* sealed =
+    List.fold_left
+      (fun acc gen ->
+        let* segs = acc in
+        let* payload = read_framed ~magic:docs_magic (docs_path dir gen) in
+        let* docs = decode_docs payload in
+        Ok ({ seg_gen = gen; seg_docs = docs } :: segs))
+      (Ok []) m.m_gens
+  in
+  let sealed = List.rev sealed in
+  let wal_file = wal_path dir in
+  let* wal, records =
+    let missing =
+      (not (Sys.file_exists wal_file))
+      ||
+      match Unix.stat wal_file with
+      | { st_size = 0; _ } -> true
+      | _ -> false
+      | exception Unix.Unix_error _ -> false
+    in
+    if missing then
+      Result.map_error of_wal_error
+        (Result.map
+           (fun w -> (w, []))
+           (Wal.create ~fsync ~base_lsn:m.m_durable_lsn wal_file))
+    else Result.map_error of_wal_error (Wal.open_existing ~fsync wal_file)
+  in
+  let delta, max_insert =
+    List.fold_left
+      (fun (delta, mx) (r : Wal.record) ->
+        if r.lsn <= m.m_durable_lsn then (delta, mx)
+        else
+          ( Delta.apply delta r.op,
+            match r.op with
+            | Wal.Insert { doc_id; _ } -> max mx doc_id
+            | Wal.Delete _ -> mx ))
+      (Delta.empty, -1) records
+  in
+  gc_orphans dir ~gens:m.m_gens;
+  let lsn = max m.m_durable_lsn (Wal.lsn wal) in
+  let next_doc = max m.m_next_doc (max_insert + 1) in
+  let snapshot =
+    build_snapshot ?damping ~dir ~root_tag:m.m_root_tag
+      ~root_attrs:m.m_root_attrs ~lsn ~sealed ~delta ()
+  in
+  Ok
+    {
+      l_dir = dir;
+      l_fsync = fsync;
+      l_auto = auto_compact;
+      l_damping = damping;
+      l_root_tag = m.m_root_tag;
+      l_root_attrs = m.m_root_attrs;
+      l_writer = Atomic.make false;
+      l_wal = wal;
+      l_state =
+        Atomic.make
+          {
+            st_lsn = lsn;
+            st_next_doc = next_doc;
+            st_sealed = sealed;
+            st_delta = delta;
+            st_snapshot = snapshot;
+          };
+    }
+
+let close t = Wal.close t.l_wal
+
+(* Accessors *)
+
+let snapshot t = (Atomic.get t.l_state).st_snapshot
+let lsn t = (Atomic.get t.l_state).st_lsn
+let doc_count t = Snapshot.doc_count (snapshot t)
+let pending_ops t = Delta.ops (Atomic.get t.l_state).st_delta
+let sealed_gens t = List.map (fun s -> s.seg_gen) (Atomic.get t.l_state).st_sealed
+let dir t = t.l_dir
+
+(* The writer token.  Fun.protect releases it even when a chaos crash
+   point fires mid-mutation: the "dead process" semantics apply to the
+   files, not to the in-memory token of the test harness's process. *)
+let with_writer t f =
+  if Atomic.compare_and_set t.l_writer false true then
+    Fun.protect ~finally:(fun () -> Atomic.set t.l_writer false) f
+  else Error Busy
+
+(* Compaction *)
+
+let rm path = try Sys.remove path with Sys_error _ -> ()
+
+let compact_steps t st ~clean ~dirty ~delta =
+  Chaos.crash_point "compact-begin";
+  let merged =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (Delta.upserts delta
+      @ List.concat_map
+          (fun seg ->
+            List.filter
+              (fun (id, _) -> not (Delta.touches delta id))
+              seg.seg_docs)
+          dirty)
+  in
+  let next_gen =
+    1 + List.fold_left (fun m s -> max m s.seg_gen) 0 st.st_sealed
+  in
+  if Chaos.crash_armed "compact-docs-torn" && merged <> [] then begin
+    (* a torn temp write: half the docs file lands, then the process
+       dies before the rename.  Recovery's orphan GC must remove it. *)
+    let payload = encode_docs merged in
+    let oc = open_out_bin (docs_path t.l_dir next_gen ^ ".tmp") in
+    output_string oc (String.sub payload 0 (String.length payload / 2));
+    flush oc;
+    close_out_noerr oc;
+    Chaos.crash_point "compact-docs-torn"
+  end;
+  let* new_seg =
+    if merged = [] then Ok None
+    else begin
+      write_framed ~fsync:t.l_fsync ~magic:docs_magic
+        (docs_path t.l_dir next_gen)
+        (encode_docs merged);
+      Chaos.crash_point "compact-docs";
+      let sub =
+        {
+          Xk_xml.Xml_tree.root =
+            Xk_xml.Xml_tree.element t.l_root_tag (List.map snd merged);
+        }
+      in
+      let idx =
+        Index.build ?damping:t.l_damping (Xk_encoding.Labeling.label sub)
+      in
+      Index_io.save idx (idx_path t.l_dir next_gen);
+      let* () =
+        match Index_io.verify (idx_path t.l_dir next_gen) with
+        | Ok () -> Ok ()
+        | Error le ->
+            Error
+              (Io
+                 ("segment verify failed after write: "
+                 ^ Index_io.load_error_message le))
+      in
+      Chaos.crash_point "compact-seg";
+      Ok (Some { seg_gen = next_gen; seg_docs = merged })
+    end
+  in
+  Chaos.crash_point "compact-manifest";
+  let gens' =
+    List.map (fun s -> s.seg_gen) clean
+    @ match new_seg with Some s -> [ s.seg_gen ] | None -> []
+  in
+  write_framed ~fsync:t.l_fsync ~magic:manifest_magic (manifest_path t.l_dir)
+    (encode_manifest
+       {
+         m_root_tag = t.l_root_tag;
+         m_root_attrs = t.l_root_attrs;
+         m_next_doc = st.st_next_doc;
+         m_durable_lsn = st.st_lsn;
+         m_gens = gens';
+       });
+  Chaos.crash_point "compact-rotate";
+  (* Rotate the WAL through a temp file and a rename, so there is no
+     instant at which [wal.log] exists with a half-written header. *)
+  Wal.close t.l_wal;
+  let wal_file = wal_path t.l_dir in
+  let* w0 =
+    Result.map_error of_wal_error
+      (Wal.create ~fsync:t.l_fsync ~base_lsn:st.st_lsn (wal_file ^ ".tmp"))
+  in
+  Wal.close w0;
+  Sys.rename (wal_file ^ ".tmp") wal_file;
+  if t.l_fsync then Durable.fsync_dir t.l_dir;
+  let* w, _ =
+    Result.map_error of_wal_error (Wal.open_existing ~fsync:t.l_fsync wal_file)
+  in
+  t.l_wal <- w;
+  Chaos.crash_point "compact-done";
+  List.iter
+    (fun s ->
+      rm (docs_path t.l_dir s.seg_gen);
+      rm (idx_path t.l_dir s.seg_gen))
+    dirty;
+  (* Readers are untouched: the published snapshot already serves this
+     content, only the storage layout behind future snapshots moved. *)
+  Atomic.set t.l_state
+    {
+      st with
+      st_sealed = (clean @ match new_seg with Some s -> [ s ] | None -> []);
+      st_delta = Delta.empty;
+    };
+  Ok ()
+
+let compact_locked t =
+  let st = Atomic.get t.l_state in
+  let delta = st.st_delta in
+  let dirty, clean =
+    List.partition
+      (fun seg -> List.exists (fun (id, _) -> Delta.touches delta id) seg.seg_docs)
+      st.st_sealed
+  in
+  if Delta.is_empty delta && dirty = [] && Wal.base_lsn t.l_wal = st.st_lsn
+  then Ok ()
+  else
+    match compact_steps t st ~clean ~dirty ~delta with
+    | exception Sys_error m -> Error (Io m)
+    | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+    | r -> r
+
+let compact t = with_writer t (fun () -> compact_locked t)
+
+(* Mutation *)
+
+(* Round-trip a subtree through the WAL codec before anything touches
+   disk: the delta then holds exactly what recovery would reconstruct,
+   so the in-memory store and a post-crash reopen cannot diverge, and a
+   subtree the codec cannot carry is rejected up front. *)
+let canonical_op op =
+  match op with
+  | Wal.Delete _ -> Ok op
+  | Wal.Insert { doc_id; subtree } -> (
+      let buf = Buffer.create 256 in
+      Wal.encode_subtree buf subtree;
+      match Wal.decode_subtree (Varint.cursor (Buffer.contents buf)) with
+      | Ok subtree -> Ok (Wal.Insert { doc_id; subtree })
+      | Error m -> Error (Unstorable m))
+
+let plan_batch st muts =
+  let live = Hashtbl.create 64 in
+  List.iter
+    (fun seg ->
+      List.iter
+        (fun (id, _) ->
+          if not (Delta.is_deleted st.st_delta id) then
+            Hashtbl.replace live id ())
+        seg.seg_docs)
+    st.st_sealed;
+  List.iter
+    (fun (id, _) -> Hashtbl.replace live id ())
+    (Delta.upserts st.st_delta);
+  let* ops_rev, ids_rev, next =
+    List.fold_left
+      (fun acc mut ->
+        let* ops, ids, next = acc in
+        match mut with
+        | Add subtree ->
+            let* op = canonical_op (Wal.Insert { doc_id = next; subtree }) in
+            Hashtbl.replace live next ();
+            Ok (op :: ops, next :: ids, next + 1)
+        | Replace (id, subtree) ->
+            if not (Hashtbl.mem live id) then Error (Unknown_doc id)
+            else
+              let* op = canonical_op (Wal.Insert { doc_id = id; subtree }) in
+              Ok (op :: ops, id :: ids, next)
+        | Remove id ->
+            if not (Hashtbl.mem live id) then Error (Unknown_doc id)
+            else begin
+              Hashtbl.remove live id;
+              Ok (Wal.Delete { doc_id = id } :: ops, id :: ids, next)
+            end)
+      (Ok ([], [], st.st_next_doc))
+      muts
+  in
+  Ok (List.rev ops_rev, List.rev ids_rev, next)
+
+let mutate t muts =
+  with_writer t (fun () ->
+      let st = Atomic.get t.l_state in
+      let* ops, ids, _next = plan_batch st muts in
+      (* Append everything we can; a failed append keeps the durable
+         prefix applied so memory and disk agree. *)
+      let rec append_all acc = function
+        | [] -> (List.rev acc, None)
+        | op :: rest -> (
+            match Wal.append t.l_wal op with
+            | Ok _ -> append_all (op :: acc) rest
+            | Error e -> (List.rev acc, Some (of_wal_error e)))
+      in
+      let applied, failure = append_all [] ops in
+      let publish () =
+        if applied <> [] then begin
+          let delta = List.fold_left Delta.apply st.st_delta applied in
+          let next_doc =
+            List.fold_left
+              (fun n op ->
+                match op with
+                | Wal.Insert { doc_id; _ } -> max n (doc_id + 1)
+                | Wal.Delete _ -> n)
+              st.st_next_doc applied
+          in
+          let lsn = Wal.lsn t.l_wal in
+          let snapshot =
+            build_snapshot ?damping:t.l_damping ~dir:t.l_dir
+              ~root_tag:t.l_root_tag ~root_attrs:t.l_root_attrs ~lsn
+              ~sealed:st.st_sealed ~delta ()
+          in
+          Atomic.set t.l_state
+            {
+              st_lsn = lsn;
+              st_next_doc = next_doc;
+              st_sealed = st.st_sealed;
+              st_delta = delta;
+              st_snapshot = snapshot;
+            }
+        end
+      in
+      publish ();
+      match failure with
+      | Some e -> Error e
+      | None -> (
+          match t.l_auto with
+          | Some threshold
+            when Delta.ops (Atomic.get t.l_state).st_delta >= threshold ->
+              let* () = compact_locked t in
+              Ok ids
+          | _ -> Ok ids))

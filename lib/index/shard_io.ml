@@ -50,16 +50,7 @@ let replica_path path ~shard ~replica =
   else Printf.sprintf "%s.%03d.r%d.seg" path shard replica
 
 let write_atomically path (write : out_channel -> unit) =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     write oc;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  Xk_storage.Durable.write_atomically path write
 
 exception Verify_failed of string
 

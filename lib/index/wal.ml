@@ -1,0 +1,282 @@
+(* Append-only write-ahead log.  Framing keeps records self-delimiting
+   ([varint len | varint crc | payload]) so recovery can walk the file
+   without trusting anything but the bytes themselves: a record that
+   ends past EOF, or whose trailing checksum fails, is a torn tail from
+   a crash mid-append and is truncated away; a checksum failure with
+   intact records after it cannot come from a crash and is reported as
+   corruption instead.
+
+   All byte-level reads go through bounds-checked helpers rather than
+   the raw [Varint] cursor: recovery parses files that are torn by
+   construction, and a decoder that raises on short input would turn
+   the expected case into an exception. *)
+
+module Varint = Xk_storage.Varint
+module Crc32 = Xk_storage.Crc32
+module Chaos = Xk_resilience.Chaos
+
+let magic = "XKWAL001"
+let version = 1
+
+type op =
+  | Insert of { doc_id : int; subtree : Xk_xml.Xml_tree.node }
+  | Delete of { doc_id : int }
+
+type record = { lsn : int; op : op }
+
+type error = Corrupted of string | Io of string
+
+let error_message = function
+  | Corrupted m -> "corrupted WAL: " ^ m
+  | Io m -> "WAL IO failure: " ^ m
+
+type t = {
+  w_path : string;
+  w_fsync : bool;
+  w_base : int;
+  mutable w_oc : out_channel option;
+  mutable w_lsn : int;
+}
+
+let read_varint_opt = Varint.read_opt
+
+let take (cur : Varint.cursor) n =
+  if n < 0 || cur.pos + n > String.length cur.data then Error "short read"
+  else begin
+    let s = String.sub cur.data cur.pos n in
+    cur.pos <- cur.pos + n;
+    Ok s
+  end
+
+(* Subtree codec, shared with the sealed-segment document files. *)
+
+let encode_subtree buf (node : Xk_xml.Xml_tree.node) =
+  match node with
+  | Element e ->
+      Buffer.add_char buf '\000';
+      let xml = Xk_xml.Xml_print.to_string { Xk_xml.Xml_tree.root = e } in
+      Varint.write buf (String.length xml);
+      Buffer.add_string buf xml
+  | Text s ->
+      Buffer.add_char buf '\001';
+      Varint.write buf (String.length s);
+      Buffer.add_string buf s
+
+let decode_subtree cur =
+  match take cur 1 with
+  | Error _ as e -> e
+  | Ok flag -> (
+      match read_varint_opt cur with
+      | None -> Error "short read"
+      | Some len -> (
+          match take cur len with
+          | Error _ as e -> e
+          | Ok bytes -> (
+              match flag.[0] with
+              | '\000' -> (
+                  match Xk_xml.Xml_parser.parse_string ~keep_ws:true bytes with
+                  | Ok doc -> Ok (Xk_xml.Xml_tree.Element doc.root)
+                  | Error e ->
+                      Error
+                        (Printf.sprintf "bad subtree XML: %s" e.message))
+              | '\001' -> Ok (Xk_xml.Xml_tree.Text bytes)
+              | c ->
+                  Error
+                    (Printf.sprintf "bad subtree flag 0x%02x" (Char.code c)))))
+
+let encode_op op =
+  let buf = Buffer.create 64 in
+  (match op with
+  | Insert { doc_id; subtree } ->
+      Buffer.add_char buf '\001';
+      Varint.write buf doc_id;
+      encode_subtree buf subtree
+  | Delete { doc_id } ->
+      Buffer.add_char buf '\002';
+      Varint.write buf doc_id);
+  Buffer.contents buf
+
+let decode_op payload =
+  let cur = Varint.cursor payload in
+  match take cur 1 with
+  | Error _ as e -> e
+  | Ok tag -> (
+      match read_varint_opt cur with
+      | None -> Error "short read"
+      | Some doc_id -> (
+          match tag.[0] with
+          | '\001' ->
+              Result.map
+                (fun subtree -> Insert { doc_id; subtree })
+                (decode_subtree cur)
+          | '\002' -> Ok (Delete { doc_id })
+          | c -> Error (Printf.sprintf "bad op tag 0x%02x" (Char.code c))))
+
+let header_bytes ~base_lsn =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf magic;
+  Varint.write buf version;
+  Varint.write buf base_lsn;
+  Buffer.contents buf
+
+let open_append path =
+  open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+
+let create ?(fsync = true) ~base_lsn path =
+  match
+    let oc = open_out_bin path in
+    output_string oc (header_bytes ~base_lsn);
+    flush oc;
+    if fsync then Xk_storage.Durable.fsync_out_channel oc;
+    close_out oc;
+    if fsync then Xk_storage.Durable.fsync_dir (Filename.dirname path)
+  with
+  | () ->
+      Ok
+        {
+          w_path = path;
+          w_fsync = fsync;
+          w_base = base_lsn;
+          w_oc = Some (open_append path);
+          w_lsn = base_lsn;
+        }
+  | exception Sys_error m -> Error (Io m)
+
+(* Walk the records after the header.  Returns the surviving payloads
+   and the offset of the first byte past the last intact record; a torn
+   tail shows up as [keep < String.length data]. *)
+let scan_records data ~from =
+  let len = String.length data in
+  let cur = Varint.cursor_at data from in
+  let rec go acc keep =
+    if cur.Varint.pos >= len then Ok (List.rev acc, keep)
+    else
+      match read_varint_opt cur with
+      | None -> Ok (List.rev acc, keep) (* torn mid-length *)
+      | Some plen -> (
+          match read_varint_opt cur with
+          | None -> Ok (List.rev acc, keep) (* torn mid-crc *)
+          | Some crc ->
+              if cur.pos + plen > len then Ok (List.rev acc, keep)
+                (* declared length past EOF: torn payload *)
+              else if Crc32.sub data ~pos:cur.pos ~len:plen <> crc then
+                if cur.pos + plen >= len then Ok (List.rev acc, keep)
+                  (* final record, bad bytes: torn *)
+                else
+                  Error
+                    (Printf.sprintf
+                       "record checksum mismatch at offset %d (not the \
+                        final record)"
+                       keep)
+              else begin
+                let payload = String.sub data cur.pos plen in
+                cur.pos <- cur.pos + plen;
+                go (payload :: acc) cur.pos
+              end)
+  in
+  go [] from
+
+let open_existing ?(fsync = true) path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error (Io m)
+  | data -> (
+      let hlen = String.length magic in
+      if String.length data < hlen || String.sub data 0 hlen <> magic then
+        Error (Corrupted "bad magic")
+      else
+        let cur = Varint.cursor_at data hlen in
+        match (read_varint_opt cur, read_varint_opt cur) with
+        | Some v, _ when v <> version ->
+            Error (Corrupted (Printf.sprintf "unsupported version %d" v))
+        | Some _, Some base_lsn -> (
+            match scan_records data ~from:cur.pos with
+            | Error m -> Error (Corrupted m)
+            | Ok (payloads, keep) -> (
+                let decoded =
+                  List.fold_left
+                    (fun acc payload ->
+                      Result.bind acc (fun (records, lsn) ->
+                          match decode_op payload with
+                          | Ok op ->
+                              Ok ({ lsn = lsn + 1; op } :: records, lsn + 1)
+                          | Error m ->
+                              (* valid checksum, undecodable bytes: not
+                                 crash damage *)
+                              Error (Corrupted ("bad record: " ^ m))))
+                    (Ok ([], base_lsn))
+                    payloads
+                in
+                match decoded with
+                | Error _ as e -> e
+                | Ok (rev_records, last_lsn) -> (
+                    match
+                      if keep < String.length data then begin
+                        (* heal the torn tail in place *)
+                        Unix.truncate path keep;
+                        if fsync then begin
+                          Xk_storage.Durable.fsync_file path;
+                          Xk_storage.Durable.fsync_dir
+                            (Filename.dirname path)
+                        end
+                      end
+                    with
+                    | exception Unix.Unix_error (e, _, _) ->
+                        Error (Io (Unix.error_message e))
+                    | () -> (
+                        match open_append path with
+                        | exception Sys_error m -> Error (Io m)
+                        | oc ->
+                            Ok
+                              ( {
+                                  w_path = path;
+                                  w_fsync = fsync;
+                                  w_base = base_lsn;
+                                  w_oc = Some oc;
+                                  w_lsn = last_lsn;
+                                },
+                                List.rev rev_records )))))
+        | _ -> Error (Corrupted "truncated header"))
+
+let writer t =
+  match t.w_oc with
+  | Some oc -> Ok oc
+  | None -> Error (Io "log is closed")
+
+let append t op =
+  Result.bind (writer t) (fun oc ->
+      let payload = encode_op op in
+      let frame = Buffer.create (String.length payload + 10) in
+      Varint.write frame (String.length payload);
+      Varint.write frame (Crc32.string payload);
+      Buffer.add_string frame payload;
+      let data = Buffer.contents frame in
+      match
+        if Chaos.crash_armed "wal-append" then begin
+          (* a torn write: half the frame reaches the file, then the
+             process dies.  No cleanup — recovery must heal this. *)
+          output_string oc (String.sub data 0 (String.length data / 2));
+          flush oc;
+          Chaos.crash_point "wal-append"
+        end;
+        output_string oc data;
+        flush oc;
+        Chaos.crash_point "wal-pre-fsync";
+        if t.w_fsync then
+          Xk_storage.Durable.fsync_fd (Unix.descr_of_out_channel oc);
+        Chaos.crash_point "wal-post-fsync"
+      with
+      | () ->
+          t.w_lsn <- t.w_lsn + 1;
+          Ok t.w_lsn
+      | exception Sys_error m -> Error (Io m))
+
+let base_lsn t = t.w_base
+let lsn t = t.w_lsn
+let path t = t.w_path
+
+let close t =
+  match t.w_oc with
+  | None -> ()
+  | Some oc ->
+      t.w_oc <- None;
+      close_out_noerr oc

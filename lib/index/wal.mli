@@ -1,0 +1,81 @@
+(** Write-ahead log for live index mutation.
+
+    One append-only file per live store.  The header is a magic string,
+    a format version and the {e base LSN} — the log sequence number the
+    durable (compacted) state already covers, so replay after a crash
+    applies only records the segments have not absorbed.  Each record is
+    framed as [varint length | varint crc32 | payload] and fsynced
+    before the mutation is acknowledged, which makes every acknowledged
+    operation recoverable.
+
+    A crash mid-append leaves a {e torn} final record: the declared
+    length runs past the end of the file, or the checksum of the bytes
+    that did land does not match.  {!open_existing} heals that tail —
+    the file is truncated back to the last intact record and the torn
+    suffix is gone, exactly the pre-mutation state the writer never got
+    to acknowledge.  Damage {e before} the tail is different: an
+    earlier record can only fail its CRC through bit rot, not through a
+    crash, so it is reported as {!Corrupted} rather than silently
+    dropped.
+
+    The writer cooperates with {!Xk_resilience.Chaos} crash drills: an
+    armed [crash@wal-append] makes {!append} write only a prefix of the
+    record before dying, simulating the torn write that recovery must
+    heal. *)
+
+type op =
+  | Insert of { doc_id : int; subtree : Xk_xml.Xml_tree.node }
+      (** insert-or-replace: the document with this id becomes
+          [subtree] *)
+  | Delete of { doc_id : int }
+
+type record = { lsn : int; op : op }
+
+type error =
+  | Corrupted of string
+      (** bad magic, version, or a checksum failure before the final
+          record — damage replay must not paper over *)
+  | Io of string  (** the OS refused an open/read/write *)
+
+val error_message : error -> string
+
+type t
+(** An open log with its write channel positioned at the end.  Handles
+    are single-writer: the live store serializes access through its
+    writer token. *)
+
+val create : ?fsync:bool -> base_lsn:int -> string -> (t, error) result
+(** Create (or truncate) the log at a path, writing a fresh header.
+    [fsync:false] skips every sync (tests only). *)
+
+val open_existing :
+  ?fsync:bool -> string -> (t * record list, error) result
+(** Open an existing log for recovery: parse the header, decode every
+    intact record, truncate a torn tail in place, and return the handle
+    positioned for appending together with the surviving records in
+    append order.  Records at or below the base LSN have already been
+    compacted into segments; the caller skips them during replay. *)
+
+val append : t -> op -> (int, error) result
+(** Frame, write and fsync one record; returns its LSN.  The record is
+    durable when [append] returns.  Fires the [wal-append] (torn
+    write), [wal-pre-fsync] and [wal-post-fsync] crash points. *)
+
+val base_lsn : t -> int
+val lsn : t -> int
+(** LSN of the last record written or recovered (= [base_lsn] when the
+    log is empty). *)
+
+val path : t -> string
+val close : t -> unit
+
+(** {1 Subtree codec}
+
+    Shared with the sealed-segment document files: a flag byte (0 =
+    element, serialized XML; 1 = raw text) then a length-prefixed byte
+    string. *)
+
+val encode_subtree : Buffer.t -> Xk_xml.Xml_tree.node -> unit
+
+val decode_subtree :
+  Xk_storage.Varint.cursor -> (Xk_xml.Xml_tree.node, string) result

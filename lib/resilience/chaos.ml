@@ -12,6 +12,7 @@
    outside it. *)
 
 exception Killed of { shard : int; replica : int }
+exception Crashed of string
 
 type target = { t_shard : int option; t_replica : int option }
 
@@ -20,6 +21,7 @@ type event =
   | Slow of { target : target; from_tick : int; ms : float }
   | Corrupt of { target : target }
   | Drop of { target : target; from_tick : int }
+  | Crash of { step : string }
 
 type schedule = event list
 
@@ -30,6 +32,7 @@ type state = {
   mutable kills : int; (* attempts killed so far *)
   mutable slowdowns : int; (* attempts delayed so far *)
   mutable drops : int; (* connections refused so far *)
+  mutable crashes : int; (* crash points fired so far *)
 }
 
 let default_sleep ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
@@ -43,6 +46,7 @@ let state =
       kills = 0;
       slowdowns = 0;
       drops = 0;
+      crashes = 0;
     }
 
 let matches t ~shard ~replica =
@@ -56,25 +60,31 @@ let install ?(sleep = default_sleep) events =
       st.sleep <- sleep;
       st.kills <- 0;
       st.slowdowns <- 0;
-      st.drops <- 0)
+      st.drops <- 0;
+      st.crashes <- 0)
 
 let clear () = install []
 
 let active () = Xk_util.Sync.Protected.with_ state (fun st -> st.events <> [])
 let tick () = Xk_util.Sync.Protected.with_ state (fun st -> st.tick)
 
-type counters = { kills : int; slowdowns : int; drops : int }
+type counters = { kills : int; slowdowns : int; drops : int; crashes : int }
 
 let counters () =
   Xk_util.Sync.Protected.with_ state (fun st ->
-      { kills = st.kills; slowdowns = st.slowdowns; drops = st.drops })
+      {
+        kills = st.kills;
+        slowdowns = st.slowdowns;
+        drops = st.drops;
+        crashes = st.crashes;
+      })
 
 let corrupt_targets () =
   Xk_util.Sync.Protected.with_ state (fun st ->
       List.filter_map
         (function
           | Corrupt { target } -> Some target
-          | Kill _ | Slow _ | Drop _ -> None)
+          | Kill _ | Slow _ | Drop _ | Crash _ -> None)
         st.events)
 
 let corrupt_matches ~shard ~replica =
@@ -93,7 +103,7 @@ let on_attempt ~shard ~replica =
               (function
                 | Kill { target; from_tick } ->
                     now >= from_tick && matches target ~shard ~replica
-                | Slow _ | Corrupt _ | Drop _ -> false)
+                | Slow _ | Corrupt _ | Drop _ | Crash _ -> false)
               st.events
           in
           if kill then begin
@@ -107,7 +117,7 @@ let on_attempt ~shard ~replica =
                   | Slow { target; from_tick; ms }
                     when now >= from_tick && matches target ~shard ~replica ->
                       acc +. ms
-                  | Kill _ | Slow _ | Corrupt _ | Drop _ -> acc)
+                  | Kill _ | Slow _ | Corrupt _ | Drop _ | Crash _ -> acc)
                 0.0 st.events
             in
             if delay > 0. then begin
@@ -135,7 +145,7 @@ let on_connect ~shard ~replica =
              (function
                | Drop { target; from_tick } ->
                    st.tick >= from_tick && matches target ~shard ~replica
-               | Kill _ | Slow _ | Corrupt _ -> false)
+               | Kill _ | Slow _ | Corrupt _ | Crash _ -> false)
              st.events
         && begin
              st.drops <- st.drops + 1;
@@ -144,11 +154,53 @@ let on_connect ~shard ~replica =
   in
   if dropped then raise (Killed { shard; replica })
 
+let crash_armed step =
+  Xk_util.Sync.Protected.with_ state (fun st ->
+      List.exists
+        (function
+          | Crash c -> c.step = step
+          | Kill _ | Slow _ | Corrupt _ | Drop _ -> false)
+        st.events)
+
+(* Fires at most once per installed event: the decision consumes the
+   event under the lock, the raise happens outside it. *)
+let crash_point step =
+  let fire =
+    Xk_util.Sync.Protected.with_ state (fun st ->
+        let armed =
+          List.exists
+            (function
+              | Crash c -> c.step = step
+              | Kill _ | Slow _ | Corrupt _ | Drop _ -> false)
+            st.events
+        in
+        if armed then begin
+          st.events <-
+            List.filter
+              (function
+                | Crash c -> c.step <> step
+                | Kill _ | Slow _ | Corrupt _ | Drop _ -> true)
+              st.events;
+          st.crashes <- st.crashes + 1
+        end;
+        armed)
+  in
+  if fire then raise (Crashed step)
+
+let crash_steps () =
+  Xk_util.Sync.Protected.with_ state (fun st ->
+      List.filter_map
+        (function
+          | Crash c -> Some c.step
+          | Kill _ | Slow _ | Corrupt _ | Drop _ -> None)
+        st.events)
+
 (* Spec syntax, comma-separated events:
      kill@s<S>r<R>:<tick>         kill attempts on shard S replica R from tick
      slow@s<S>r<R>:<tick>:<ms>    add <ms> latency from tick
      corrupt@s<S>r<R>             corrupt that replica's segment on disk
      drop@s<S>r<R>:<tick>         refuse connections to that replica from tick
+     crash@<step>                 die once at a named durability step
    S and R accept [*] as a wildcard, e.g. [kill@s*r1:0]. *)
 
 let parse_target s =
@@ -197,11 +249,12 @@ let parse_event item =
               | Some from_tick when from_tick >= 0 ->
                   Ok (Drop { target; from_tick })
               | _ -> Error (Printf.sprintf "bad drop tick %S" tick))
+      | "crash", [ step ] when step <> "" -> Ok (Crash { step })
       | _ ->
           Error
             (Printf.sprintf
                "bad chaos event %S (want kill@T:tick, slow@T:tick:ms, \
-                corrupt@T, drop@T:tick)"
+                corrupt@T, drop@T:tick, crash@step)"
                item))
 
 let of_spec spec =

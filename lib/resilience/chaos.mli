@@ -19,6 +19,14 @@ exception Killed of { shard : int; replica : int }
     "down" for this attempt.  [Shard_exec] treats it as a replica
     failure and fails over. *)
 
+exception Crashed of string
+(** Raised by {!crash_point} for an armed crash event: the process
+    "dies" at this durability step.  Mutation code paths place
+    {!crash_point} calls between their durability steps and never clean
+    up on [Crashed], so everything already flushed stays on disk exactly
+    as a [kill -9] would leave it; recovery drills then reopen the
+    index and assert it heals. *)
+
 type target = { t_shard : int option; t_replica : int option }
 (** [None] is a wildcard matching every shard / replica. *)
 
@@ -29,6 +37,10 @@ type event =
   | Drop of { target : target; from_tick : int }
       (** connection-level: refuse to dial the replica (remote transport
           only — in-process replicas have no connection to drop) *)
+  | Crash of { step : string }
+      (** process-level: die at a named durability step (see
+          [Xk_index.Live.crash_steps]).  Fires once, then disarms, so
+          post-crash recovery in the same process runs unimpeded. *)
 
 type schedule = event list
 
@@ -36,6 +48,7 @@ type counters = {
   kills : int;  (** attempts killed so far *)
   slowdowns : int;  (** attempts delayed so far *)
   drops : int;  (** connections refused so far *)
+  crashes : int;  (** crash points fired so far *)
 }
 
 val install : ?sleep:(float -> unit) -> schedule -> unit
@@ -70,9 +83,23 @@ val corrupt_targets : unit -> target list
 
 val corrupt_matches : shard:int -> replica:int -> bool
 
+val crash_armed : string -> bool
+(** Whether a [Crash] event for this step is installed and has not fired
+    yet.  Torn-write drills consult this before deciding to write only a
+    prefix of their bytes; they then call {!crash_point} to fire. *)
+
+val crash_point : string -> unit
+(** Fire an armed [Crash] for this step: consume the event (it will not
+    fire again), count it, and raise {!Crashed}.  No-op when the step is
+    not armed. *)
+
+val crash_steps : unit -> string list
+(** The steps of the installed schedule's [Crash] events, for spec
+    validation against the steps a subsystem actually implements. *)
+
 val of_spec : string -> (schedule, string) result
 (** Parse a comma-separated spec: [kill@s<S>r<R>:<tick>],
     [slow@s<S>r<R>:<tick>:<ms>], [corrupt@s<S>r<R>],
-    [drop@s<S>r<R>:<tick>]; [S]/[R] accept [*] as a wildcard
-    (e.g. [kill@s*r1:0] kills replica 1 of every shard from the first
-    attempt). *)
+    [drop@s<S>r<R>:<tick>], [crash@<step>]; [S]/[R] accept [*] as a
+    wildcard (e.g. [kill@s*r1:0] kills replica 1 of every shard from
+    the first attempt). *)

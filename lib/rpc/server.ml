@@ -65,12 +65,31 @@ let run t ~handler =
   let rec accept_loop () =
     match Unix.accept t.fd with
     | conn, _ ->
+        (* The connection fd must be closed on every exit from
+           serve_conn, and no per-connection failure — a client gone
+           mid-frame, a handler bug — may take the accept loop with
+           it. *)
         Fun.protect
           ~finally:(fun () -> close_quietly conn)
-          (fun () -> serve_conn conn ~handler);
+          (fun () ->
+            try serve_conn conn ~handler
+            with Unix.Unix_error _ | Sys_error _ -> ());
         if Atomic.get t.stopping then () else accept_loop ()
-    | exception Unix.Unix_error (EINTR, _, _) ->
+    | exception
+        Unix.Unix_error ((EINTR | ECONNABORTED | EAGAIN | EWOULDBLOCK), _, _)
+      ->
+        (* Transient: the client aborted between SYN and accept, or a
+           signal/readiness blip.  Keep accepting. *)
         if Atomic.get t.stopping then () else accept_loop ()
+    | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+        (* Descriptor pressure: back off briefly so in-flight
+           connections can release fds instead of hot-spinning on the
+           same failure. *)
+        if Atomic.get t.stopping then ()
+        else begin
+          Unix.sleepf 0.05;
+          accept_loop ()
+        end
     | exception Unix.Unix_error (_, _, _) when Atomic.get t.stopping -> ()
   in
   accept_loop ()

@@ -38,6 +38,23 @@ let read_signed c =
   let z = read c in
   if z land 1 = 0 then z lsr 1 else -((z + 1) lsr 1)
 
+(* Total variant for parsers of possibly-torn input (WAL recovery):
+   short input is an expected outcome there, not a programming error. *)
+let read_opt c =
+  let len = String.length c.data in
+  let rec go shift acc pos =
+    if pos >= len then None
+    else
+      let b = Char.code c.data.[pos] in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then begin
+        c.pos <- pos + 1;
+        Some acc
+      end
+      else go (shift + 7) acc (pos + 1)
+  in
+  go 0 0 c.pos
+
 let size n =
   let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
   go (max n 0) 1

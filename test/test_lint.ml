@@ -187,6 +187,47 @@ let typed_error () =
   check_rules ~file:"bin/fixture.ml" "bare lock in bin" [ "bare-lock" ]
     "let f m = Mutex.lock m\n"
 
+(* --- durability-sync ------------------------------------------------- *)
+
+let durability_sync () =
+  let bad =
+    "let save path payload =\n\
+    \  let oc = open_out_bin (path ^ \".tmp\") in\n\
+    \  output_string oc payload;\n\
+    \  close_out oc;\n\
+    \  Sys.rename (path ^ \".tmp\") path\n"
+  in
+  check_rules ~file:"lib/index/fixture.ml" "write-then-rename without fsync"
+    [ "durability-sync" ] bad;
+  check_rules ~file:"lib/storage/fixture.ml" "storage layer covered too"
+    [ "durability-sync" ] bad;
+  check_rules ~file:"lib/index/fixture.ml" "explicit fsync discharges" []
+    "let save path payload =\n\
+    \  let oc = open_out_bin (path ^ \".tmp\") in\n\
+    \  output_string oc payload;\n\
+    \  Unix.fsync (Unix.descr_of_out_channel oc);\n\
+    \  close_out oc;\n\
+    \  Sys.rename (path ^ \".tmp\") path\n";
+  check_rules ~file:"lib/index/fixture.ml" "Durable helper discharges" []
+    "let save path payload =\n\
+    \  Xk_storage.Durable.write_atomically path (fun oc ->\n\
+    \      output_string oc payload)\n";
+  check_rules ~file:"lib/index/fixture.ml" "rename without a write is fine" []
+    "let promote path = Sys.rename (path ^ \".tmp\") path\n";
+  (* only the persistence layers are covered *)
+  check_rules ~file:"lib/exec/fixture.ml" "outside the persistence layers" []
+    bad;
+  check_rules ~file:"lib/index/fixture.ml" "attribute allow" []
+    ("let save path payload =\n\
+     \  (let oc = open_out_bin (path ^ \".tmp\") in\n\
+     \  output_string oc payload;\n\
+     \  close_out oc;\n\
+     \  Sys.rename (path ^ \".tmp\") path)\n\
+      [@@xklint.allow durability-sync]\n");
+  check_rules ~file:"lib/index/fixture.ml"
+    ~config:"allow durability-sync lib/index/fixture.ml save" "config allow" []
+    bad
+
 let parse_error () =
   check slist "unparsable file" [ "parse-error" ]
     (rules (lint ~file:"lib/text/fixture.ml" "let let let\n"))
@@ -285,6 +326,7 @@ let suite =
         tc "shared-state" `Quick shared_state;
         tc "rpc-budget" `Quick rpc_budget;
         tc "typed-error" `Quick typed_error;
+        tc "durability-sync" `Quick durability_sync;
         tc "parse error" `Quick parse_error;
       ] );
     ( "lint.config",

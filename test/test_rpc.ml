@@ -569,6 +569,69 @@ let remote_budget_degrades () =
                  Partial/Timeout)"
                 (Xk_exec.Query_service.outcome_label o)))
 
+(* --- Accept-loop resilience ------------------------------------------- *)
+
+let open_fd_count () =
+  if Sys.file_exists "/proc/self/fd" then
+    Some (Array.length (Sys.readdir "/proc/self/fd"))
+  else None
+
+(* A storm of half-open clients — connect and vanish, die mid-frame,
+   abort with an RST, or spray garbage — must neither kill the accept
+   loop nor leak connection fds: the server still answers a
+   well-formed ping afterwards, with no descriptor growth. *)
+let half_open_hammer () =
+  let srv =
+    match Server.create ~port:0 () with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "listen: %s" msg
+  in
+  let handler kind payload =
+    match kind with
+    | Frame.Ping -> Some (Frame.Pong, "")
+    | k -> Some (k, payload)
+  in
+  let d = Domain.spawn (fun () -> Server.run srv ~handler) in
+  let host = Server.host srv and port = Server.port srv in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let baseline = open_fd_count () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Domain.join d)
+    (fun () ->
+      for i = 0 to 79 do
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd addr;
+        (match i mod 4 with
+        | 0 -> () (* silent close: clean EOF before any frame *)
+        | 1 ->
+            (* die mid-frame: a dangling partial header *)
+            ignore (Unix.write_substring fd "XK" 0 2)
+        | 2 ->
+            (* abort with an RST instead of a FIN *)
+            ignore (Unix.write_substring fd "xxx" 0 3);
+            Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0)
+        | _ ->
+            (* a full buffer of garbage that fails frame decode *)
+            let junk = String.make 64 '\xff' in
+            ignore (Unix.write_substring fd junk 0 (String.length junk)));
+        Unix.close fd
+      done;
+      (* The iterative loop drains connections in order, so a served
+         ping proves every hammer connection was accepted, failed
+         cleanly and was closed. *)
+      (try Client.ping ~host ~port ()
+       with Client.Rpc_failed e ->
+         Alcotest.failf "server did not survive the hammer: %s"
+           (Client.error_message e));
+      match (baseline, open_fd_count ()) with
+      | Some before, Some after ->
+          if after > before then
+            Alcotest.failf "descriptor leak: %d open fds before, %d after"
+              before after
+      | _ -> ())
+
 let suite =
   [
     ( "rpc.frame",
@@ -586,6 +649,8 @@ let suite =
         QCheck_alcotest.to_alcotest wire_mutations_typed;
       ] );
     ("rpc.budget", [ tc "remaining_ms / ticks_left" `Quick budget_remaining ]);
+    ( "rpc.server",
+      [ tc "half-open connect hammer" `Quick half_open_hammer ] );
     ( "rpc.remote",
       [
         tc "parity with in-process serving" `Quick remote_parity;

@@ -518,6 +518,76 @@ let shard_io_replicas () =
             (Xk_index.Shard_io.error_message e)
       | Ok _ -> Alcotest.fail "legacy manifest loaded")
 
+(* --- Legacy manifest fixtures ----------------------------------------- *)
+
+(* The "v1 is refused, v2 still loads" claims pinned by committed bytes,
+   not by round-trips through today's writer.
+
+   [v2_manifest_bytes] is a version-2 manifest (no endpoint records):
+   magic "XKSHM002" | version 2 | payload length 53 | payload CRC |
+   payload = 2 shards, 3 subtrees, assignment [0; 1; 0], then one
+   replica per shard with basenames fixture.shards.00{0,1}.seg.  If the
+   decoder's v2 layout ever drifts, this literal stops loading. *)
+let v2_manifest_bytes =
+  "XKSHM002\x025\x9c\xa0\x88\xb9\x0a\x02\x03\x00\x01\x00\x01\x16fixture.shards.000.seg\x01\x16fixture.shards.001.seg"
+
+(* A version-1 manifest: bare magic, then the pre-replica payload shape
+   (assignment only).  Only the magic matters — v1 is typed corruption
+   with a rebuild hint no matter the rest. *)
+let v1_manifest_bytes = "XKSHM001\x01\x05\x2a\x02\x03\x00\x01\x00"
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let fixture_doc =
+  {
+    Xk_xml.Xml_tree.root =
+      Xk_xml.Xml_tree.element "lib"
+        [
+          Xk_xml.Xml_tree.elem "a" [ Xk_xml.Xml_tree.text "kw0 kw1" ];
+          Xk_xml.Xml_tree.elem "b" [ Xk_xml.Xml_tree.text "kw1 kw2" ];
+          Xk_xml.Xml_tree.elem "c" [ Xk_xml.Xml_tree.text "kw0 kw2" ];
+        ];
+  }
+
+let shard_io_legacy_fixtures () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "fixture.shards" in
+      (* Segments come from today's writer — the fixture pins the
+         manifest layout; segment framing has its own tests. *)
+      let sharded =
+        Xk_index.Sharding.partition ~shards:2 ~assignment:[| 0; 1; 0 |]
+          fixture_doc
+      in
+      Xk_index.Shard_io.save sharded path;
+      write_file path v2_manifest_bytes;
+      check Alcotest.bool "v2 sniffs as manifest" true
+        (Xk_index.Shard_io.is_manifest path);
+      (match Xk_index.Shard_io.load_result fixture_doc path with
+      | Ok loaded ->
+          check Alcotest.int "v2 shard count" 2
+            (Xk_index.Sharding.count loaded);
+          check
+            (Alcotest.array Alcotest.int)
+            "v2 assignment" [| 0; 1; 0 |]
+            (Xk_index.Sharding.assignment loaded)
+      | Error e ->
+          Alcotest.failf "committed v2 bytes no longer load: %s"
+            (Xk_index.Shard_io.error_message e));
+      write_file path v1_manifest_bytes;
+      check Alcotest.bool "v1 still sniffs as manifest" true
+        (Xk_index.Shard_io.is_manifest path);
+      match Xk_index.Shard_io.load_result fixture_doc path with
+      | Error (Xk_index.Shard_io.Manifest { error = Corrupted msg; _ }) ->
+          check Alcotest.bool "v1 error says to rebuild" true
+            (contains msg "legacy" && contains msg "rebuild")
+      | Error e ->
+          Alcotest.failf "committed v1 bytes: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "committed v1 bytes loaded")
+
 (* --- Aggregated stats ------------------------------------------------- *)
 
 let cache_aggregate () =
@@ -621,5 +691,6 @@ let suite =
         tc "manifest + segments round-trip" `Quick shard_io_roundtrip;
         tc "typed per-shard failures" `Quick shard_io_failures;
         tc "replica fallback and loss" `Quick shard_io_replicas;
+        tc "committed v1/v2 manifest bytes" `Quick shard_io_legacy_fixtures;
       ] );
   ]

@@ -30,6 +30,12 @@
      [Out_channel.*] - a sleep, read or write under the lock stalls
      every domain contending for it.  Decide under the lock, perform
      the IO outside (the pattern Chaos/Fault_injection follow).
+   - [durability-sync]: in the persistence layers ([lib/index],
+     [lib/storage]) a function that both writes and renames must have
+     an fsync in its subtree - a bare write-then-rename is atomic
+     against concurrent readers but not against power loss; route the
+     artifact through [Xk_storage.Durable.write_atomically] or fsync
+     the file and its directory explicitly.
 
    Any finding can be waived in place with [[@xklint.allow <rule>]] on
    an enclosing expression or binding, [[@@@xklint.allow <rule>]] for a
@@ -43,6 +49,7 @@ let rule_lock = "bare-lock"
 let rule_state = "shared-state"
 let rule_error = "typed-error"
 let rule_lock_io = "blocking-io-under-lock"
+let rule_sync = "durability-sync"
 
 type ctx = {
   file : string;
@@ -56,6 +63,7 @@ type ctx = {
   check_rpc : bool; (* handle* bindings must thread a Budget *)
   check_state : bool;
   check_lib : bool; (* bare-lock + typed-error *)
+  check_sync : bool; (* write-then-rename must fsync *)
 }
 
 let in_dir dir file = Lint_util.contains_substring ~sub:("/" ^ dir ^ "/") ("/" ^ file)
@@ -75,6 +83,7 @@ let make_ctx config ~file =
       in_dir "lib/exec" file || in_dir "lib/index" file
       || in_dir "lib/resilience" file;
     check_lib = in_dir "lib" file || in_dir "bin" file || in_dir "tools" file;
+    check_sync = in_dir "lib/index" file || in_dir "lib/storage" file;
   }
 
 let ident_path lid =
@@ -135,9 +144,9 @@ let report ctx ~loc ~rule ?name msg =
 let enclosing_fn ctx =
   match ctx.fn_stack with name :: _ -> name | [] -> "<toplevel>"
 
-(* Does a subtree mention any [Budget] identifier ([Budget.check],
-   [Xk_resilience.Budget.alive], ...)? *)
-let mentions_budget =
+(* Does a subtree mention an identifier whose dotted path satisfies
+   [pred]?  The scan short-circuits on the first hit. *)
+let mentions_path pred =
   let found = ref false in
   let scan =
     object
@@ -146,13 +155,7 @@ let mentions_budget =
       method! expression e =
         (match e.pexp_desc with
         | Pexp_ident { txt; _ } ->
-            if
-              List.exists
-                (fun part -> part = "Budget")
-                (match Longident.flatten_exn txt with
-                | parts -> parts
-                | exception _ -> [])
-            then found := true
+            if pred (strip_stdlib (ident_path txt)) then found := true
         | _ -> ());
         if not !found then super#expression e
     end
@@ -161,6 +164,43 @@ let mentions_budget =
     found := false;
     scan#expression e;
     !found
+
+(* Does a subtree mention any [Budget] identifier ([Budget.check],
+   [Xk_resilience.Budget.alive], ...)? *)
+let mentions_budget =
+  mentions_path (fun path ->
+      List.exists
+        (fun part -> part = "Budget")
+        (String.split_on_char '.' path))
+
+(* The durability-sync vocabulary: a rename is the publication point, a
+   write is what makes it durability-relevant, and an fsync mention -
+   direct or via the [Durable] atomic-write helpers, which fsync
+   internally - is what discharges the obligation. *)
+let rename_idents = [ "Sys.rename"; "Unix.rename" ]
+
+let write_idents =
+  [
+    "output_string";
+    "output_bytes";
+    "output_char";
+    "output_byte";
+    "Buffer.output_buffer";
+    "Printf.fprintf";
+  ]
+
+let write_prefixes = [ "Out_channel."; "Unix.write" ]
+let sync_markers = [ "fsync"; "write_atomically"; "write_string_atomically" ]
+let mentions_rename = mentions_path (fun p -> List.mem p rename_idents)
+
+let mentions_write =
+  mentions_path (fun p ->
+      List.mem p write_idents
+      || List.exists (fun pre -> String.starts_with ~prefix:pre p) write_prefixes)
+
+let mentions_sync =
+  mentions_path (fun p ->
+      List.exists (fun m -> Lint_util.contains_substring ~sub:m p) sync_markers)
 
 let binding_name vb =
   match vb.pvb_pat.ppat_desc with
@@ -331,6 +371,21 @@ class linter ctx =
                (Printf.sprintf
                   "RPC handler '%s' never threads a Budget; rebuild one from \
                    the request's deadline/ticks and run the work under it"
+                  n)
+         | _ -> ());
+      (if ctx.check_sync then
+         match fn_name with
+         | Some n
+           when (not (List.mem rule_sync allows || List.mem "*" allows))
+                && mentions_rename vb.pvb_expr
+                && mentions_write vb.pvb_expr
+                && not (mentions_sync vb.pvb_expr) ->
+             report ctx ~loc:vb.pvb_loc ~rule:rule_sync ~name:n
+               (Printf.sprintf
+                  "'%s' writes then renames with no fsync in sight; after a \
+                   power cut the renamed file may hold garbage - route it \
+                   through Xk_storage.Durable.write_atomically or fsync the \
+                   file and its directory"
                   n)
          | _ -> ());
       ctx.allow_stack <- allows :: ctx.allow_stack;
