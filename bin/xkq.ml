@@ -1105,7 +1105,7 @@ let terms_cmd =
    shard scoring needs corpus-global statistics, so every shard's
    dictionary must be present), then answer this one shard's queries
    over the frame protocol until killed. *)
-let serve_shard path index_file shard replica port host chaos =
+let serve_shard path index_file shard replica port host workers chaos =
   (match chaos with
   | None -> ()
   | Some spec -> install_chaos ~index_file:(Some index_file) spec);
@@ -1121,7 +1121,7 @@ let serve_shard path index_file shard replica port host chaos =
       Printf.printf "serving shard %d replica %d on %s:%d\n%!" shard replica
         (Xk_rpc.Server.host listener)
         (Xk_rpc.Server.port listener);
-      Xk_rpc.Server.run listener
+      Xk_rpc.Server.run ~workers listener
         ~handler:(Xk_exec.Shard_server.dispatch server)
 
 let serve_shard_cmd =
@@ -1157,6 +1157,15 @@ let serve_shard_cmd =
       & opt string "127.0.0.1"
       & info [ "host" ] ~doc:"Address to bind.")
   in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ]
+          ~doc:
+            "Connection-serving domains.  1 (default) serves connections \
+             inline on the accept loop; more lets several clients drain \
+             replies concurrently from one zero-copy segment.")
+  in
   let chaos =
     Arg.(
       value
@@ -1182,7 +1191,7 @@ let serve_shard_cmd =
          ])
     Term.(
       const serve_shard $ path $ index_file $ shard $ replica $ port $ host
-      $ chaos)
+      $ workers $ chaos)
 
 (* ------------------------------------------------------------------ *)
 

@@ -11,6 +11,20 @@
 
 type raw = { r_nodes : int array; r_tfs : int array }
 
+(* Lazily-fetched rows: a zero-copy segment (Index_io v3) decodes a
+   term's rows from mapped columns on first use instead of materializing
+   the whole postings file at open.  [pv_rows] must be safe to call from
+   any domain (it is pure decoding of immutable mapped bytes) and may
+   raise the segment's typed fault exception; the per-shape caches above
+   it make repeated query access cheap. *)
+type provider = {
+  pv_terms : int;
+  pv_row_count : int -> int;
+  pv_rows : int -> int array * int array;
+}
+
+type rows_src = Arrays of raw array | Lazy_rows of provider
+
 let default_cache_capacity = 8192
 
 (* Corpus-global ranking statistics, for shards of a partitioned corpus:
@@ -24,7 +38,7 @@ type stats_override = { so_total_nodes : int; so_df : string -> int }
 type t = {
   label : Xk_encoding.Labeling.t;
   dict : Xk_text.Dictionary.t;
-  raws : raw array;
+  raws : rows_src;
   scorer : Xk_score.Scorer.t;
   damping : Xk_score.Damping.t;
   df_override : (string -> int) option;
@@ -117,7 +131,7 @@ let build ?(damping = Xk_score.Damping.default)
   {
     label;
     dict;
-    raws;
+    raws = Arrays raws;
     scorer = scorer_for ?stats label;
     damping;
     df_override = df_override_of stats;
@@ -149,7 +163,29 @@ let of_raw ?(damping = Xk_score.Damping.default)
   {
     label;
     dict;
-    raws = Array.of_list raws;
+    raws = Arrays (Array.of_list raws);
+    scorer = scorer_for ?stats label;
+    damping;
+    df_override = df_override_of stats;
+    jcache;
+    pcache;
+    scache;
+  }
+
+(* Wrap a lazy rows source (a mapped segment).  The caller supplies the
+   dictionary already interned in term-id order with its statistics set
+   from the segment directory: that is what makes open cost proportional
+   to the dictionary, not to the postings. *)
+let of_provider ?(damping = Xk_score.Damping.default)
+    ?(cache_capacity = default_cache_capacity) ?stats ~dict
+    (label : Xk_encoding.Labeling.t) (pv : provider) =
+  if Xk_text.Dictionary.size dict <> pv.pv_terms then
+    Xk_util.Err.invalid "Index.of_provider: dictionary/provider size mismatch";
+  let jcache, pcache, scache = make_caches cache_capacity in
+  {
+    label;
+    dict;
+    raws = Lazy_rows pv;
     scorer = scorer_for ?stats label;
     damping;
     df_override = df_override_of stats;
@@ -162,11 +198,28 @@ let label t = t.label
 let dict t = t.dict
 let damping t = t.damping
 let scorer t = t.scorer
-let term_count t = Array.length t.raws
+
+let term_count t =
+  match t.raws with Arrays a -> Array.length a | Lazy_rows pv -> pv.pv_terms
+
+(* Fetch one term's rows.  The Arrays form shares the stored arrays (the
+   callers never mutate them); the lazy form decodes fresh arrays from
+   the mapped columns each call — per-query cost is amortized by the
+   shape caches, and whole-dictionary sweeps pay streaming decode. *)
+let fetch_raw t id =
+  match t.raws with
+  | Arrays a -> a.(id)
+  | Lazy_rows pv ->
+      let nodes, tfs = pv.pv_rows id in
+      { r_nodes = nodes; r_tfs = tfs }
 
 let term_id t w = Xk_text.Dictionary.find t.dict (String.lowercase_ascii w)
 let term t id = Xk_text.Dictionary.term t.dict id
-let df t id = Array.length t.raws.(id).r_nodes
+
+let df t id =
+  match t.raws with
+  | Arrays a -> Array.length a.(id).r_nodes
+  | Lazy_rows pv -> pv.pv_row_count id
 
 (* Local scores of a term's rows.  [df] is the term's corpus-wide
    document frequency: the row count here, unless the index is one shard
@@ -182,7 +235,7 @@ let scores_of_raw t id (r : raw) =
 
 let jlist t id =
   Shard_cache.find_or_add t.jcache id ~compute:(fun id ->
-      let r = t.raws.(id) in
+      let r = fetch_raw t id in
       let seqs =
         Array.map (fun n -> Xk_encoding.Labeling.jdewey_seq t.label n) r.r_nodes
       in
@@ -191,7 +244,7 @@ let jlist t id =
 
 let posting t id =
   Shard_cache.find_or_add t.pcache id ~compute:(fun id ->
-      let r = t.raws.(id) in
+      let r = fetch_raw t id in
       let deweys =
         Array.map (fun n -> Xk_encoding.Labeling.dewey t.label n) r.r_nodes
       in
@@ -230,10 +283,10 @@ let term_ids_exn t words =
 (* Uncached access for whole-dictionary sweeps (index-size accounting),
    which must not blow up the per-term caches. *)
 let raw_rows t id =
-  let r = t.raws.(id) in
+  let r = fetch_raw t id in
   (r.r_nodes, r.r_tfs)
 
-let local_scores t id = scores_of_raw t id t.raws.(id)
+let local_scores t id = scores_of_raw t id (fetch_raw t id)
 
 (* Terms sorted by descending document frequency, for workload selection. *)
 let terms_by_df t =

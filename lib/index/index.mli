@@ -44,6 +44,31 @@ val of_raw :
 (** Reassemble an index from persisted (term, nodes, tfs) postings; used by
     {!Index_io.load}.  Term ids are assigned in list order. *)
 
+type provider = {
+  pv_terms : int;  (** number of terms; ids are [0 .. pv_terms - 1] *)
+  pv_row_count : int -> int;  (** posting-list length of a term, O(1) *)
+  pv_rows : int -> int array * int array;
+      (** decode a term's (nodes, tfs) rows.  Must be callable from any
+          domain (pure decoding of immutable bytes); may raise the
+          segment's typed fault exception on lazily-detected corruption. *)
+}
+(** Lazily-fetched rows: a zero-copy segment ({!Index_io} v3) decodes a
+    term's rows from mapped columns on first use instead of materializing
+    every posting at open. *)
+
+val of_provider :
+  ?damping:Xk_score.Damping.t ->
+  ?cache_capacity:int ->
+  ?stats:stats_override ->
+  dict:Xk_text.Dictionary.t ->
+  Xk_encoding.Labeling.t ->
+  provider ->
+  t
+(** Wrap a lazy rows source.  [dict] must already be interned in term-id
+    order with per-term statistics set (the v3 loader reads them from the
+    segment directory); raises [Invalid_argument] if its size differs
+    from [pv_terms]. *)
+
 val label : t -> Xk_encoding.Labeling.t
 val dict : t -> Xk_text.Dictionary.t
 val damping : t -> Xk_score.Damping.t

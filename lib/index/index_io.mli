@@ -1,24 +1,47 @@
-(** Fault-tolerant index persistence: dictionary + raw postings in one
-    binary segment with a magic/version header and a CRC-32 payload
-    checksum.
+(** Fault-tolerant index persistence, in two on-disk generations.
 
-    Loading attaches the postings to a freshly labeled copy of the same
-    document (labels are deterministic), so a corpus pays tokenization only
-    once.  Reads classify their failures - {!Truncated} (the file ends
-    before the declared payload), {!Corrupted} (bad magic, version,
-    checksum or structure), {!Io_failed} (the transient class: OS errors
-    and injected faults) - and the transient class, plus checksum
+    {b v2} ("XKIDX002") is a checksummed varint stream: magic/version
+    header, CRC-32 payload checksum, then dictionary + delta-coded
+    postings.  Loading reads the whole file and materializes every
+    posting list.
+
+    {b v3} ("XKIDX003") is the zero-copy segment: fixed-width
+    little-endian columns (node ids, term frequencies), the concatenated
+    term bytes, and a 40-byte-per-term directory, each region aligned to
+    a 4096-byte page, each covered by a CRC-32.  Loading memory-maps the
+    file ({!Xk_storage.Mmap}), verifies the header, directory and
+    terms-region checksums, interns the dictionary from the directory
+    (statistics included — no row is touched), and decodes a term's rows
+    lazily from the mapped columns on first access, verifying that
+    term's column checksum once.  Open cost is O(dictionary); the
+    kernel pages postings in on demand.  Scores are bit-identical to the
+    v2 path: both feed the same (tf, df) integers to the same scorer.
+
+    {!save} writes v3; {!load_result} dispatches on the magic, so v2
+    segments written by earlier releases keep loading through the
+    channel path and {!save_v2} keeps the writer for them.
+
+    Reads classify their failures — {!Truncated} (the file ends before
+    the declared layout), {!Corrupted} (bad magic, version, checksum or
+    structure), {!Io_failed} (the transient class: OS errors, injected
+    faults, and map failures) — and the transient class, plus checksum
     mismatches and header anomalies (either can be a torn read, which a
     re-read heals), is retried with exponential backoff before an error
-    is reported.  {!Xk_resilience.Fault_injection} hooks into the
-    read path, so the whole machinery is testable. *)
+    is reported.  Structural anomalies behind a verified checksum are
+    fatal and skip the retries.  {!Xk_resilience.Fault_injection} hooks
+    into the read path; when injection is active a v3 segment is read
+    through the byte-mangling hook into process memory and verified
+    eagerly and completely (every column checksum, every padding byte),
+    so injected corruption anywhere in the file is detected at open. *)
 
 type error =
   | Truncated of string  (** file shorter than the declared layout *)
   | Corrupted of string
       (** bad magic/version, persistent checksum mismatch, malformed
-          payload, or a document/node-count mismatch *)
-  | Io_failed of string  (** transient IO failures survived every retry *)
+          structure, or a document/node-count mismatch *)
+  | Io_failed of string
+      (** transient IO failures that survived every retry, or a failed
+          (or injected) memory-map of a v3 segment *)
 
 type load_error = { error : error; attempts : int }
 (** A load failure plus the number of read attempts the shared
@@ -33,9 +56,22 @@ val load_error_message : load_error -> string
 exception Format_error of string
 (** Raised by the legacy {!load} wrapper, with {!error_message} applied. *)
 
+exception Segment_fault of string
+(** Raised by the {e lazy} v3 row decoder: a term's column checksum
+    fails on first access, a decoded node id is out of range, or the
+    mapping was closed under the reader.  Eager-open failures never use
+    this — they are returned as {!load_error} values.  Raised at query
+    time, it propagates out of list materialization; the replicated
+    executor's failover-on-raise treats it like any other replica
+    failure. *)
+
 val save : Index.t -> string -> unit
-(** Write a checksummed segment durably and atomically: temp file,
+(** Write a v3 zero-copy segment durably and atomically: temp file,
     fsync, rename, directory fsync ({!Xk_storage.Durable}). *)
+
+val save_v2 : Index.t -> string -> unit
+(** Write the v2 varint-stream format (for compatibility fixtures and
+    the loader benches). *)
 
 val load_result :
   ?damping:Xk_score.Damping.t ->
@@ -43,22 +79,58 @@ val load_result :
   ?stats:Index.stats_override ->
   ?retries:int ->
   ?backoff_ms:float ->
+  ?verify_columns:bool ->
   Xk_encoding.Labeling.t ->
   string ->
   (Index.t, load_error) result
-(** Load a segment, retrying transient IO errors and checksum mismatches
-    up to [retries] (default 4) times with exponential backoff starting at
-    [backoff_ms] (default 1.0).  Never raises on bad input.  [stats]
-    overrides the ranking statistics as in {!Index.of_raw} (sharded
-    segments, see {!Shard_io}). *)
+(** Load a segment of either generation (dispatch on the magic),
+    retrying transient IO errors and checksum mismatches up to [retries]
+    (default 4) times with exponential backoff starting at [backoff_ms]
+    (default 1.0).  Never raises on bad input.  [stats] overrides the
+    ranking statistics as in {!Index.of_raw} (sharded segments, see
+    {!Shard_io}).  [verify_columns] (default false) makes a v3 open
+    verify every column checksum and padding byte eagerly instead of
+    lazily — the paranoid mode for replica-fallback paths that must
+    reject a damaged segment at open time rather than at first query. *)
 
 val verify : ?retries:int -> ?backoff_ms:float -> string -> (unit, load_error) result
-(** Check a segment's framing — magic, version, declared length, payload
-    CRC — without decoding the payload.  Same retry policy as
-    {!load_result}.  Replica writers run this after each copy so a
-    damaged replica is caught at save time, not at failover time. *)
+(** Check a segment without building an index.  v2: framing + payload
+    CRC.  v3: {e full} verification — header, directory, terms region,
+    every per-term column checksum, the padding sweep and the exact file
+    size — since the lazy load path deliberately defers the column
+    checks.  Same retry policy as {!load_result}.  Replica writers run
+    this after each copy so a damaged replica is caught at save time,
+    not at failover time. *)
 
 val load : ?damping:Xk_score.Damping.t -> Xk_encoding.Labeling.t -> string -> Index.t
 (** {!load_result}, raising {!Format_error} on any error (legacy API). *)
 
 val file_size : string -> int
+
+(** {1 Introspection} — for tests, drills and benches. *)
+
+val format_version : string -> int option
+(** Generation of the segment at a path, from its magic: [Some 1], [2]
+    or [3], or [None] for an unrecognized file. *)
+
+type v3_layout = {
+  l3_node_count : int;
+  l3_term_count : int;
+  l3_total_rows : int;
+  l3_terms_off : int;
+  l3_terms_len : int;
+  l3_nodes_off : int;
+  l3_tfs_off : int;
+  l3_dir_off : int;
+  l3_dir_len : int;
+  l3_file_size : int;
+}
+(** Region geometry of a v3 segment.  Fully determined by the three
+    counts (the loader recomputes and cross-checks it), exposed so a
+    fault drill can corrupt one specific region. *)
+
+val layout : string -> (v3_layout, error) result
+(** Parse and verify a v3 header, returning its geometry. *)
+
+val page_size : int
+(** Region alignment of the v3 format (4096). *)

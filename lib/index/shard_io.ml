@@ -271,7 +271,7 @@ let load_manifest ?(retries = 4) ?(backoff_ms = 1.0) path =
       in
       Error (Manifest { error; attempts })
 
-let load_result ?damping ?cache_capacity ?retries ?backoff_ms
+let load_result ?damping ?cache_capacity ?retries ?backoff_ms ?verify_columns
     (doc : Xk_xml.Xml_tree.document) path =
   match load_manifest ?retries ?backoff_ms path with
   | Error _ as e -> e
@@ -302,7 +302,7 @@ let load_result ?damping ?cache_capacity ?retries ?backoff_ms
                 let full = Filename.concat dir file in
                 match
                   Index_io.load_result ?damping ?cache_capacity ~stats
-                    ?retries ?backoff_ms label full
+                    ?retries ?backoff_ms ?verify_columns label full
                 with
                 | Ok idx -> Ok idx
                 | Error e -> try_replicas ((full, e) :: failures) rest)

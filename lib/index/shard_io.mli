@@ -58,6 +58,7 @@ val load_result :
   ?cache_capacity:int ->
   ?retries:int ->
   ?backoff_ms:float ->
+  ?verify_columns:bool ->
   Xk_xml.Xml_tree.document ->
   string ->
   (Sharding.t, error) result
@@ -65,7 +66,9 @@ val load_result :
     back across each shard's replicas in manifest order.  Transient IO
     errors and checksum mismatches are retried per file with exponential
     backoff (defaults as in {!Index_io.load_result}); never raises on
-    bad input. *)
+    bad input.  [verify_columns] makes every v3 segment verify its
+    column checksums eagerly at open ({!Index_io.load_result}), so a
+    damaged replica is rejected — and fallen over — at load time. *)
 
 val replica_files : string -> (string array array, error) result
 (** The full replica paths recorded in the manifest at [path], indexed

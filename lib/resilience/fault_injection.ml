@@ -64,6 +64,7 @@ type state = {
   io_attempts : (string, int) Hashtbl.t;
   read_attempts : (string, int) Hashtbl.t;
   corrupt_paths : (string, unit) Hashtbl.t;
+  unmappable_paths : (string, unit) Hashtbl.t;
   mutable queries_seen : int;
 }
 
@@ -74,6 +75,7 @@ let state =
       io_attempts = Hashtbl.create 8;
       read_attempts = Hashtbl.create 8;
       corrupt_paths = Hashtbl.create 8;
+      unmappable_paths = Hashtbl.create 8;
       queries_seen = 0;
     }
 
@@ -83,6 +85,7 @@ let clear_counters st =
   Hashtbl.reset st.io_attempts;
   Hashtbl.reset st.read_attempts;
   Hashtbl.reset st.corrupt_paths;
+  Hashtbl.reset st.unmappable_paths;
   st.queries_seen <- 0
 
 let configure c =
@@ -123,6 +126,12 @@ let mark_corrupt ~path =
 
 let marked_corrupt ~path =
   with_state (fun st -> Hashtbl.mem st.corrupt_paths path)
+
+let mark_unmappable ~path =
+  with_state (fun st -> Hashtbl.replace st.unmappable_paths path ())
+
+let unmappable ~path =
+  with_state (fun st -> Hashtbl.mem st.unmappable_paths path)
 
 let flip_byte data =
   let b = Bytes.of_string data in

@@ -65,6 +65,14 @@ val mark_corrupt : path:string -> unit
 
 val marked_corrupt : path:string -> bool
 
+val mark_unmappable : path:string -> unit
+(** Register a map failure for [path]: the zero-copy segment loader
+    refuses to mmap it (as if the kernel had rejected the mapping) and
+    reports its typed map error, exercising the channel/replica fallback.
+    Cleared by {!configure} / {!reset}. *)
+
+val unmappable : path:string -> bool
+
 val on_query : unit -> unit
 (** Query-execution hook: sleeps [query_latency_ms], then raises
     {!Injected_failure} for the first [query_failures] executions. *)

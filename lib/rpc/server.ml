@@ -61,19 +61,48 @@ let serve_conn conn ~handler =
   in
   loop ()
 
-let run t ~handler =
+let run ?(workers = 1) t ~handler =
+  if workers < 1 then Xk_util.Err.invalid "Server.run: workers < 1";
+  (* The connection fd must be closed on every exit from serve_conn,
+     and no per-connection failure — a client gone mid-frame, a handler
+     bug — may take the accept loop (or a pool worker) with it. *)
+  let serve_accepted conn =
+    Fun.protect
+      ~finally:(fun () -> close_quietly conn)
+      (fun () ->
+        try serve_conn conn ~handler
+        with Unix.Unix_error _ | Sys_error _ -> ())
+  in
+  (* With [workers = 1] connections are served inline on the accepting
+     domain (the original iterative server).  With more, accepted
+     connections are handed to a small domain pool; the accept loop
+     stays responsive while a slow client drains its frames.  The queue
+     is bounded: past [workers * 8] waiting connections the server
+     sheds the newcomer by closing it immediately — the client sees an
+     abrupt EOF, exactly like a chaos kill, and fails over — instead of
+     queueing unboundedly ahead of its own timeout. *)
+  let pool =
+    if workers = 1 then None else Some (Xk_util.Domain_pool.create ~domains:workers ())
+  in
+  let pending = Atomic.make 0 in
+  let max_pending = workers * 8 in
+  let dispatch conn =
+    match pool with
+    | None -> serve_accepted conn
+    | Some pool ->
+        if Atomic.get pending >= max_pending then close_quietly conn
+        else begin
+          Atomic.incr pending;
+          Xk_util.Domain_pool.submit pool (fun () ->
+              Fun.protect
+                ~finally:(fun () -> Atomic.decr pending)
+                (fun () -> serve_accepted conn))
+        end
+  in
   let rec accept_loop () =
     match Unix.accept t.fd with
     | conn, _ ->
-        (* The connection fd must be closed on every exit from
-           serve_conn, and no per-connection failure — a client gone
-           mid-frame, a handler bug — may take the accept loop with
-           it. *)
-        Fun.protect
-          ~finally:(fun () -> close_quietly conn)
-          (fun () ->
-            try serve_conn conn ~handler
-            with Unix.Unix_error _ | Sys_error _ -> ());
+        dispatch conn;
         if Atomic.get t.stopping then () else accept_loop ()
     | exception
         Unix.Unix_error ((EINTR | ECONNABORTED | EAGAIN | EWOULDBLOCK), _, _)
@@ -92,7 +121,9 @@ let run t ~handler =
         end
     | exception Unix.Unix_error (_, _, _) when Atomic.get t.stopping -> ()
   in
-  accept_loop ()
+  Fun.protect
+    ~finally:(fun () -> Option.iter Xk_util.Domain_pool.shutdown pool)
+    accept_loop
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin

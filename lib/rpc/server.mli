@@ -1,11 +1,16 @@
-(** Listener side of the shard RPC: an iterative accept loop that feeds
-    every decoded frame to a caller-supplied handler.
+(** Listener side of the shard RPC: an accept loop that feeds every
+    decoded frame to a caller-supplied handler.
 
-    The server is deliberately sequential — one connection at a time,
-    one frame at a time.  A shard query saturates the process anyway
-    (the engine walk is CPU-bound), so concurrency would only add
-    shared-state hazards; scale comes from running more replica
-    processes, which is exactly what the manifest describes.
+    By default the server is sequential — one connection at a time, one
+    frame at a time; a shard query saturates the process anyway (the
+    engine walk is CPU-bound), and scale comes from running more replica
+    processes, which is exactly what the manifest describes.  A small
+    worker pool ([run ~workers]) exists for the deployment in between:
+    one process serving a zero-copy segment to a handful of clients,
+    where a slow client draining a large reply must not park everyone
+    else behind its socket.  Handlers must then be safe to call from
+    multiple domains concurrently (the shard executors are: the engine
+    caches are sharded and locked).
 
     A handler returning [None] closes the connection without a reply —
     that is the chaos [Kill] drill seen from the wire: the client
@@ -23,11 +28,23 @@ val port : t -> int
 val host : t -> string
 
 val run :
-  t -> handler:(Frame.kind -> string -> (Frame.kind * string) option) -> unit
+  ?workers:int ->
+  t ->
+  handler:(Frame.kind -> string -> (Frame.kind * string) option) ->
+  unit
 (** Accept connections until {!stop}.  Per connection: read frames until
     EOF or error, pass each to [handler], write back its reply.  An
     exception escaping [handler] drops the connection but keeps the
-    server alive. *)
+    server alive.
+
+    [workers] (default 1) sets the number of domains serving accepted
+    connections.  At 1 the accept loop serves each connection inline;
+    above 1 connections run on a {!Xk_util.Domain_pool} of that size and
+    [handler] must be domain-safe.  The hand-off queue is bounded at
+    [workers * 8] waiting connections: beyond it a newly accepted
+    connection is closed immediately (the client observes an abrupt EOF
+    and fails over) rather than queued unboundedly.  Raises
+    [Invalid_argument] when [workers < 1]. *)
 
 val stop : t -> unit
 (** Stop accepting and close the listening socket.  Safe to call from

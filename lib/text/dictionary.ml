@@ -10,12 +10,15 @@ type t = {
   mutable len : int;
 }
 
-let create () =
+(* [size] presizes the table and arrays: a segment loader knows the
+   exact term count and skips every rehash and growth copy. *)
+let create ?(size = 1024) () =
+  let size = max 16 size in
   {
-    ids = Hashtbl.create 4096;
-    terms = Array.make 1024 "";
-    dfs = Array.make 1024 0;
-    cfs = Array.make 1024 0;
+    ids = Hashtbl.create (max 4096 size);
+    terms = Array.make size "";
+    dfs = Array.make size 0;
+    cfs = Array.make size 0;
     len = 0;
   }
 
@@ -49,6 +52,12 @@ let df t id = t.dfs.(id)
 let cf t id = t.cfs.(id)
 let bump_df t id = t.dfs.(id) <- t.dfs.(id) + 1
 let bump_cf t id n = t.cfs.(id) <- t.cfs.(id) + n
+
+(* Bulk form for loaders that know the statistics up front (the v3
+   segment directory): O(1) instead of one bump per posting row. *)
+let set_stats t id ~df ~cf =
+  t.dfs.(id) <- df;
+  t.cfs.(id) <- cf
 
 let iter t f =
   for id = 0 to t.len - 1 do

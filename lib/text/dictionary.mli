@@ -4,7 +4,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?size:int -> unit -> t
+(** [size] presizes the table for a known term count (segment loaders),
+    avoiding every rehash and growth copy during bulk interning. *)
 
 val intern : t -> string -> int
 (** Id of a term, allocating a fresh id on first sight. *)
@@ -17,6 +19,10 @@ val df : t -> int -> int
 val cf : t -> int -> int
 val bump_df : t -> int -> unit
 val bump_cf : t -> int -> int -> unit
+
+val set_stats : t -> int -> df:int -> cf:int -> unit
+(** Set both frequencies of a term at once; used by segment loaders that
+    read the statistics from a directory instead of counting rows. *)
 
 val iter : t -> (int -> string -> unit) -> unit
 

@@ -392,6 +392,176 @@ let index_io_rejects_mismatch () =
     Sys.remove path
   end
 
+(* v3 zero-copy generation: layout introspection, full verification, and
+   bit-identical parity against both the v2 channel loader and a fresh
+   in-memory build. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  b
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let index_io_v3_roundtrip () =
+  let corpus = Xk_datagen.Dblp_gen.generate (Xk_datagen.Dblp_gen.scaled 0.05) in
+  let label = Xk_encoding.Labeling.label corpus.doc in
+  let idx = Index.build label in
+  let path = tmpfile "xk_index_io_v3.seg" in
+  Index_io.save idx path;
+  check Alcotest.(option int) "v3 magic" (Some 3) (Index_io.format_version path);
+  (match Index_io.layout path with
+  | Error e -> Alcotest.failf "v3 layout unreadable: %s" (Index_io.error_message e)
+  | Ok lay ->
+      check Alcotest.int "layout node count"
+        (Xk_encoding.Labeling.node_count label)
+        lay.Index_io.l3_node_count;
+      check Alcotest.int "layout term count" (Index.term_count idx)
+        lay.Index_io.l3_term_count;
+      List.iter
+        (fun (what, off) ->
+          if off mod Index_io.page_size <> 0 then
+            Alcotest.failf "%s region not page-aligned (offset %d)" what off)
+        [
+          ("terms", lay.Index_io.l3_terms_off);
+          ("nodes", lay.Index_io.l3_nodes_off);
+          ("tfs", lay.Index_io.l3_tfs_off);
+          ("dir", lay.Index_io.l3_dir_off);
+        ];
+      check Alcotest.int "exact file size" lay.Index_io.l3_file_size
+        (Index_io.file_size path));
+  (match Index_io.verify path with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "full verify rejected a fresh v3 segment: %s"
+        (Index_io.load_error_message e));
+  let idx2 = Index_io.load (Xk_encoding.Labeling.label corpus.doc) path in
+  check Alcotest.int "term count" (Index.term_count idx) (Index.term_count idx2);
+  for id = 0 to Index.term_count idx - 1 do
+    let term = Index.term idx id in
+    match Index.term_id idx2 term with
+    | None -> Alcotest.failf "term %s lost" term
+    | Some id2 ->
+        check Alcotest.int ("df " ^ term) (Index.df idx id) (Index.df idx2 id2);
+        if Index.raw_rows idx id <> Index.raw_rows idx2 id2 then
+          Alcotest.failf "rows differ for %s" term;
+        (* Bit-identical scores: exact float equality, no tolerance. *)
+        if Index.local_scores idx id <> Index.local_scores idx2 id2 then
+          Alcotest.failf "local scores differ for %s" term
+  done;
+  let e1 = Xk_core.Engine.of_index idx and e2 = Xk_core.Engine.of_index idx2 in
+  List.iteri
+    (fun i q ->
+      Tutil.check_same_hits
+        (Printf.sprintf "mmap query %d" i)
+        (Xk_core.Engine.query e1 q)
+        (Xk_core.Engine.query e2 q))
+    corpus.correlated_queries;
+  Sys.remove path
+
+let index_io_v3_rejects_mangled_header () =
+  let doc = Tutil.random_doc 11 in
+  let label = Xk_encoding.Labeling.label doc in
+  Index.build label |> fun idx ->
+  let path = tmpfile "xk_index_io_v3_mangle.seg" in
+  Index_io.save idx path;
+  let good = read_file path in
+  let expect_error what =
+    match Index_io.load_result ~retries:1 label path with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+    | exception e ->
+        Alcotest.failf "%s raised %s instead of a typed error" what
+          (Printexc.to_string e)
+  in
+  (* Header truncated mid-field: typed error, never a panic. *)
+  write_file path (String.sub good 0 50);
+  expect_error "truncated header";
+  (* A flipped byte anywhere in the checksummed header prefix. *)
+  List.iter
+    (fun pos ->
+      let b = Bytes.of_string good in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
+      write_file path (Bytes.to_string b);
+      expect_error (Printf.sprintf "header byte %d flipped" pos))
+    [ 8 (* version *); 16 (* node count *); 40 (* terms offset *); 96 (* crc *) ];
+  (* Restored bytes load again — the mangles above were the only issue. *)
+  write_file path good;
+  (match Index_io.load_result label path with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "restored segment rejected: %s"
+        (Index_io.load_error_message e));
+  Sys.remove path
+
+let v3_parity_prop =
+  QCheck.Test.make ~count:15
+    ~name:"v3 mmap load is bit-identical to v2 channel load and fresh build"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Xk_datagen.Rng.create seed in
+      let doc = Xk_datagen.Random_tree.generate rng in
+      let label = Xk_encoding.Labeling.label doc in
+      let fresh = Index.build label in
+      let p3 = tmpfile (Printf.sprintf "xk_v3_parity_%d.seg" seed) in
+      let p2 = tmpfile (Printf.sprintf "xk_v2_parity_%d.seg" seed) in
+      Index_io.save fresh p3;
+      Index_io.save_v2 fresh p2;
+      let ok =
+        ref
+          (Index_io.format_version p3 = Some 3
+          && Index_io.format_version p2 = Some 2)
+      in
+      (match
+         ( Index_io.load_result (Xk_encoding.Labeling.label doc) p3,
+           Index_io.load_result (Xk_encoding.Labeling.label doc) p2 )
+       with
+      | Ok v3, Ok v2 ->
+          let n = Index.term_count fresh in
+          if Index.term_count v3 <> n || Index.term_count v2 <> n then
+            ok := false;
+          if !ok then
+            for id = 0 to n - 1 do
+              let term = Index.term fresh id in
+              match (Index.term_id v3 term, Index.term_id v2 term) with
+              | Some i3, Some i2 ->
+                  if
+                    Index.raw_rows v3 i3 <> Index.raw_rows fresh id
+                    || Index.raw_rows v2 i2 <> Index.raw_rows fresh id
+                  then ok := false;
+                  (* Exact float equality: the same (tf, df) integers must
+                     feed the same scorer on every path. *)
+                  if
+                    Index.local_scores v3 i3 <> Index.local_scores fresh id
+                    || Index.local_scores v2 i2 <> Index.local_scores fresh id
+                  then ok := false
+              | _ -> ok := false
+            done;
+          if !ok then begin
+            let ef = Xk_core.Engine.of_index fresh
+            and e3 = Xk_core.Engine.of_index v3
+            and ev2 = Xk_core.Engine.of_index v2 in
+            for _ = 1 to 3 do
+              let words = Tutil.random_query rng ~k:2 ~alphabet:6 in
+              let hf = Tutil.sort_hits (Xk_core.Engine.query ef words)
+              and h3 = Tutil.sort_hits (Xk_core.Engine.query e3 words)
+              and h2 = Tutil.sort_hits (Xk_core.Engine.query ev2 words) in
+              if h3 <> hf || h2 <> hf then ok := false;
+              let tf = Xk_core.Engine.query_topk ef words ~k:3
+              and t3 = Xk_core.Engine.query_topk e3 words ~k:3 in
+              if t3 <> tf then ok := false
+            done
+          end
+      | _ -> ok := false);
+      Sys.remove p3;
+      Sys.remove p2;
+      !ok)
+
 let suite =
   [
     ( "index",
@@ -420,5 +590,8 @@ let suite =
         tc "save/load roundtrip" `Quick index_io_roundtrip;
         tc "rejects garbage" `Quick index_io_rejects_garbage;
         tc "rejects mismatched document" `Quick index_io_rejects_mismatch;
+        tc "v3 layout and roundtrip" `Quick index_io_v3_roundtrip;
+        tc "v3 rejects mangled header" `Quick index_io_v3_rejects_mangled_header;
+        QCheck_alcotest.to_alcotest v3_parity_prop;
       ] );
   ]

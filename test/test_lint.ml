@@ -228,6 +228,40 @@ let durability_sync () =
     ~config:"allow durability-sync lib/index/fixture.ml save" "config allow" []
     bad
 
+(* --- mmap-lifetime --------------------------------------------------- *)
+
+let mmap_lifetime () =
+  let bad =
+    "let cache_rows t id =\n\
+    \  Hashtbl.replace t.cache id\n\
+    \    (Xk_storage.Mmap.sub_string t.map ~pos:0 ~len:8)\n"
+  in
+  check_rules ~file:"lib/index/fixture.ml" "mapped bytes into Hashtbl"
+    [ "mmap-lifetime" ] bad;
+  check_rules ~file:"lib/storage/fixture.ml" "storage layer covered too"
+    [ "mmap-lifetime" ] bad;
+  check_rules ~file:"lib/index/fixture.ml" "cache closure over the map"
+    [ "mmap-lifetime" ]
+    "let rows t id =\n\
+    \  Shard_cache.find_or_add t.cache id (fun () -> Mmap.u32 t.map ~pos:id)\n";
+  check_rules ~file:"lib/index/fixture.ml" "ref cell capture"
+    [ "mmap-lifetime" ]
+    "let stash t = t.slot := Xk_storage.Mmap.sub_string t.map ~pos:0 ~len:4\n";
+  check_rules ~file:"lib/index/fixture.ml" "decode into plain values first" []
+    "let cache_rows t id rows =\n\
+    \  let nodes = decode_nodes rows in\n\
+    \  Hashtbl.replace t.cache id nodes\n";
+  (* only the zero-copy layers are covered *)
+  check_rules ~file:"lib/core/fixture.ml" "outside the zero-copy layers" [] bad;
+  check_rules ~file:"lib/index/fixture.ml" "attribute allow" []
+    "let cache_rows t id =\n\
+    \  (Hashtbl.replace t.cache id\n\
+    \     (Xk_storage.Mmap.sub_string t.map ~pos:0 ~len:8))\n\
+    \  [@xklint.allow mmap-lifetime]\n";
+  check_rules ~file:"lib/index/fixture.ml"
+    ~config:"allow mmap-lifetime lib/index/fixture.ml Hashtbl.replace"
+    "config allow by sink" [] bad
+
 let parse_error () =
   check slist "unparsable file" [ "parse-error" ]
     (rules (lint ~file:"lib/text/fixture.ml" "let let let\n"))
@@ -327,6 +361,7 @@ let suite =
         tc "rpc-budget" `Quick rpc_budget;
         tc "typed-error" `Quick typed_error;
         tc "durability-sync" `Quick durability_sync;
+        tc "mmap-lifetime" `Quick mmap_lifetime;
         tc "parse error" `Quick parse_error;
       ] );
     ( "lint.config",

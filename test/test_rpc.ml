@@ -632,6 +632,96 @@ let half_open_hammer () =
               before after
       | _ -> ())
 
+(* Two clients against [run ~workers:2]: the first parks its handler —
+   and with it a whole pool worker — until the second client has been
+   answered.  Only a concurrent server can satisfy both; the iterative
+   loop would serve them in accept order and deadlock the first. *)
+let worker_pool_two_clients () =
+  let srv =
+    match Server.create ~port:0 () with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "listen: %s" msg
+  in
+  let lock = Mutex.create () in
+  let released = ref false in
+  let handler kind payload =
+    match (kind : Frame.kind) with
+    | Frame.Ping when payload = "fast" ->
+        Mutex.lock lock;
+        released := true;
+        Mutex.unlock lock;
+        Some (Frame.Pong, "fast")
+    | Frame.Ping ->
+        (* Poll rather than Condition.wait so a starved run times out
+           into a distinguishable reply instead of hanging the suite. *)
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        let rec wait () =
+          Mutex.lock lock;
+          let r = !released in
+          Mutex.unlock lock;
+          if r then Some (Frame.Pong, "slow")
+          else if Unix.gettimeofday () > deadline then
+            Some (Frame.Pong, "starved")
+          else begin
+            Unix.sleepf 0.005;
+            wait ()
+          end
+        in
+        wait ()
+    | k -> Some (k, payload)
+  in
+  let d = Domain.spawn (fun () -> Server.run ~workers:2 srv ~handler) in
+  let addr =
+    Unix.ADDR_INET (Unix.inet_addr_of_string (Server.host srv), Server.port srv)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Domain.join d)
+    (fun () ->
+      let connect () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd addr;
+        fd
+      in
+      let write fd payload =
+        match Frame.write_fd fd Frame.Ping payload with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "write %s: %s" payload (Frame.error_message e)
+      in
+      let slow = connect () in
+      write slow "slow";
+      (* Give the pool a beat to park the slow connection on a worker. *)
+      Unix.sleepf 0.05;
+      let fast = connect () in
+      write fast "fast";
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close slow with Unix.Unix_error _ -> ());
+          try Unix.close fast with Unix.Unix_error _ -> ())
+        (fun () ->
+          (match Frame.read_fd fast with
+          | Ok (Frame.Pong, "fast") -> ()
+          | Ok (k, p) ->
+              Alcotest.failf "fast client: unexpected reply (%s, %S)"
+                (match k with
+                | Frame.Ping -> "ping"
+                | Frame.Pong -> "pong"
+                | Frame.Query -> "query"
+                | Frame.Reply -> "reply")
+                p
+          | Error e ->
+              Alcotest.failf "fast client: %s" (Frame.error_message e));
+          match Frame.read_fd slow with
+          | Ok (Frame.Pong, "slow") -> ()
+          | Ok (Frame.Pong, "starved") ->
+              Alcotest.fail
+                "slow client starved: second connection was never served \
+                 concurrently"
+          | Ok _ -> Alcotest.fail "slow client: unexpected reply"
+          | Error e ->
+              Alcotest.failf "slow client: %s" (Frame.error_message e)))
+
 let suite =
   [
     ( "rpc.frame",
@@ -650,7 +740,10 @@ let suite =
       ] );
     ("rpc.budget", [ tc "remaining_ms / ticks_left" `Quick budget_remaining ]);
     ( "rpc.server",
-      [ tc "half-open connect hammer" `Quick half_open_hammer ] );
+      [
+        tc "half-open connect hammer" `Quick half_open_hammer;
+        tc "worker pool serves two clients" `Quick worker_pool_two_clients;
+      ] );
     ( "rpc.remote",
       [
         tc "parity with in-process serving" `Quick remote_parity;

@@ -413,6 +413,152 @@ let contains haystack needle =
   let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
   n = 0 || go 0
 
+(* v3 open-path faults: a torn directory, a corrupted mapped column and
+   an injected map failure each surface as the right typed error, and a
+   single damaged copy is invisible behind replica fallback. *)
+let shard_io_v3_faults () =
+  let doc = Tutil.random_doc 909 in
+  let sharded = Xk_index.Sharding.partition ~shards:2 doc in
+  let flip_at path pos =
+    let ic = open_in_bin path in
+    let data = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let b = Bytes.of_string data in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xA5));
+    let oc = open_out_bin path in
+    output_bytes oc b;
+    close_out oc
+  in
+  let layout_of seg =
+    match Xk_index.Index_io.layout seg with
+    | Ok l -> l
+    | Error e ->
+        Alcotest.failf "layout %s: %s" seg (Xk_index.Index_io.error_message e)
+  in
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "corpus.shards" in
+      let resave () = Xk_index.Shard_io.save ~replicas:2 sharded path in
+      resave ();
+      let files =
+        match Xk_index.Shard_io.replica_files path with
+        | Ok files -> files
+        | Error e ->
+            Alcotest.failf "replica_files: %s"
+              (Xk_index.Shard_io.error_message e)
+      in
+      check Alcotest.(option int) "shard segments are v3" (Some 3)
+        (Xk_index.Index_io.format_version files.(0).(0));
+      (* Torn directory region: the flip defeats the directory checksum.
+         One damaged copy falls back to the replica... *)
+      flip_at files.(0).(0) (layout_of files.(0).(0)).Xk_index.Index_io.l3_dir_off;
+      (match
+         Xk_index.Shard_io.load_result ~retries:1 ~backoff_ms:0.1 doc path
+       with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "torn directory should fall back: %s"
+            (Xk_index.Shard_io.error_message e));
+      (* ...and with both copies torn the shard is typed corruption. *)
+      flip_at files.(0).(1)
+        ((layout_of files.(0).(1)).Xk_index.Index_io.l3_dir_off + 8);
+      (match
+         Xk_index.Shard_io.load_result ~retries:1 ~backoff_ms:0.1 doc path
+       with
+      | Error
+          (Xk_index.Shard_io.Shard
+            {
+              shard = 0;
+              failures =
+                [ (_, { error = Corrupted _; _ }); (_, { error = Corrupted _; _ }) ];
+            }) ->
+          ()
+      | Error e ->
+          Alcotest.failf "torn directories: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "shard with two torn directories loaded");
+      (* Corrupted mapped column: the lazy open defers column checks, so
+         paranoid callers pass [verify_columns] and the damage is caught
+         at open time - behind fallback first, then as typed corruption
+         once the replica is damaged too. *)
+      resave ();
+      let lay0 = layout_of files.(0).(0) in
+      check Alcotest.bool "shard carries rows" true
+        (lay0.Xk_index.Index_io.l3_total_rows > 0);
+      flip_at files.(0).(0) lay0.Xk_index.Index_io.l3_nodes_off;
+      (match
+         Xk_index.Shard_io.load_result ~verify_columns:true ~retries:1
+           ~backoff_ms:0.1 doc path
+       with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "corrupt column should fall back: %s"
+            (Xk_index.Shard_io.error_message e));
+      flip_at files.(0).(1)
+        (layout_of files.(0).(1)).Xk_index.Index_io.l3_tfs_off;
+      (match
+         Xk_index.Shard_io.load_result ~verify_columns:true ~retries:1
+           ~backoff_ms:0.1 doc path
+       with
+      | Error
+          (Xk_index.Shard_io.Shard
+            {
+              shard = 0;
+              failures =
+                [ (_, { error = Corrupted _; _ }); (_, { error = Corrupted _; _ }) ];
+            }) ->
+          ()
+      | Error e ->
+          Alcotest.failf "corrupt columns: wrong error %s"
+            (Xk_index.Shard_io.error_message e)
+      | Ok _ -> Alcotest.fail "eager verify accepted corrupt columns");
+      (* The same damage without [verify_columns] opens fine and trips
+         the per-term checksum on first decode as a [Segment_fault] -
+         the query-time form the executor's failover handles. *)
+      let solo = Filename.concat dir "solo.seg" in
+      let label = Xk_encoding.Labeling.label doc in
+      Xk_index.Index_io.save (Xk_index.Index.build label) solo;
+      flip_at solo (layout_of solo).Xk_index.Index_io.l3_tfs_off;
+      (match Xk_index.Index_io.load_result ~retries:1 label solo with
+      | Error e ->
+          Alcotest.failf "lazy open should defer column checks: %s"
+            (Xk_index.Index_io.load_error_message e)
+      | Ok lazy_idx -> (
+          match
+            for id = 0 to Xk_index.Index.term_count lazy_idx - 1 do
+              ignore (Xk_index.Index.raw_rows lazy_idx id)
+            done
+          with
+          | () -> Alcotest.fail "corrupt column decoded without a fault"
+          | exception Xk_index.Index_io.Segment_fault _ -> ()));
+      (* Injected map failure: the primary cannot be mapped at all; the
+         loader classifies it as an IO failure without burning retries
+         and serves from the replica. *)
+      resave ();
+      Fun.protect ~finally:Xk_resilience.Fault_injection.reset (fun () ->
+          Xk_resilience.Fault_injection.mark_unmappable ~path:files.(1).(0);
+          (match Xk_index.Shard_io.load_result doc path with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "map failure should fall back: %s"
+                (Xk_index.Shard_io.error_message e));
+          Xk_resilience.Fault_injection.mark_unmappable ~path:files.(1).(1);
+          match Xk_index.Shard_io.load_result doc path with
+          | Error
+              (Xk_index.Shard_io.Shard
+                {
+                  shard = 1;
+                  failures =
+                    [
+                      (_, { error = Io_failed _; attempts = 1 });
+                      (_, { error = Io_failed _; attempts = 1 });
+                    ];
+                }) ->
+              ()
+          | Error e ->
+              Alcotest.failf "unmappable replicas: wrong error %s"
+                (Xk_index.Shard_io.error_message e)
+          | Ok _ -> Alcotest.fail "unmappable shard loaded"))
+
 (* Replicated segments: save writes N verified copies per shard, the
    loader falls back across them, and a shard is lost only when every
    copy fails. *)
@@ -690,6 +836,7 @@ let suite =
       [
         tc "manifest + segments round-trip" `Quick shard_io_roundtrip;
         tc "typed per-shard failures" `Quick shard_io_failures;
+        tc "v3 open-path faults" `Quick shard_io_v3_faults;
         tc "replica fallback and loss" `Quick shard_io_replicas;
         tc "committed v1/v2 manifest bytes" `Quick shard_io_legacy_fixtures;
       ] );

@@ -174,6 +174,150 @@ let btree_sizes () =
   check Alcotest.bool "grows linearly" true
     (float_of_int composite2 /. float_of_int composite > 1.6)
 
+(* --- mmap ------------------------------------------------------------ *)
+
+let with_tmp_file data f =
+  let path = Filename.temp_file "xk_mmap" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc data;
+      close_out oc;
+      f path)
+
+let mmap_accessors () =
+  let data = "\x01\x02\x03\x04\x05\x06\x07\x08hello" in
+  with_tmp_file data (fun path ->
+      match Mmap.map path with
+      | Error e -> Alcotest.failf "map: %s" (Mmap.error_message e)
+      | Ok m ->
+          check Alcotest.int "size" (String.length data) (Mmap.size m);
+          check Alcotest.string "path" path (Mmap.path m);
+          check Alcotest.int "u8" 1 (Mmap.u8 m 0);
+          check Alcotest.int "u8 at" 8 (Mmap.u8 m 7);
+          check Alcotest.int "u32" 0x04030201 (Mmap.u32 m 0);
+          check Alcotest.int "u32 shifted" 0x05040302 (Mmap.u32 m 1);
+          check Alcotest.int "u64" 0x0807060504030201 (Mmap.u64 m 0);
+          check Alcotest.string "sub_string" "hello"
+            (Mmap.sub_string m ~pos:8 ~len:5);
+          check Alcotest.int "crc over window"
+            (Crc32.sub data ~pos:8 ~len:5)
+            (Mmap.crc32 m ~pos:8 ~len:5);
+          check Alcotest.int "incremental crc" (Crc32.string data)
+            (Mmap.crc32_update (Mmap.crc32 m ~pos:0 ~len:4) m ~pos:4
+               ~len:(String.length data - 4)))
+
+let mmap_bounds_and_close () =
+  let data = String.init 16 Char.chr in
+  with_tmp_file data (fun path ->
+      match Mmap.map path with
+      | Error e -> Alcotest.failf "map: %s" (Mmap.error_message e)
+      | Ok m ->
+          (match Mmap.u32 m 14 with
+          | _ -> Alcotest.fail "out-of-bounds u32 not rejected"
+          | exception Mmap.Fault (Mmap.Bounds _) -> ());
+          (match Mmap.sub_string m ~pos:(-1) ~len:2 with
+          | _ -> Alcotest.fail "negative pos not rejected"
+          | exception Mmap.Fault (Mmap.Bounds _) -> ());
+          check Alcotest.bool "open before close" false (Mmap.is_closed m);
+          Mmap.close m;
+          Mmap.close m (* idempotent *);
+          check Alcotest.bool "closed" true (Mmap.is_closed m);
+          match Mmap.u8 m 0 with
+          | _ -> Alcotest.fail "closed handle still readable"
+          | exception Mmap.Fault (Mmap.Closed _) -> ())
+
+let mmap_u64_overflow () =
+  (* A stored 64-bit value whose top bits exceed the host's 63-bit int
+     cannot be a valid offset and must fault, not wrap. *)
+  let data = "\x00\x00\x00\x00\x00\x00\x00\xff" in
+  with_tmp_file data (fun path ->
+      match Mmap.map path with
+      | Error e -> Alcotest.failf "map: %s" (Mmap.error_message e)
+      | Ok m -> (
+          match Mmap.u64 m 0 with
+          | v -> Alcotest.failf "overflowing u64 decoded to %d" v
+          | exception Mmap.Fault (Mmap.Bounds _) -> ()))
+
+let mmap_failures () =
+  (match Mmap.map "/nonexistent/xk/segment.seg" with
+  | Ok _ -> Alcotest.fail "mapped a missing file"
+  | Error (Mmap.Map_failed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Mmap.error_message e));
+  with_tmp_file "" (fun path ->
+      match Mmap.map path with
+      | Ok _ -> Alcotest.fail "mapped an empty file"
+      | Error (Mmap.Map_failed _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Mmap.error_message e))
+
+(* --- v2 segment compatibility fixture -------------------------------- *)
+
+(* Literal bytes of an Index_io v2 segment as written by the previous
+   release's writer, committed so the channel load path keeps accepting
+   historical segments byte-for-byte even now that [save] writes v3.
+   Generated from [v2_fixture_xml] with [Index.build] + the v2 writer. *)
+let v2_fixture_xml =
+  "<bib><book year=\"2010\"><title>top k keyword search</title><author>chen</author></book><book><title>xml databases keyword</title></book></bib>"
+
+let v2_fixture_bytes =
+  "\x58\x4b\x49\x44\x58\x30\x30\x32\x02\x44\xad\xd1\xce\x81\x05\x09\x07\x04\x32\x30\x31\x30\x01\x01\x01\x03\x74\x6f\x70\x01\x03\x01\x07\x6b\x65\x79\x77\x6f\x72\x64\x02\x03\x05\x01\x01\x06\x73\x65\x61\x72\x63\x68\x01\x03\x01\x04\x63\x68\x65\x6e\x01\x05\x01\x03\x78\x6d\x6c\x01\x08\x01\x09\x64\x61\x74\x61\x62\x61\x73\x65\x73\x01\x08\x01"
+
+let v2_fixture_loads () =
+  let doc = Xk_xml.Xml_parser.parse_string_exn v2_fixture_xml in
+  let label = Xk_encoding.Labeling.label doc in
+  with_tmp_file v2_fixture_bytes (fun path ->
+      check
+        Alcotest.(option int)
+        "sniffs as v2" (Some 2)
+        (Xk_index.Index_io.format_version path);
+      match Xk_index.Index_io.load_result label path with
+      | Error e ->
+          Alcotest.failf "fixture load: %s"
+            (Xk_index.Index_io.load_error_message e)
+      | Ok idx ->
+          let fresh = Xk_index.Index.build label in
+          check Alcotest.int "term count"
+            (Xk_index.Index.term_count fresh)
+            (Xk_index.Index.term_count idx);
+          for id = 0 to Xk_index.Index.term_count fresh - 1 do
+            let w = Xk_index.Index.term fresh id in
+            match Xk_index.Index.term_id idx w with
+            | None -> Alcotest.failf "term %S missing from fixture" w
+            | Some fid ->
+                let n1, t1 = Xk_index.Index.raw_rows fresh id in
+                let n2, t2 = Xk_index.Index.raw_rows idx fid in
+                check Alcotest.(array int) ("nodes of " ^ w) n1 n2;
+                check Alcotest.(array int) ("tfs of " ^ w) t1 t2;
+                let s1 = Xk_index.Index.local_scores fresh id in
+                let s2 = Xk_index.Index.local_scores idx fid in
+                check Alcotest.bool
+                  ("scores of " ^ w ^ " bit-identical")
+                  true (s1 = s2)
+          done)
+
+let v2_writer_stable () =
+  (* [save_v2] must keep producing exactly the committed bytes: the
+     fixture pins the writer, not just the reader. *)
+  let doc = Xk_xml.Xml_parser.parse_string_exn v2_fixture_xml in
+  let label = Xk_encoding.Labeling.label doc in
+  let idx = Xk_index.Index.build label in
+  let path = Filename.temp_file "xk_v2" ".seg" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Xk_index.Index_io.save_v2 idx path;
+      let ic = open_in_bin path in
+      let data =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check Alcotest.int "fixture length"
+        (String.length v2_fixture_bytes)
+        (String.length data);
+      check Alcotest.bool "bytes identical" true (data = v2_fixture_bytes))
+
 let suite =
   [
     ( "storage",
@@ -194,5 +338,17 @@ let suite =
         tc "btree size model" `Quick btree_sizes;
         QCheck_alcotest.to_alcotest column_codec_prop;
         QCheck_alcotest.to_alcotest dewey_codec_prop;
+      ] );
+    ( "storage.mmap",
+      [
+        tc "accessors" `Quick mmap_accessors;
+        tc "bounds and close faults" `Quick mmap_bounds_and_close;
+        tc "u64 overflow rejected" `Quick mmap_u64_overflow;
+        tc "map failures are values" `Quick mmap_failures;
+      ] );
+    ( "storage.v2-fixture",
+      [
+        tc "committed v2 segment loads" `Quick v2_fixture_loads;
+        tc "v2 writer reproduces fixture bytes" `Quick v2_writer_stable;
       ] );
   ]

@@ -36,6 +36,12 @@
      against concurrent readers but not against power loss; route the
      artifact through [Xk_storage.Durable.write_atomically] or fsync
      the file and its directory explicitly.
+   - [mmap-lifetime]: in the zero-copy layers ([lib/index],
+     [lib/storage]) no [Mmap.*] value or accessor result may flow into
+     a long-lived store - an argument subtree of [Shard_cache.
+     find_or_add], [Hashtbl.add]/[replace], [Atomic.set] or [:=] that
+     mentions [Mmap] is caching mapped bytes (or the handle) past the
+     owning segment's close; decode into plain OCaml values first.
 
    Any finding can be waived in place with [[@xklint.allow <rule>]] on
    an enclosing expression or binding, [[@@@xklint.allow <rule>]] for a
@@ -50,6 +56,7 @@ let rule_state = "shared-state"
 let rule_error = "typed-error"
 let rule_lock_io = "blocking-io-under-lock"
 let rule_sync = "durability-sync"
+let rule_mmap = "mmap-lifetime"
 
 type ctx = {
   file : string;
@@ -64,6 +71,7 @@ type ctx = {
   check_state : bool;
   check_lib : bool; (* bare-lock + typed-error *)
   check_sync : bool; (* write-then-rename must fsync *)
+  check_mmap : bool; (* mapped bytes must not outlive their segment *)
 }
 
 let in_dir dir file = Lint_util.contains_substring ~sub:("/" ^ dir ^ "/") ("/" ^ file)
@@ -84,6 +92,7 @@ let make_ctx config ~file =
       || in_dir "lib/resilience" file;
     check_lib = in_dir "lib" file || in_dir "bin" file || in_dir "tools" file;
     check_sync = in_dir "lib/index" file || in_dir "lib/storage" file;
+    check_mmap = in_dir "lib/index" file || in_dir "lib/storage" file;
   }
 
 let ident_path lid =
@@ -201,6 +210,26 @@ let mentions_write =
 let mentions_sync =
   mentions_path (fun p ->
       List.exists (fun m -> Lint_util.contains_substring ~sub:m p) sync_markers)
+
+(* The mmap-lifetime vocabulary: the sinks are the long-lived stores a
+   mapped byte range could escape into, and a mention of any [Mmap]
+   module component inside a sink's argument subtree is the escape.
+   (The typed accessors that {e copy} out of the map - [sub_string],
+   [u32] - return plain values, but an expression feeding a cache
+   straight from the handle is still holding the segment's lifetime
+   hostage; decode into a named plain value first.) *)
+let mmap_sinks =
+  [
+    "Shard_cache.find_or_add";
+    "Hashtbl.add";
+    "Hashtbl.replace";
+    "Atomic.set";
+    ":=";
+  ]
+
+let mentions_mmap =
+  mentions_path (fun path ->
+      List.exists (fun part -> part = "Mmap") (String.split_on_char '.' path))
 
 let binding_name vb =
   match vb.pvb_pat.ppat_desc with
@@ -445,6 +474,20 @@ class linter ctx =
                          outside it"
                         path wrapper fn)))
                 #expression arg)
+            args
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+        when ctx.check_mmap
+             && List.mem (strip_stdlib (ident_path txt)) mmap_sinks ->
+          let sink = strip_stdlib (ident_path txt) in
+          List.iter
+            (fun ((_, arg) : arg_label * expression) ->
+              if mentions_mmap arg then
+                report ctx ~loc:arg.pexp_loc ~rule:rule_mmap ~name:sink
+                  (Printf.sprintf
+                     "Mmap value flows into long-lived store '%s' (in '%s'); \
+                      mapped bytes die with their segment handle - decode \
+                      into plain OCaml values before caching"
+                     sink (enclosing_fn ctx)))
             args
       | Pexp_let (Recursive, vbs, _) -> self#check_rec_bindings vbs
       | _ -> ());
