@@ -135,7 +135,11 @@ let run ?(budget = Xk_resilience.Budget.unlimited) semantics
         (Xk_index.Posting.score posts.(i) r)
     end
   done;
+  (* Drain the remaining path: each pop may emit a result, so the
+     emission discipline (one poll per emitted result) applies here
+     just as in the main loop. *)
   while !plen > 0 do
+    Xk_resilience.Budget.check budget;
     pop ()
   done;
   List.rev !results

@@ -1,6 +1,8 @@
-(* xklint: fixture snippets per rule (known-good and known-bad), the
-   allow mechanisms (config entries, [@xklint.allow] attributes, file
-   scoping) and the baseline round trip. *)
+(* xklint: fixture snippets per syntactic rule (known-good and
+   known-bad), multi-file fixture projects for the whole-program
+   analyses (budget reachability, lock-held sets, lock order, mmap
+   escapes), the allow mechanisms (config entries, [@xklint.allow]
+   attributes, file scoping) and the baseline round trip. *)
 
 open Xklint_lib
 
@@ -15,55 +17,18 @@ let config_of_string src =
 let lint ?(config = "") ~file src =
   Lint_engine.lint_source (config_of_string config) ~file src
 
+let lint_all ?(config = "") sources =
+  (Lint_engine.lint_sources (config_of_string config) sources)
+    .Lint_engine.findings
+
 let rules fs = List.map (fun (f : Lint_finding.t) -> f.rule) fs
 let slist = Alcotest.slist Alcotest.string String.compare
 
 let check_rules ?config ~file name expected src =
   check slist name expected (rules (lint ?config ~file src))
 
-(* --- budget-loop ----------------------------------------------------- *)
-
-let budget_while () =
-  let bad = "let serve () =\n  while true do\n    step ()\n  done\n" in
-  check_rules ~file:"lib/core/fixture.ml" "budget-less while" [ "budget-loop" ]
-    bad;
-  check_rules ~file:"lib/core/fixture.ml" "polled while" []
-    "let serve b =\n\
-    \  while Xk_resilience.Budget.alive b do\n\
-    \    step ()\n\
-    \  done\n";
-  check_rules ~file:"lib/core/fixture.ml" "short Budget path counts" []
-    "let serve b =\n  while true do\n    Budget.check b;\n    step ()\n  done\n";
-  (* the rule only covers the algorithm layers *)
-  check_rules ~file:"lib/xml/fixture.ml" "outside algo layers" [] bad;
-  check_rules ~file:"bench/fixture.ml" "outside lib" [] bad
-
-let budget_rec () =
-  let bad = "let rec drain h =\n  match pop h with Some _ -> drain h | None -> ()\n" in
-  check_rules ~file:"lib/baselines/fixture.ml" "budget-less rec"
-    [ "budget-loop" ] bad;
-  check_rules ~file:"lib/baselines/fixture.ml" "polled rec" []
-    "let rec drain b h =\n\
-    \  Xk_resilience.Budget.check b;\n\
-    \  match pop h with Some _ -> drain b h | None -> ()\n";
-  (* nested let rec inside a function body is checked too *)
-  check_rules ~file:"lib/core/fixture.ml" "nested rec" [ "budget-loop" ]
-    "let topk () =\n  let rec go () = go () in\n  go ()\n"
-
-let budget_allow () =
-  let bad = "let bsearch () =\n  while !lo < !hi do\n    narrow ()\n  done\n" in
-  check_rules ~file:"lib/core/fixture.ml"
-    ~config:"allow budget-loop lib/core/fixture.ml bsearch"
-    "config allow by function" [] bad;
-  check_rules ~file:"lib/core/fixture.ml"
-    ~config:"allow budget-loop lib/core/other.ml bsearch"
-    "config allow other file" [ "budget-loop" ] bad;
-  check_rules ~file:"lib/core/fixture.ml" "attribute allow" []
-    "let bsearch () =\n\
-    \  (while !lo < !hi do\n\
-    \     narrow ()\n\
-    \   done)\n\
-    \  [@xklint.allow budget-loop]\n"
+let check_rules_all ?config name expected sources =
+  check slist name expected (rules (lint_all ?config sources))
 
 (* --- bare-lock ------------------------------------------------------- *)
 
@@ -75,40 +40,6 @@ let bare_lock () =
     "let get t = Xk_util.Sync.with_lock t.lock (fun () -> t.v)\n";
   check_rules ~file:"lib/index/fixture.ml" "file-level allow" []
     ("[@@@xklint.allow bare-lock]\n" ^ bad);
-  check_rules ~file:"bench/fixture.ml" "outside lib" [] bad
-
-(* --- blocking-io-under-lock ------------------------------------------ *)
-
-let lock_io () =
-  let bad =
-    "let read t =\n\
-    \  Xk_util.Sync.with_lock t.lock (fun () -> Unix.read t.fd buf 0 len)\n"
-  in
-  check_rules ~file:"lib/index/fixture.ml" "Unix call under with_lock"
-    [ "blocking-io-under-lock" ] bad;
-  check_rules ~file:"lib/resilience/fixture.ml" "channel IO under Protected"
-    [ "blocking-io-under-lock" ]
-    "let dump t oc =\n\
-    \  Xk_util.Sync.Protected.with_ t (fun st ->\n\
-    \      Out_channel.output_string oc st.log)\n";
-  check_rules ~file:"lib/exec/fixture.ml" "sleep under short Sync path"
-    [ "blocking-io-under-lock" ]
-    "let wait t = Sync.with_lock t.lock (fun () -> Unix.sleepf 0.1)\n";
-  check_rules ~file:"lib/index/fixture.ml" "decide under lock, act outside" []
-    "let read t =\n\
-    \  let fd = Xk_util.Sync.with_lock t.lock (fun () -> t.fd) in\n\
-    \  Unix.read fd buf 0 len\n";
-  (* a nested critical section is scanned on its own visit, not twice *)
-  check slist "nested sections report once" [ "blocking-io-under-lock" ]
-    (rules
-       (lint ~file:"lib/index/fixture.ml"
-          "let f t =\n\
-          \  Xk_util.Sync.with_lock a (fun () ->\n\
-          \      Xk_util.Sync.with_lock b (fun () -> Unix.close t.fd))\n"));
-  check_rules ~file:"lib/index/fixture.ml" "attribute allow" []
-    "let read t =\n\
-    \  Xk_util.Sync.with_lock t.lock (fun () ->\n\
-    \      (Unix.read t.fd buf 0 len) [@xklint.allow blocking-io-under-lock])\n";
   check_rules ~file:"bench/fixture.ml" "outside lib" [] bad
 
 (* --- shared-state ---------------------------------------------------- *)
@@ -228,43 +159,409 @@ let durability_sync () =
     ~config:"allow durability-sync lib/index/fixture.ml save" "config allow" []
     bad
 
+let parse_error () =
+  check slist "unparsable file" [ "parse-error" ]
+    (rules (lint ~file:"lib/text/fixture.ml" "let let let\n"))
+
+(* --- budget-loop: whole-program reachability ------------------------- *)
+
+let budget_entry_loop () =
+  let unpolled =
+    "let handle_query t q =\n  while live t do\n    step t q\n  done\n"
+  in
+  check_rules ~file:"lib/index/fixture.ml" "unpolled loop in a handler"
+    [ "budget-loop" ] unpolled;
+  check_rules ~file:"lib/index/fixture.ml" "polling loop in a handler" []
+    "let handle_query t q =\n\
+    \  while live t do\n\
+    \    Xk_resilience.Budget.check q.budget;\n\
+    \    step t q\n\
+    \  done\n";
+  (* a loop no entry point reaches is someone's bounded helper *)
+  check_rules ~file:"lib/core/fixture.ml" "loop not reachable from entries" []
+    "let scan t q =\n  while live t do\n    step t q\n  done\n";
+  check_rules ~file:"bench/fixture.ml" "outside the serving scope" [] unpolled
+
+let budget_cross_module () =
+  let entry = ("lib/core/engine.ml", "let run_request t q = Xk_index.Walk.descend t q\n") in
+  let fs =
+    lint_all
+      [
+        entry;
+        ( "lib/index/walk.ml",
+          "let scan t q =\n\
+          \  while more t do\n\
+          \    advance t q\n\
+          \  done\n\n\
+           let descend t q = scan t q\n" );
+      ]
+  in
+  check slist "loop two calls below an entry" [ "budget-loop" ] (rules fs);
+  (match fs with
+  | [ f ] ->
+      check Alcotest.string "finding sits on the loop" "lib/index/walk.ml"
+        f.Lint_finding.file;
+      check Alcotest.int "trace spans every frame" 4
+        (List.length f.Lint_finding.trace);
+      check Alcotest.bool "rendered trace starts at the entry" true
+        (Lint_util.contains_substring
+           ~sub:"    via lib/core/engine.ml:1  entry point Engine.run_request"
+           (Lint_finding.to_string f))
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs));
+  (* a poll on an intermediate frame suppresses everything below it *)
+  check_rules_all "poll on an intermediate frame suppresses" []
+    [
+      entry;
+      ( "lib/index/walk.ml",
+        "let scan t q =\n\
+        \  while more t do\n\
+        \    advance t q\n\
+        \  done\n\n\
+         let descend t q =\n\
+        \  Xk_resilience.Budget.check q.budget;\n\
+        \  scan t q\n" );
+    ];
+  (* ... and so does a poll in the loop itself *)
+  check_rules_all "poll in the loop suppresses" []
+    [
+      entry;
+      ( "lib/index/walk.ml",
+        "let scan t q =\n\
+        \  while more t do\n\
+        \    Xk_resilience.Budget.check q.budget;\n\
+        \    advance t q\n\
+        \  done\n\n\
+         let descend t q = scan t q\n" );
+    ]
+
+let budget_loop_coverage () =
+  (* a call made from inside a polled loop is covered: the work between
+     two polls of the driving loop is assumed bounded *)
+  let helper =
+    ("lib/index/walk.ml", "let step t q =\n  while busy t do\n    advance t q\n  done\n")
+  in
+  check_rules_all "call site inside a polled loop is covered" []
+    [
+      ( "lib/core/engine.ml",
+        "let run_request t q =\n\
+        \  while more t do\n\
+        \    Xk_resilience.Budget.check q.budget;\n\
+        \    Xk_index.Walk.step t q\n\
+        \  done\n" );
+      helper;
+    ];
+  (* without the poll, both the driving loop and the helper's flag *)
+  check_rules_all "unpolled driving loop exposes the helper"
+    [ "budget-loop"; "budget-loop" ]
+    [
+      ( "lib/core/engine.ml",
+        "let run_request t q =\n\
+        \  while more t do\n\
+        \    Xk_index.Walk.step t q\n\
+        \  done\n" );
+      helper;
+    ]
+
+let budget_recursion () =
+  let entry = ("lib/core/engine.ml", "let run_request t q = Xk_index.Walk.ping t q\n") in
+  check_rules_all "mutual recursion without a poll" [ "budget-loop" ]
+    [
+      entry;
+      ( "lib/index/walk.ml",
+        "let rec ping t q = pong t q\nand pong t q = if more t then ping t q\n" );
+    ];
+  check_rules_all "polling recursion is fine" []
+    [
+      entry;
+      ( "lib/index/walk.ml",
+        "let rec ping t q =\n\
+        \  Xk_resilience.Budget.check q.budget;\n\
+        \  pong t q\n\
+         and pong t q = if more t then ping t q\n" );
+    ];
+  (* a recursive helper nested in a handler body is reachable too *)
+  check_rules ~file:"lib/index/fixture.ml" "nested recursion in a handler"
+    [ "budget-loop" ]
+    "let handle_load t =\n  let rec go () = if live t then go () in\n  go ()\n"
+
+let budget_allows () =
+  let project =
+    [
+      ("lib/core/engine.ml", "let run_request t q = Xk_index.Walk.descend t q\n");
+      ( "lib/index/walk.ml",
+        "let scan t q =\n\
+        \  while more t do\n\
+        \    advance t q\n\
+        \  done\n\n\
+         let descend t q = scan t q\n" );
+    ]
+  in
+  check_rules_all "unwaived baseline" [ "budget-loop" ] project;
+  check_rules_all ~config:"allow budget-loop lib/index/walk.ml scan"
+    "config allow by containing function" [] project;
+  check_rules_all ~config:"allow budget-loop lib/index/other.ml scan"
+    "config allow elsewhere does not apply" [ "budget-loop" ] project;
+  check_rules ~file:"lib/index/fixture.ml" "attribute allow on the loop" []
+    "let handle_load t =\n\
+    \  (while live t do\n\
+    \     step t\n\
+    \   done)\n\
+    \  [@xklint.allow budget-loop]\n";
+  check_rules ~file:"lib/index/fixture.ml" "attribute allow on the binding" []
+    "let handle_load t =\n\
+    \  while live t do\n\
+    \    step t\n\
+    \  done\n\
+    \  [@@xklint.allow budget-loop]\n"
+
+(* --- blocking-io-under-lock ------------------------------------------ *)
+
+let lock_io () =
+  let bad =
+    "let read t =\n\
+    \  Xk_util.Sync.with_lock t.lock (fun () -> Unix.read t.fd buf 0 len)\n"
+  in
+  check_rules ~file:"lib/index/fixture.ml" "Unix call under with_lock"
+    [ "blocking-io-under-lock" ] bad;
+  check_rules ~file:"lib/resilience/fixture.ml" "channel IO under Protected"
+    [ "blocking-io-under-lock" ]
+    "let dump t oc =\n\
+    \  Xk_util.Sync.Protected.with_ t (fun st ->\n\
+    \      Out_channel.output_string oc st.log)\n";
+  check_rules ~file:"lib/exec/fixture.ml" "sleep under short Sync path"
+    [ "blocking-io-under-lock" ]
+    "let wait t = Sync.with_lock t.lock (fun () -> Unix.sleepf 0.1)\n";
+  check_rules ~file:"lib/index/fixture.ml" "decide under lock, act outside" []
+    "let read t =\n\
+    \  let fd = Xk_util.Sync.with_lock t.lock (fun () -> t.fd) in\n\
+    \  Unix.read fd buf 0 len\n";
+  (* a nested critical section is scanned on its own visit, not twice *)
+  check slist "nested sections report once" [ "blocking-io-under-lock" ]
+    (rules
+       (lint ~file:"lib/index/fixture.ml"
+          "let f t =\n\
+          \  Xk_util.Sync.with_lock a (fun () ->\n\
+          \      Xk_util.Sync.with_lock b (fun () -> Unix.close t.fd))\n"));
+  check_rules ~file:"lib/index/fixture.ml" "attribute allow" []
+    "let read t =\n\
+    \  Xk_util.Sync.with_lock t.lock (fun () ->\n\
+    \      (Unix.read t.fd buf 0 len) [@xklint.allow blocking-io-under-lock])\n";
+  check_rules ~file:"bench/fixture.ml" "outside lib" [] bad
+
+let lock_io_transitive () =
+  let caller =
+    ( "lib/index/segment.ml",
+      "let sync t =\n\
+      \  Xk_util.Sync.with_lock t.lock (fun () -> Writer.flush_all t)\n" )
+  in
+  let fs =
+    lint_all
+      [ caller; ("lib/index/writer.ml", "let flush_all t = Unix.fsync t.fd\n") ]
+  in
+  check slist "callee blocks under the caller's lock"
+    [ "blocking-io-under-lock" ] (rules fs);
+  (match fs with
+  | [ f ] ->
+      check Alcotest.string "finding sits at the call site"
+        "lib/index/segment.ml" f.Lint_finding.file;
+      check Alcotest.bool "trace ends at the blocking call" true
+        (match List.rev f.Lint_finding.trace with
+        | (file, _, note) :: _ ->
+            file = "lib/index/writer.ml" && note = "blocking call Unix.fsync"
+        | [] -> false)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs));
+  check_rules_all "non-blocking callee is fine" []
+    [ caller; ("lib/index/writer.ml", "let flush_all t = note t\n") ]
+
+let lock_io_closure () =
+  let cache =
+    ( "lib/index/shard_cache.ml",
+      "let find_or_add t id compute =\n\
+      \  Xk_util.Sync.with_lock t.lock (fun () -> compute id)\n" )
+  in
+  check_rules_all "closure runs under the callee's lock"
+    [ "blocking-io-under-lock" ]
+    [
+      cache;
+      ( "lib/index/reader.ml",
+        "let rows t id =\n\
+        \  Shard_cache.find_or_add t.cache id (fun _ -> Unix.read t.fd buf 0 len)\n"
+      );
+    ];
+  check_rules_all "pure closure under the callee's lock is fine" []
+    [
+      cache;
+      ( "lib/index/reader.ml",
+        "let rows t id =\n\
+        \  Shard_cache.find_or_add t.cache id (fun _ -> decode t id)\n" );
+    ]
+
+(* --- lock-order ------------------------------------------------------- *)
+
+let lock_order () =
+  check_rules ~file:"lib/exec/fixture.ml" "nested inversion in one module"
+    [ "lock-order" ]
+    "let ab t =\n\
+    \  Xk_util.Sync.with_lock t.a (fun () ->\n\
+    \      Xk_util.Sync.with_lock t.b (fun () -> tick t))\n\n\
+     let ba t =\n\
+    \  Xk_util.Sync.with_lock t.b (fun () ->\n\
+    \      Xk_util.Sync.with_lock t.a (fun () -> tick t))\n";
+  check_rules ~file:"lib/exec/fixture.ml" "consistent order is fine" []
+    "let ab t =\n\
+    \  Xk_util.Sync.with_lock t.a (fun () ->\n\
+    \      Xk_util.Sync.with_lock t.b (fun () -> tick t))\n\n\
+     let ab2 t =\n\
+    \  Xk_util.Sync.with_lock t.a (fun () ->\n\
+    \      Xk_util.Sync.with_lock t.b (fun () -> tock t))\n";
+  (* same printed key: sharded-cache re-entry by design, not an order *)
+  check_rules ~file:"lib/exec/fixture.ml" "same-key re-entry is fine" []
+    "let re t =\n\
+    \  Xk_util.Sync.with_lock t.a (fun () ->\n\
+    \      Xk_util.Sync.with_lock t.a (fun () -> tick t))\n";
+  check_rules_all "inversion across modules" [ "lock-order" ]
+    [
+      ( "lib/exec/a.ml",
+        "let fwd t = Xk_util.Sync.with_lock t.la (fun () -> B.grab t)\n\n\
+         let take t = Xk_util.Sync.with_lock t.la (fun () -> tick t)\n" );
+      ( "lib/exec/b.ml",
+        "let grab t = Xk_util.Sync.with_lock t.lb (fun () -> tick t)\n\n\
+         let rev t = Xk_util.Sync.with_lock t.lb (fun () -> A.take t)\n" );
+    ];
+  check_rules_all "one direction across modules is fine" []
+    [
+      ( "lib/exec/a.ml",
+        "let fwd t = Xk_util.Sync.with_lock t.la (fun () -> B.grab t)\n" );
+      ( "lib/exec/b.ml",
+        "let grab t = Xk_util.Sync.with_lock t.lb (fun () -> tick t)\n" );
+    ]
+
 (* --- mmap-lifetime --------------------------------------------------- *)
 
-let mmap_lifetime () =
-  let bad =
-    "let cache_rows t id =\n\
-    \  Hashtbl.replace t.cache id\n\
-    \    (Xk_storage.Mmap.sub_string t.map ~pos:0 ~len:8)\n"
+let mmap_sinks () =
+  let raw_view =
+    "let stash t id =\n\
+    \  Hashtbl.replace t.cache id (Xk_storage.Mmap.view t.map ~pos:0)\n"
   in
-  check_rules ~file:"lib/index/fixture.ml" "mapped bytes into Hashtbl"
-    [ "mmap-lifetime" ] bad;
+  check_rules ~file:"lib/index/fixture.ml" "raw view into Hashtbl"
+    [ "mmap-lifetime" ] raw_view;
   check_rules ~file:"lib/storage/fixture.ml" "storage layer covered too"
-    [ "mmap-lifetime" ] bad;
+    [ "mmap-lifetime" ] raw_view;
   check_rules ~file:"lib/index/fixture.ml" "cache closure over the map"
     [ "mmap-lifetime" ]
     "let rows t id =\n\
     \  Shard_cache.find_or_add t.cache id (fun () -> Mmap.u32 t.map ~pos:id)\n";
   check_rules ~file:"lib/index/fixture.ml" "ref cell capture"
     [ "mmap-lifetime" ]
-    "let stash t = t.slot := Xk_storage.Mmap.sub_string t.map ~pos:0 ~len:4\n";
+    "let set t = t.slot := Xk_storage.Mmap.view t.map ~pos:0\n";
+  (* a copying accessor at value depth is the decode-to-plain pattern *)
+  check_rules ~file:"lib/index/fixture.ml" "copying accessor decodes" []
+    "let stash t id =\n\
+    \  Hashtbl.replace t.cache id (Xk_storage.Mmap.u32 t.map ~pos:0)\n";
   check_rules ~file:"lib/index/fixture.ml" "decode into plain values first" []
     "let cache_rows t id rows =\n\
     \  let nodes = decode_nodes rows in\n\
     \  Hashtbl.replace t.cache id nodes\n";
   (* only the zero-copy layers are covered *)
-  check_rules ~file:"lib/core/fixture.ml" "outside the zero-copy layers" [] bad;
+  check_rules ~file:"lib/core/fixture.ml" "outside the zero-copy layers" []
+    raw_view;
   check_rules ~file:"lib/index/fixture.ml" "attribute allow" []
-    "let cache_rows t id =\n\
-    \  (Hashtbl.replace t.cache id\n\
-    \     (Xk_storage.Mmap.sub_string t.map ~pos:0 ~len:8))\n\
+    "let stash t id =\n\
+    \  (Hashtbl.replace t.cache id (Xk_storage.Mmap.view t.map ~pos:0))\n\
     \  [@xklint.allow mmap-lifetime]\n";
   check_rules ~file:"lib/index/fixture.ml"
     ~config:"allow mmap-lifetime lib/index/fixture.ml Hashtbl.replace"
-    "config allow by sink" [] bad
+    "config allow by sink" [] raw_view
 
-let parse_error () =
-  check slist "unparsable file" [ "parse-error" ]
-    (rules (lint ~file:"lib/text/fixture.ml" "let let let\n"))
+let mmap_returns () =
+  let reader =
+    ("lib/storage/reader.ml", "let window t pos = Xk_storage.Mmap.view t.map pos\n")
+  in
+  let fs =
+    lint_all
+      [
+        reader;
+        ( "lib/index/cache.ml",
+          "let remember t id =\n\
+          \  Hashtbl.replace t.tbl id (Xk_storage.Reader.window t.r 0)\n" );
+      ]
+  in
+  check slist "returned view reaching a sink" [ "mmap-lifetime" ] (rules fs);
+  (match fs with
+  | [ f ] ->
+      check Alcotest.bool "trace names the returning function" true
+        (List.exists
+           (fun (_, _, note) ->
+             note = "Reader.window returns an Mmap-backed value")
+           f.Lint_finding.trace)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs));
+  check_rules_all "let-bound view chased to the sink" [ "mmap-lifetime" ]
+    [
+      reader;
+      ( "lib/index/cache.ml",
+        "let remember t id =\n\
+        \  let w = Xk_storage.Reader.window t.r 0 in\n\
+        \  Hashtbl.replace t.tbl id w\n" );
+    ];
+  (* a function that decodes to plain values does not taint its callers *)
+  check_rules_all "decoded return is fine" []
+    [
+      ( "lib/storage/reader.ml",
+        "let width t pos = Xk_storage.Mmap.u32 t.map ~pos\n" );
+      ( "lib/index/cache.ml",
+        "let remember t id =\n\
+        \  Hashtbl.replace t.tbl id (Xk_storage.Reader.width t.r 0)\n" );
+    ]
+
+(* --- engine: determinism, SARIF, graph ------------------------------- *)
+
+let finding_order () =
+  let fs =
+    lint_all
+      [
+        ("lib/text/b.ml", "let f () = failwith \"x\"\n\nlet g xs = List.hd xs\n");
+        ("lib/text/a.ml", "let h () = invalid_arg \"y\"\n");
+      ]
+  in
+  check Alcotest.bool "sorted and deduplicated" true
+    (fs = List.sort_uniq Lint_finding.compare fs);
+  check Alcotest.int "all three reported" 3 (List.length fs);
+  match fs with
+  | first :: _ ->
+      check Alcotest.string "a.ml sorts before b.ml" "lib/text/a.ml"
+        first.Lint_finding.file
+  | [] -> Alcotest.fail "expected findings"
+
+let sarif_output () =
+  let fs =
+    lint_all
+      [
+        ("lib/core/engine.ml", "let run_request t q = Xk_index.Walk.descend t q\n");
+        ( "lib/index/walk.ml",
+          "let descend t q =\n  while more t do\n    advance t q\n  done\n" );
+      ]
+  in
+  check slist "fixture finding" [ "budget-loop" ] (rules fs);
+  let sarif = Lint_sarif.to_string ~tool_version:"test" fs in
+  let has sub =
+    check Alcotest.bool sub true (Lint_util.contains_substring ~sub sarif)
+  in
+  has "\"version\":\"2.1.0\"";
+  has "{\"id\":\"budget-loop\"}";
+  has "\"relatedLocations\":[";
+  has "entry point Engine.run_request"
+
+let call_graph () =
+  let { Lint_engine.files; graph; findings = _ } =
+    Lint_engine.lint_sources (config_of_string "")
+      [ ("lib/core/a.ml", "let f x = g x\n\nlet g x = x + 1\n") ]
+  in
+  check Alcotest.int "file count" 1 files;
+  check Alcotest.bool "defs collected" true (Lint_callgraph.n_defs graph >= 2);
+  check Alcotest.bool "edges recorded" true (Lint_callgraph.n_edges graph >= 1);
+  let dot = Lint_callgraph.to_dot graph in
+  check Alcotest.bool "dot names the defs" true
+    (Lint_util.contains_substring ~sub:"A.f" dot)
 
 (* --- config ---------------------------------------------------------- *)
 
@@ -352,17 +649,38 @@ let suite =
   [
     ( "lint.rules",
       [
-        tc "budget-loop: while" `Quick budget_while;
-        tc "budget-loop: let rec" `Quick budget_rec;
-        tc "budget-loop: allows" `Quick budget_allow;
         tc "bare-lock" `Quick bare_lock;
-        tc "blocking-io-under-lock" `Quick lock_io;
         tc "shared-state" `Quick shared_state;
         tc "rpc-budget" `Quick rpc_budget;
         tc "typed-error" `Quick typed_error;
         tc "durability-sync" `Quick durability_sync;
-        tc "mmap-lifetime" `Quick mmap_lifetime;
         tc "parse error" `Quick parse_error;
+      ] );
+    ( "lint.budget",
+      [
+        tc "entry-point loops" `Quick budget_entry_loop;
+        tc "cross-module reachability" `Quick budget_cross_module;
+        tc "polled-loop edge coverage" `Quick budget_loop_coverage;
+        tc "recursion cycles" `Quick budget_recursion;
+        tc "allows" `Quick budget_allows;
+      ] );
+    ( "lint.locks",
+      [
+        tc "blocking IO: lexical" `Quick lock_io;
+        tc "blocking IO: transitive" `Quick lock_io_transitive;
+        tc "blocking IO: closure under callee lock" `Quick lock_io_closure;
+        tc "lock-order inversions" `Quick lock_order;
+      ] );
+    ( "lint.mmap",
+      [
+        tc "sink arguments" `Quick mmap_sinks;
+        tc "returned views" `Quick mmap_returns;
+      ] );
+    ( "lint.engine",
+      [
+        tc "deterministic finding order" `Quick finding_order;
+        tc "sarif output" `Quick sarif_output;
+        tc "call graph" `Quick call_graph;
       ] );
     ( "lint.config",
       [ tc "parse + matching" `Quick config_parse ] );

@@ -1,0 +1,189 @@
+(* Parsetree helpers shared by the syntactic rules (Lint_rules) and the
+   whole-program passes (Lint_callgraph / Lint_dataflow): dotted-path
+   flattening, [@xklint.allow] payload parsing, subtree scans. *)
+
+open Ppxlib
+
+let ident_path lid =
+  match Longident.flatten_exn lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+let strip_stdlib path =
+  if String.starts_with ~prefix:"Stdlib." path then
+    String.sub path 7 (String.length path - 7)
+  else path
+
+(* [@xklint.allow <payload>]: the payload names the waived rules - bare
+   or string literals, a tuple for several, empty for all.  Kebab-case
+   rule ids parse as subtractions ([bare-lock] is [bare - lock]), so
+   that shape is folded back into a name. *)
+let rec rule_names_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident s; _ } -> [ s ]
+  | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+  | Pexp_tuple es -> List.concat_map rule_names_of_expr es
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident "-"; _ }; _ },
+        [ (Nolabel, a); (Nolabel, b) ] ) -> (
+      match (rule_names_of_expr a, rule_names_of_expr b) with
+      | [ x ], [ y ] -> [ x ^ "-" ^ y ]
+      | _ -> [])
+  | _ -> []
+
+let allows_of_attribute (attr : attribute) =
+  if attr.attr_name.txt <> "xklint.allow" then None
+  else
+    match attr.attr_payload with
+    | PStr [] -> Some [ "*" ]
+    | PStr items ->
+        Some
+          (List.concat_map
+             (fun item ->
+               match item.pstr_desc with
+               | Pstr_eval (e, _) -> rule_names_of_expr e
+               | _ -> [])
+             items)
+    | _ -> Some [ "*" ]
+
+let allows_of_attributes attrs =
+  List.filter_map allows_of_attribute attrs |> List.concat
+
+let allows_hit rule rules = List.mem rule rules || List.mem "*" rules
+
+(* Does a subtree mention an identifier whose dotted path satisfies
+   [pred]?  The scan short-circuits on the first hit. *)
+let mentions_path pred =
+  let found = ref false in
+  let scan =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+            if pred (strip_stdlib (ident_path txt)) then found := true
+        | _ -> ());
+        if not !found then super#expression e
+    end
+  in
+  fun e ->
+    found := false;
+    scan#expression e;
+    !found
+
+(* Does a subtree mention any [Budget] identifier ([Budget.check],
+   [Xk_resilience.Budget.alive], ...)? *)
+let mentions_budget =
+  mentions_path (fun path ->
+      List.exists (fun part -> part = "Budget") (String.split_on_char '.' path))
+
+let binding_name vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
+  | _ -> None
+
+(* Total stack pop: push/pop pairs in the traversals are balanced by
+   construction, but [tools/] is in typed-error scope, so the lint must
+   satisfy its own no-[List.tl] rule. *)
+let pop_stack = function [] -> [] | _ :: tl -> tl
+
+(* A short, stable rendering of an expression, used as the textual
+   identity of a lock in the lock-order analysis ([t.lock], [state],
+   [pool.lock]).  Newlines collapse so keys stay one-line. *)
+let expr_key e =
+  let s =
+    match Pprintast.string_of_expression e with
+    | s -> s
+    | exception _ -> "<expr>"
+  in
+  let s =
+    String.map (fun c -> if c = '\n' || c = '\t' then ' ' else c) s
+  in
+  if String.length s > 48 then String.sub s 0 48 ^ "..." else s
+
+(* Is the function expression a syntactic lambda (as opposed to a named
+   function passed by value)? *)
+let is_lambda e =
+  match e.pexp_desc with Pexp_function _ -> true | _ -> false
+
+(* Peel [fun p1 ... pn ->] / [function] / [(fun ... : t) ->] layers off a
+   binding's right-hand side: the parameter names (with their labels)
+   and the body expressions (one per [function] case). *)
+let rec peel_function e =
+  match e.pexp_desc with
+  | Pexp_function (params, _, body) ->
+      let names =
+        List.filter_map
+          (function
+            | { pparam_desc = Pparam_val (lbl, _, pat); _ } -> (
+                let label =
+                  match lbl with
+                  | Nolabel -> ""
+                  | Labelled l | Optional l -> l
+                in
+                match pat.ppat_desc with
+                | Ppat_var { txt; _ } -> Some (label, txt)
+                | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _)
+                  ->
+                    Some (label, txt)
+                | _ -> Some (label, "_"))
+            | _ -> None)
+          params
+      in
+      (match body with
+      | Pfunction_body b ->
+          let inner, bodies = peel_function b in
+          (names @ inner, bodies)
+      | Pfunction_cases (cases, _, _) ->
+          (names, List.map (fun c -> c.pc_rhs) cases))
+  | Pexp_newtype (_, b) | Pexp_constraint (b, _) -> peel_function b
+  | _ -> ([], [ e ])
+
+(* Optional-argument default expressions ([?(budget = Budget.unlimited)]):
+   evaluated on every call, so they belong to the body for fact
+   collection (a [Budget] mention there is a real poll site) but not to
+   the return positions. *)
+let rec param_defaults e =
+  match e.pexp_desc with
+  | Pexp_function (params, _, body) ->
+      let own =
+        List.filter_map
+          (function
+            | { pparam_desc = Pparam_val (_, Some default, _); _ } ->
+                Some default
+            | _ -> None)
+          params
+      in
+      own
+      @ (match body with
+        | Pfunction_body b -> param_defaults b
+        | Pfunction_cases (_, _, _) -> [])
+  | Pexp_newtype (_, b) | Pexp_constraint (b, _) -> param_defaults b
+  | _ -> []
+
+let is_function_binding vb =
+  let rec fn e =
+    match e.pexp_desc with
+    | Pexp_function _ -> true
+    | Pexp_newtype (_, b) | Pexp_constraint (b, _) -> fn b
+    | _ -> false
+  in
+  fn vb.pvb_expr
+
+(* Tail (result) positions of a function body: where a returned value is
+   constructed.  Used by the mmap escape analysis to decide whether a
+   function hands out Mmap-backed values. *)
+let rec tail_exprs e =
+  match e.pexp_desc with
+  | Pexp_let (_, _, cont) -> tail_exprs cont
+  | Pexp_sequence (_, b) -> tail_exprs b
+  | Pexp_ifthenelse (_, t, f) -> (
+      tail_exprs t @ match f with Some f -> tail_exprs f | None -> [])
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      List.concat_map (fun c -> tail_exprs c.pc_rhs) cases
+  | Pexp_constraint (b, _) | Pexp_coerce (b, _, _) -> tail_exprs b
+  | Pexp_open (_, b) | Pexp_letmodule (_, _, b) | Pexp_letexception (_, b) ->
+      tail_exprs b
+  | _ -> [ e ]

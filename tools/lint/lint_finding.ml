@@ -12,15 +12,29 @@ type t = {
   severity : severity;
   rule : string;
   msg : string;
+  trace : (string * int * string) list;
+      (* interprocedural witness: (file, line, note) per frame,
+         entry point first; empty for syntactic findings *)
 }
 
-let v ~file ~line ?(severity = Error) ~rule msg =
-  { file; line; severity; rule; msg }
+let v ~file ~line ?(severity = Error) ?(trace = []) ~rule msg =
+  { file; line; severity; rule; msg; trace }
 
 let to_string f =
-  Printf.sprintf "%s:%d %s %s %s" f.file f.line
-    (severity_to_string f.severity)
-    f.rule f.msg
+  let head =
+    Printf.sprintf "%s:%d %s %s %s" f.file f.line
+      (severity_to_string f.severity)
+      f.rule f.msg
+  in
+  match f.trace with
+  | [] -> head
+  | frames ->
+      String.concat "\n"
+        (head
+        :: List.map
+             (fun (file, line, note) ->
+               Printf.sprintf "    via %s:%d  %s" file line note)
+             frames)
 
 (* Tab-separated so the message may contain spaces. *)
 let key f = String.concat "\t" [ f.file; f.rule; f.msg ]

@@ -1,11 +1,7 @@
-(* The six invariants, checked over ppxlib's parsetree (so the same
-   source parses on every compiler in the CI matrix):
+(* The syntactic (single-file) invariants, checked over ppxlib's
+   parsetree (so the same source parses on every compiler in the CI
+   matrix):
 
-   - [budget-loop]: in the algorithm layers ([lib/core], [lib/baselines])
-     every [while] loop and every recursive binding must mention a
-     [Budget.*] identifier somewhere in its own subtree - the
-     deadline/cancellation token is polled from inside the loop, not
-     around it.  Bounded pure helpers go in the allowlist.
    - [rpc-budget]: in the serving layers ([lib/rpc], [lib/exec]) every
      RPC handler - a function binding named [handle*] - must thread a
      [Budget.*]: the request frame carries the caller's remaining
@@ -25,23 +21,16 @@
      bare [assert false] (use [Err.unreachable] with context), no
      partial stdlib calls ([List.hd]/[List.tl]/[Option.get]) and no
      [Array.unsafe_*] in [lib/], [bin/] and [tools/].
-   - [blocking-io-under-lock]: the body handed to [Sync.with_lock] or
-     [Sync.Protected.with_] must not call [Unix.*]/[In_channel.*]/
-     [Out_channel.*] - a sleep, read or write under the lock stalls
-     every domain contending for it.  Decide under the lock, perform
-     the IO outside (the pattern Chaos/Fault_injection follow).
    - [durability-sync]: in the persistence layers ([lib/index],
      [lib/storage]) a function that both writes and renames must have
      an fsync in its subtree - a bare write-then-rename is atomic
      against concurrent readers but not against power loss; route the
      artifact through [Xk_storage.Durable.write_atomically] or fsync
      the file and its directory explicitly.
-   - [mmap-lifetime]: in the zero-copy layers ([lib/index],
-     [lib/storage]) no [Mmap.*] value or accessor result may flow into
-     a long-lived store - an argument subtree of [Shard_cache.
-     find_or_add], [Hashtbl.add]/[replace], [Atomic.set] or [:=] that
-     mentions [Mmap] is caching mapped bytes (or the handle) past the
-     owning segment's close; decode into plain OCaml values first.
+
+   [budget-loop], [blocking-io-under-lock], [lock-order] and
+   [mmap-lifetime] are whole-program rules, checked interprocedurally
+   over the cross-module call graph by Lint_callgraph / Lint_dataflow.
 
    Any finding can be waived in place with [[@xklint.allow <rule>]] on
    an enclosing expression or binding, [[@@@xklint.allow <rule>]] for a
@@ -49,14 +38,11 @@
 
 open Ppxlib
 
-let rule_budget = "budget-loop"
 let rule_rpc = "rpc-budget"
 let rule_lock = "bare-lock"
 let rule_state = "shared-state"
 let rule_error = "typed-error"
-let rule_lock_io = "blocking-io-under-lock"
 let rule_sync = "durability-sync"
-let rule_mmap = "mmap-lifetime"
 
 type ctx = {
   file : string;
@@ -66,12 +52,10 @@ type ctx = {
   mutable allow_stack : string list list; (* rules waived by enclosing attrs *)
   mutable file_allows : string list; (* from [@@@xklint.allow ...] *)
   mutable expr_depth : int; (* 0 = structure level *)
-  check_budget : bool;
   check_rpc : bool; (* handle* bindings must thread a Budget *)
   check_state : bool;
   check_lib : bool; (* bare-lock + typed-error *)
   check_sync : bool; (* write-then-rename must fsync *)
-  check_mmap : bool; (* mapped bytes must not outlive their segment *)
 }
 
 let in_dir dir file = Lint_util.contains_substring ~sub:("/" ^ dir ^ "/") ("/" ^ file)
@@ -85,63 +69,17 @@ let make_ctx config ~file =
     allow_stack = [];
     file_allows = [];
     expr_depth = 0;
-    check_budget = in_dir "lib/core" file || in_dir "lib/baselines" file;
     check_rpc = in_dir "lib/rpc" file || in_dir "lib/exec" file;
     check_state =
       in_dir "lib/exec" file || in_dir "lib/index" file
       || in_dir "lib/resilience" file;
     check_lib = in_dir "lib" file || in_dir "bin" file || in_dir "tools" file;
     check_sync = in_dir "lib/index" file || in_dir "lib/storage" file;
-    check_mmap = in_dir "lib/index" file || in_dir "lib/storage" file;
   }
 
-let ident_path lid =
-  match Longident.flatten_exn lid with
-  | parts -> String.concat "." parts
-  | exception _ -> ""
-
-let strip_stdlib path =
-  if String.starts_with ~prefix:"Stdlib." path then
-    String.sub path 7 (String.length path - 7)
-  else path
-
-(* [@xklint.allow <payload>]: the payload names the waived rules - bare
-   or string literals, a tuple for several, empty for all.  Kebab-case
-   rule ids parse as subtractions ([bare-lock] is [bare - lock]), so
-   that shape is folded back into a name. *)
-let rec rule_names_of_expr e =
-  match e.pexp_desc with
-  | Pexp_ident { txt = Lident s; _ } -> [ s ]
-  | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
-  | Pexp_tuple es -> List.concat_map rule_names_of_expr es
-  | Pexp_apply
-      ( { pexp_desc = Pexp_ident { txt = Lident "-"; _ }; _ },
-        [ (Nolabel, a); (Nolabel, b) ] ) -> (
-      match (rule_names_of_expr a, rule_names_of_expr b) with
-      | [ x ], [ y ] -> [ x ^ "-" ^ y ]
-      | _ -> [])
-  | _ -> []
-
-let allows_of_attribute (attr : attribute) =
-  if attr.attr_name.txt <> "xklint.allow" then None
-  else
-    match attr.attr_payload with
-    | PStr [] -> Some [ "*" ]
-    | PStr items ->
-        Some
-          (List.concat_map
-             (fun item ->
-               match item.pstr_desc with
-               | Pstr_eval (e, _) -> rule_names_of_expr e
-               | _ -> [])
-             items)
-    | _ -> Some [ "*" ]
-
-let allows_of_attributes attrs = List.filter_map allows_of_attribute attrs |> List.concat
-
 let waived ctx rule =
-  let hit rules = List.mem rule rules || List.mem "*" rules in
-  hit ctx.file_allows || List.exists hit ctx.allow_stack
+  Lint_ast.allows_hit rule ctx.file_allows
+  || List.exists (Lint_ast.allows_hit rule) ctx.allow_stack
 
 let report ctx ~loc ~rule ?name msg =
   if not (waived ctx rule) then
@@ -152,35 +90,6 @@ let report ctx ~loc ~rule ?name msg =
 
 let enclosing_fn ctx =
   match ctx.fn_stack with name :: _ -> name | [] -> "<toplevel>"
-
-(* Does a subtree mention an identifier whose dotted path satisfies
-   [pred]?  The scan short-circuits on the first hit. *)
-let mentions_path pred =
-  let found = ref false in
-  let scan =
-    object
-      inherit Ast_traverse.iter as super
-
-      method! expression e =
-        (match e.pexp_desc with
-        | Pexp_ident { txt; _ } ->
-            if pred (strip_stdlib (ident_path txt)) then found := true
-        | _ -> ());
-        if not !found then super#expression e
-    end
-  in
-  fun e ->
-    found := false;
-    scan#expression e;
-    !found
-
-(* Does a subtree mention any [Budget] identifier ([Budget.check],
-   [Xk_resilience.Budget.alive], ...)? *)
-let mentions_budget =
-  mentions_path (fun path ->
-      List.exists
-        (fun part -> part = "Budget")
-        (String.split_on_char '.' path))
 
 (* The durability-sync vocabulary: a rename is the publication point, a
    write is what makes it durability-relevant, and an fsync mention -
@@ -200,42 +109,16 @@ let write_idents =
 
 let write_prefixes = [ "Out_channel."; "Unix.write" ]
 let sync_markers = [ "fsync"; "write_atomically"; "write_string_atomically" ]
-let mentions_rename = mentions_path (fun p -> List.mem p rename_idents)
+let mentions_rename = Lint_ast.mentions_path (fun p -> List.mem p rename_idents)
 
 let mentions_write =
-  mentions_path (fun p ->
+  Lint_ast.mentions_path (fun p ->
       List.mem p write_idents
       || List.exists (fun pre -> String.starts_with ~prefix:pre p) write_prefixes)
 
 let mentions_sync =
-  mentions_path (fun p ->
+  Lint_ast.mentions_path (fun p ->
       List.exists (fun m -> Lint_util.contains_substring ~sub:m p) sync_markers)
-
-(* The mmap-lifetime vocabulary: the sinks are the long-lived stores a
-   mapped byte range could escape into, and a mention of any [Mmap]
-   module component inside a sink's argument subtree is the escape.
-   (The typed accessors that {e copy} out of the map - [sub_string],
-   [u32] - return plain values, but an expression feeding a cache
-   straight from the handle is still holding the segment's lifetime
-   hostage; decode into a named plain value first.) *)
-let mmap_sinks =
-  [
-    "Shard_cache.find_or_add";
-    "Hashtbl.add";
-    "Hashtbl.replace";
-    "Atomic.set";
-    ":=";
-  ]
-
-let mentions_mmap =
-  mentions_path (fun path ->
-      List.exists (fun part -> part = "Mmap") (String.split_on_char '.' path))
-
-let binding_name vb =
-  match vb.pvb_pat.ppat_desc with
-  | Ppat_var { txt; _ } -> Some txt
-  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
-  | _ -> None
 
 (* Mutable-state scan for one top-level right-hand side.  Stops at
    lambdas (per-call state) and at sanctioned wrappers. *)
@@ -254,64 +137,25 @@ let scan_toplevel_state ~on_hit =
     inherit Ast_traverse.iter as super
 
     method! expression e =
-      let allows = allows_of_attributes e.pexp_attributes in
-      if List.mem rule_state allows || List.mem "*" allows then ()
+      let allows = Lint_ast.allows_of_attributes e.pexp_attributes in
+      if Lint_ast.allows_hit rule_state allows then ()
       else
         match e.pexp_desc with
         | Pexp_function _ -> () (* per-call state *)
         | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
-          when List.mem (strip_stdlib (ident_path txt)) sanctioned_wrappers ->
+          when List.mem
+                 (Lint_ast.strip_stdlib (Lint_ast.ident_path txt))
+                 sanctioned_wrappers ->
             ()
         | Pexp_ident { txt; _ }
-          when List.mem (strip_stdlib (ident_path txt)) bare_state_ctors ->
-            on_hit e.pexp_loc (strip_stdlib (ident_path txt))
+          when List.mem
+                 (Lint_ast.strip_stdlib (Lint_ast.ident_path txt))
+                 bare_state_ctors ->
+            on_hit e.pexp_loc (Lint_ast.strip_stdlib (Lint_ast.ident_path txt))
         | _ -> super#expression e
   end
 
 let locked_idents = [ "Mutex.lock"; "Mutex.unlock"; "Mutex.try_lock" ]
-
-(* Application heads whose function argument runs with a lock held. *)
-let lock_wrappers =
-  [
-    "Sync.with_lock";
-    "Xk_util.Sync.with_lock";
-    "with_lock";
-    "Sync.Protected.with_";
-    "Xk_util.Sync.Protected.with_";
-    "Protected.with_";
-  ]
-
-let blocking_prefixes = [ "Unix."; "In_channel."; "Out_channel." ]
-
-(* Blocking-call scan over a critical-section body.  A nested lock
-   wrapper is skipped here: the outer traversal visits it on its own
-   and opens a fresh scan, so each call site reports exactly once. *)
-let scan_blocking_io ~on_hit =
-  object
-    inherit Ast_traverse.iter as super
-
-    method! expression e =
-      let allows = allows_of_attributes e.pexp_attributes in
-      if List.mem rule_lock_io allows || List.mem "*" allows then ()
-      else
-        match e.pexp_desc with
-        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
-          when List.mem (strip_stdlib (ident_path txt)) lock_wrappers ->
-            ()
-        | Pexp_ident { txt; _ } ->
-            let path = strip_stdlib (ident_path txt) in
-            if
-              List.exists
-                (fun p -> String.starts_with ~prefix:p path)
-                blocking_prefixes
-            then on_hit e.pexp_loc path
-        | _ -> super#expression e
-  end
-
-(* Total stack pop: the push/pop pairs below are balanced by
-   construction, but [tools/] is in typed-error scope now, so the lint
-   must satisfy its own no-[List.tl] rule. *)
-let pop_stack = function [] -> [] | _ :: tl -> tl
 
 let partial_msg = function
   | ("List.hd" | "List.tl" | "Option.get") as p ->
@@ -330,32 +174,13 @@ class linter ctx =
   object (self)
     inherit Ast_traverse.iter as super
 
-    method private check_rec_bindings vbs =
-      if ctx.check_budget then
-        List.iter
-          (fun vb ->
-            if not (mentions_budget vb.pvb_expr) then
-              let name = binding_name vb in
-              let shown = Option.value name ~default:"<pattern>" in
-              let waived_by_attr =
-                let allows = allows_of_attributes vb.pvb_attributes in
-                List.mem rule_budget allows || List.mem "*" allows
-              in
-              if not waived_by_attr then
-                report ctx ~loc:vb.pvb_loc ~rule:rule_budget ?name
-                  (Printf.sprintf
-                     "recursive '%s' never polls Budget.check/alive; pass and \
-                      poll the request budget (or allowlist a pure helper)"
-                     shown))
-          vbs
-
     method private check_toplevel_state vbs =
       if ctx.check_state && ctx.expr_depth = 0 then
         List.iter
           (fun vb ->
-            let name = binding_name vb in
-            let allows = allows_of_attributes vb.pvb_attributes in
-            if not (List.mem rule_state allows || List.mem "*" allows) then
+            let name = Lint_ast.binding_name vb in
+            let allows = Lint_ast.allows_of_attributes vb.pvb_attributes in
+            if not (Lint_ast.allows_hit rule_state allows) then
               (scan_toplevel_state ~on_hit:(fun loc ctor ->
                    report ctx ~loc ~rule:rule_state ?name
                      (Printf.sprintf
@@ -370,13 +195,10 @@ class linter ctx =
     method! structure_item si =
       (match si.pstr_desc with
       | Pstr_attribute attr -> (
-          match allows_of_attribute attr with
+          match Lint_ast.allows_of_attribute attr with
           | Some rules -> ctx.file_allows <- rules @ ctx.file_allows
           | None -> ())
-      | Pstr_value (Recursive, vbs) ->
-          self#check_rec_bindings vbs;
-          self#check_toplevel_state vbs
-      | Pstr_value (Nonrecursive, vbs) -> self#check_toplevel_state vbs
+      | Pstr_value (_, vbs) -> self#check_toplevel_state vbs
       | _ -> ());
       super#structure_item si
 
@@ -386,16 +208,16 @@ class linter ctx =
          function, not 'hits'. *)
       let fn_name =
         match vb.pvb_expr.pexp_desc with
-        | Pexp_function _ | Pexp_newtype _ -> binding_name vb
+        | Pexp_function _ | Pexp_newtype _ -> Lint_ast.binding_name vb
         | _ -> None
       in
-      let allows = allows_of_attributes vb.pvb_attributes in
+      let allows = Lint_ast.allows_of_attributes vb.pvb_attributes in
       (if ctx.check_rpc then
          match fn_name with
          | Some n
            when String.starts_with ~prefix:"handle" n
-                && (not (List.mem rule_rpc allows || List.mem "*" allows))
-                && not (mentions_budget vb.pvb_expr) ->
+                && (not (Lint_ast.allows_hit rule_rpc allows))
+                && not (Lint_ast.mentions_budget vb.pvb_expr) ->
              report ctx ~loc:vb.pvb_loc ~rule:rule_rpc ~name:n
                (Printf.sprintf
                   "RPC handler '%s' never threads a Budget; rebuild one from \
@@ -405,7 +227,7 @@ class linter ctx =
       (if ctx.check_sync then
          match fn_name with
          | Some n
-           when (not (List.mem rule_sync allows || List.mem "*" allows))
+           when (not (Lint_ast.allows_hit rule_sync allows))
                 && mentions_rename vb.pvb_expr
                 && mentions_write vb.pvb_expr
                 && not (mentions_sync vb.pvb_expr) ->
@@ -423,17 +245,17 @@ class linter ctx =
       | None -> ());
       super#value_binding vb;
       (match fn_name with
-      | Some _ -> ctx.fn_stack <- pop_stack ctx.fn_stack
+      | Some _ -> ctx.fn_stack <- Lint_ast.pop_stack ctx.fn_stack
       | None -> ());
-      ctx.allow_stack <- pop_stack ctx.allow_stack
+      ctx.allow_stack <- Lint_ast.pop_stack ctx.allow_stack
 
     method! expression e =
-      let allows = allows_of_attributes e.pexp_attributes in
+      let allows = Lint_ast.allows_of_attributes e.pexp_attributes in
       ctx.allow_stack <- allows :: ctx.allow_stack;
       ctx.expr_depth <- ctx.expr_depth + 1;
       (match e.pexp_desc with
       | Pexp_ident { txt; _ } when ctx.check_lib -> (
-          let path = strip_stdlib (ident_path txt) in
+          let path = Lint_ast.strip_stdlib (Lint_ast.ident_path txt) in
           if List.mem path locked_idents then
             report ctx ~loc:e.pexp_loc ~rule:rule_lock ~name:path
               (Printf.sprintf
@@ -451,49 +273,10 @@ class linter ctx =
           report ctx ~loc:e.pexp_loc ~rule:rule_error ~name:"assert-false"
             "bare 'assert false'; use Xk_util.Err.unreachable with a \
              \"Module.fn: why\" message"
-      | Pexp_while _ when ctx.check_budget ->
-          if not (mentions_budget e) then
-            report ctx ~loc:e.pexp_loc ~rule:rule_budget
-              ~name:(enclosing_fn ctx)
-              (Printf.sprintf
-                 "while loop in '%s' never polls Budget.check/alive; poll the \
-                  request budget each iteration (or allowlist a pure helper)"
-                 (enclosing_fn ctx))
-      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
-        when ctx.check_lib
-             && List.mem (strip_stdlib (ident_path txt)) lock_wrappers ->
-          let wrapper = strip_stdlib (ident_path txt) in
-          let fn = enclosing_fn ctx in
-          List.iter
-            (fun ((_, arg) : arg_label * expression) ->
-              (scan_blocking_io ~on_hit:(fun loc path ->
-                   report ctx ~loc ~rule:rule_lock_io ~name:path
-                     (Printf.sprintf
-                        "blocking call '%s' inside a '%s' critical section \
-                         (in '%s'); decide under the lock, perform the IO \
-                         outside it"
-                        path wrapper fn)))
-                #expression arg)
-            args
-      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
-        when ctx.check_mmap
-             && List.mem (strip_stdlib (ident_path txt)) mmap_sinks ->
-          let sink = strip_stdlib (ident_path txt) in
-          List.iter
-            (fun ((_, arg) : arg_label * expression) ->
-              if mentions_mmap arg then
-                report ctx ~loc:arg.pexp_loc ~rule:rule_mmap ~name:sink
-                  (Printf.sprintf
-                     "Mmap value flows into long-lived store '%s' (in '%s'); \
-                      mapped bytes die with their segment handle - decode \
-                      into plain OCaml values before caching"
-                     sink (enclosing_fn ctx)))
-            args
-      | Pexp_let (Recursive, vbs, _) -> self#check_rec_bindings vbs
       | _ -> ());
       super#expression e;
       ctx.expr_depth <- ctx.expr_depth - 1;
-      ctx.allow_stack <- pop_stack ctx.allow_stack
+      ctx.allow_stack <- Lint_ast.pop_stack ctx.allow_stack
   end
 
 let run config ~file str =

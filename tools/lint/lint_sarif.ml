@@ -1,0 +1,68 @@
+(* Minimal SARIF 2.1.0 output, hand-rolled (no JSON dependency in the
+   toolchain): one run, one rule descriptor per distinct rule id, one
+   result per finding, with the interprocedural trace rendered as
+   related locations. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let location ~file ~line =
+  Printf.sprintf
+    "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s},\"region\":{\"startLine\":%d}}}"
+    (str file) (max 1 line)
+
+let result (f : Lint_finding.t) =
+  let level =
+    match f.severity with Error -> "error" | Warning -> "warning"
+  in
+  let related =
+    match f.trace with
+    | [] -> ""
+    | frames ->
+        let frame (file, line, note) =
+          Printf.sprintf
+            "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s},\"region\":{\"startLine\":%d}},\"message\":{\"text\":%s}}"
+            (str file) (max 1 line) (str note)
+        in
+        Printf.sprintf ",\"relatedLocations\":[%s]"
+          (String.concat "," (List.map frame frames))
+  in
+  Printf.sprintf
+    "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[%s]%s}"
+    (str f.rule) (str level) (str f.msg)
+    (location ~file:f.file ~line:f.line)
+    related
+
+let rule_descriptor id = Printf.sprintf "{\"id\":%s}" (str id)
+
+let to_string ~tool_version findings =
+  let rules =
+    List.map (fun (f : Lint_finding.t) -> f.rule) findings
+    |> List.sort_uniq String.compare
+  in
+  String.concat ""
+    [
+      "{\"version\":\"2.1.0\",";
+      "\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",";
+      "\"runs\":[{\"tool\":{\"driver\":{\"name\":\"xklint\",";
+      Printf.sprintf "\"version\":%s," (str tool_version);
+      Printf.sprintf "\"rules\":[%s]}},"
+        (String.concat "," (List.map rule_descriptor rules));
+      Printf.sprintf "\"results\":[%s]}]}"
+        (String.concat "," (List.map result findings));
+    ]

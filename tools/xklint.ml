@@ -1,25 +1,34 @@
 (* xklint - project-specific static analysis for the concurrency, budget
    and error-discipline invariants (see DESIGN.md "Mechanized
-   invariants").  Usage:
+   invariants" and "Whole-program invariants").  Usage:
 
      dune exec tools/xklint -- [options] [PATH...]
 
-   Paths default to [lib].  Findings not covered by [xklint.config]
-   (curated allowlist) or [xklint.baseline] (grandfathered findings) are
-   printed as [file:line severity rule message] and make the exit status
-   non-zero, which is how the CI lint job gates regressions. *)
+   Paths default to [lib bin tools] - the whole program the call-graph
+   passes analyze.  Findings not covered by [xklint.config] (curated
+   allowlist) or [xklint.baseline] (grandfathered findings) are printed
+   as [file:line severity rule message] (with their interprocedural
+   trace indented below) and make the exit status non-zero, which is
+   how the CI lint job gates regressions. *)
 
 open Xklint_lib
 
+let version = "2.0"
+
 let usage =
   "xklint [--config FILE] [--baseline FILE] [--update-baseline] \
-   [--no-baseline] [PATH...]"
+   [--no-baseline] [--format text|sarif] [--sarif FILE] [--graph dot] \
+   [--stats] [PATH...]"
 
 let () =
   let config_file = ref "xklint.config" in
   let baseline_file = ref "xklint.baseline" in
   let update_baseline = ref false in
   let no_baseline = ref false in
+  let format = ref "text" in
+  let sarif_file = ref "" in
+  let graph_format = ref "" in
+  let stats = ref false in
   let paths = ref [] in
   let spec =
     [
@@ -35,15 +44,28 @@ let () =
       ( "--no-baseline",
         Arg.Set no_baseline,
         " ignore the baseline: report every finding as new" );
+      ( "--format",
+        Arg.Set_string format,
+        "FMT output format for new findings: text (default) or sarif" );
+      ( "--sarif",
+        Arg.Set_string sarif_file,
+        "FILE also write all findings as SARIF 2.1.0 to FILE" );
+      ( "--graph",
+        Arg.Set_string graph_format,
+        "FMT dump the cross-module call graph (dot) to stdout and exit" );
+      ("--stats", Arg.Set stats, " print an analysis-cost summary line");
     ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
-  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "tools" ] | ps -> ps
+  in
   List.iter
     (fun p ->
-      if not (Sys.file_exists p) then (
+      if not (Sys.file_exists p) then begin
         Printf.eprintf "xklint: no such path %s\n" p;
-        exit 2))
+        exit 2
+      end)
     paths;
   let config =
     match Lint_config.of_file !config_file with
@@ -52,7 +74,26 @@ let () =
         Printf.eprintf "xklint: bad config %s: %s\n" !config_file msg;
         exit 2
   in
-  let files, findings = Lint_engine.lint_paths config paths in
+  let t0 = Unix.gettimeofday () in
+  let { Lint_engine.files; graph; findings } =
+    Lint_engine.lint_paths config paths
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if !graph_format <> "" then begin
+    (match !graph_format with
+    | "dot" -> print_string (Lint_callgraph.to_dot graph)
+    | fmt ->
+        Printf.eprintf "xklint: unknown graph format %s (try: dot)\n" fmt;
+        exit 2);
+    exit 0
+  end;
+  if !sarif_file <> "" then begin
+    let oc = open_out_bin !sarif_file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Lint_sarif.to_string ~tool_version:version findings))
+  end;
   if !update_baseline then begin
     Lint_baseline.save !baseline_file findings;
     Printf.printf "xklint: wrote %d finding(s) to %s\n" (List.length findings)
@@ -66,14 +107,38 @@ let () =
   let { Lint_baseline.fresh; baselined; stale } =
     Lint_baseline.filter baseline findings
   in
-  List.iter (fun f -> print_endline (Lint_finding.to_string f)) fresh;
+  (match !format with
+  | "text" -> List.iter (fun f -> print_endline (Lint_finding.to_string f)) fresh
+  | "sarif" -> print_endline (Lint_sarif.to_string ~tool_version:version fresh)
+  | fmt ->
+      Printf.eprintf "xklint: unknown format %s (try: text, sarif)\n" fmt;
+      exit 2);
   List.iter
     (fun k ->
       Printf.eprintf
         "xklint: stale baseline entry (fixed? regenerate the baseline): %s\n"
         (String.map (fun c -> if c = '\t' then ' ' else c) k))
     stale;
-  Printf.printf "xklint: %d file(s), %d finding(s): %d new, %d baselined, %d stale\n"
-    files (List.length findings) (List.length fresh) baselined
-    (List.length stale);
+  if !stats then begin
+    let per_rule = Hashtbl.create 8 in
+    List.iter
+      (fun (f : Lint_finding.t) ->
+        Hashtbl.replace per_rule f.rule
+          (1 + Option.value (Hashtbl.find_opt per_rule f.rule) ~default:0))
+      findings;
+    let rules =
+      Hashtbl.fold (fun r n acc -> (r, n) :: acc) per_rule []
+      |> List.sort compare
+      |> List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n)
+    in
+    Printf.printf
+      "xklint: stats: files=%d nodes=%d edges=%d findings=[%s] wall=%.3fs\n"
+      files
+      (Lint_callgraph.n_defs graph)
+      (Lint_callgraph.n_edges graph)
+      (String.concat " " rules) elapsed
+  end;
+  Printf.printf
+    "xklint: %d file(s), %d finding(s): %d new, %d baselined, %d stale\n" files
+    (List.length findings) (List.length fresh) baselined (List.length stale);
   exit (if fresh = [] then 0 else 1)
