@@ -1195,6 +1195,354 @@ let serve_shard_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* Re-partition the corpus with the manifest's recorded assignment, so a
+   rebuilt segment is bit-compatible with what the stored shards were.
+   Lazy: the corpus is only parsed if a shard actually has no surviving
+   clean copy. *)
+let rebuild_source ~index_file corpus =
+  Option.map
+    (fun path ->
+      let sharded =
+        lazy
+          (match Xk_index.Shard_io.partition_spec index_file with
+          | Error e -> failwith (Xk_index.Shard_io.error_message e)
+          | Ok (shards, assignment) ->
+              let doc = Xk_xml.Xml_parser.parse_file_exn path in
+              Xk_index.Sharding.partition ~assignment ~shards doc)
+      in
+      fun ~shard -> Some (Xk_index.Sharding.index (Lazy.force sharded) shard))
+    corpus
+
+let heal corpus index_file do_repair slice throttle_ms budget_ms =
+  let budget =
+    Option.map
+      (fun ms -> Xk_resilience.Budget.create ~deadline_ms:ms ())
+      budget_ms
+  in
+  match Xk_index.Repair.scrub ?budget ~slice ~throttle_ms index_file with
+  | Error e ->
+      Printf.eprintf "heal: %s\n" (Xk_index.Shard_io.error_message e);
+      exit 1
+  | Ok report ->
+      List.iter
+        (fun (e : Xk_resilience.Scrub.entry) ->
+          match e.e_status with
+          | Xk_resilience.Scrub.Clean -> ()
+          | Xk_resilience.Scrub.Missing ->
+              Printf.printf "s%dr%d %s: missing\n" e.e_shard e.e_replica
+                e.e_file
+          | Xk_resilience.Scrub.Damaged msg ->
+              Printf.printf "s%dr%d %s: damaged (%s)\n" e.e_shard e.e_replica
+                e.e_file msg)
+        report.entries;
+      print_endline (Xk_resilience.Scrub.summary_line report);
+      if not do_repair then begin
+        if not (Xk_resilience.Scrub.healthy report) then exit 2
+      end
+      else begin
+        let summary =
+          Xk_index.Repair.repair
+            ?rebuild:(rebuild_source ~index_file corpus)
+            report
+        in
+        List.iter
+          (fun o -> print_endline (Xk_index.Repair.outcome_line o))
+          summary.outcomes;
+        print_endline (Xk_index.Repair.summary_line summary);
+        if summary.unrepairable > 0 || not report.complete then exit 2
+      end
+
+let heal_cmd =
+  let corpus =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Corpus file; when given, shards with no surviving clean copy \
+             are rebuilt from it (re-partitioned with the manifest's \
+             recorded assignment).")
+  in
+  let index_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "index" ] ~doc:"Shard manifest (from `xkq index --shards`).")
+  in
+  let do_repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:"Rewrite damaged/missing copies instead of only reporting.")
+  in
+  let slice =
+    Arg.(
+      value & opt int 4
+      & info [ "slice" ] ~doc:"Files verified per scrub slice.")
+  in
+  let throttle_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "throttle-ms" ] ~doc:"Sleep between scrub slices.")
+  in
+  let budget_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-ms" ]
+          ~doc:"Wall budget for the scrub pass (incomplete pass exits 2).")
+  in
+  Cmd.v
+    (Cmd.info "heal"
+       ~doc:"Scrub a shard manifest's replicas and repair damaged copies."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Re-validates every replica segment recorded in the manifest \
+              through the full v3 verification path and classifies each \
+              copy clean, damaged, or missing.  With $(b,--repair), damaged \
+              and missing copies are rewritten from a surviving clean \
+              replica (atomic write + post-write verify) or rebuilt from \
+              the corpus.  Exit class: 0 all clean (or all healed), 1 \
+              manifest error, 2 damage remains.";
+         ])
+    Term.(
+      const heal $ corpus $ index_file $ do_repair $ slice $ throttle_ms
+      $ budget_ms)
+
+(* ------------------------------------------------------------------ *)
+
+let supervise corpus index_file interval_ms backoff_ms backoff_cap_ms flap_cap
+    grace_ms heal_every cycles state_dir seed workers =
+  let eps = remote_endpoints ~index_file:(Some index_file) in
+  let specs =
+    Array.to_list
+      (Array.concat
+         (Array.to_list
+            (Array.mapi
+               (fun s replicas ->
+                 Array.mapi
+                   (fun r (host, port) ->
+                     {
+                       Xk_exec.Supervisor.sv_shard = s;
+                       sv_replica = r;
+                       sv_host = host;
+                       sv_port = port;
+                     })
+                   replicas)
+               eps)))
+  in
+  if not (Sys.file_exists state_dir) then Unix.mkdir state_dir 0o755;
+  let label = Xk_exec.Supervisor.spec_label in
+  let state_file spec ext = Filename.concat state_dir (label spec ^ ext) in
+  let exe = Sys.executable_name in
+  let spawn (spec : Xk_exec.Supervisor.spec) =
+    try
+      let log =
+        Unix.openfile
+          (state_file spec ".log")
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+          0o644
+      in
+      let args =
+        [|
+          exe; "serve-shard"; corpus;
+          "--index"; index_file;
+          "--shard"; string_of_int spec.sv_shard;
+          "--replica"; string_of_int spec.sv_replica;
+          "--host"; spec.sv_host;
+          "--port"; string_of_int spec.sv_port;
+          "--workers"; string_of_int workers;
+        |]
+      in
+      let pid = Unix.create_process exe args Unix.stdin log log in
+      Unix.close log;
+      Out_channel.with_open_text (state_file spec ".pid") (fun oc ->
+          Printf.fprintf oc "%d\n" pid);
+      Ok pid
+    with exn -> Error (Printexc.to_string exn)
+  in
+  let alive pid =
+    (* Children are reaped here: WNOHANG returns 0 while the process
+       runs and collects the zombie the cycle after a kill or crash. *)
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ -> true
+    | _ -> false
+    | exception Unix.Unix_error _ -> false
+  in
+  let kill pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> () in
+  let ping (spec : Xk_exec.Supervisor.spec) =
+    match
+      Xk_rpc.Client.ping ~timeout_ms:1000. ~host:spec.sv_host
+        ~port:spec.sv_port ()
+    with
+    | () -> true
+    | exception _ -> false
+  in
+  let heal () =
+    match Xk_index.Repair.scrub ~throttle_ms:1.0 index_file with
+    | Error e -> failwith (Xk_index.Shard_io.error_message e)
+    | Ok report ->
+        let summary =
+          Xk_index.Repair.repair
+            ?rebuild:(rebuild_source ~index_file (Some corpus))
+            report
+        in
+        {
+          Xk_exec.Supervisor.h_clean = report.clean;
+          h_damaged = report.damaged;
+          h_missing = report.missing;
+          h_repaired = summary.repaired;
+          h_unrepairable = summary.unrepairable;
+        }
+  in
+  let log_event ev =
+    let stamp = Unix.gettimeofday () in
+    let line =
+      match (ev : Xk_exec.Supervisor.event) with
+      | Spawned { spec; pid } ->
+          Printf.sprintf "%s spawned pid %d" (label spec) pid
+      | Died { spec; reason } ->
+          Printf.sprintf "%s died: %s" (label spec) reason
+      | Backoff_scheduled { spec; delay_ms; failures } ->
+          Printf.sprintf "%s restart in %.0fms (failure %d)" (label spec)
+            delay_ms failures
+      | Quarantine { spec; failures } ->
+          Printf.sprintf "%s quarantined after %d consecutive failures"
+            (label spec) failures
+      | Heal_ran h ->
+          Printf.sprintf
+            "heal: %d clean, %d damaged, %d missing, %d repaired, %d \
+             unrepairable"
+            h.h_clean h.h_damaged h.h_missing h.h_repaired h.h_unrepairable
+      | Heal_failed msg -> Printf.sprintf "heal failed: %s" msg
+    in
+    Printf.printf "[%.3f] %s\n%!" stamp line
+  in
+  let config =
+    {
+      Xk_exec.Supervisor.backoff_base_ms = backoff_ms;
+      backoff_cap_ms;
+      flap_cap;
+      start_grace_ms = grace_ms;
+      heal_every;
+    }
+  in
+  let sup =
+    Xk_exec.Supervisor.create ~config ?seed ~on_event:log_event ~heal
+      ~procs:{ spawn; alive; kill; ping }
+      specs
+  in
+  let stop_on_signal _ = Xk_exec.Supervisor.stop sup in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal);
+  Printf.printf "supervising %d replica(s) from %s\n%!" (List.length specs)
+    index_file;
+  Xk_exec.Supervisor.run ~interval_ms
+    ?cycles:(if cycles = 0 then None else Some cycles)
+    ~on_cycle:(fun t ->
+      Printf.printf "%s\n%!" (Xk_exec.Supervisor.status_line t))
+    sup;
+  Xk_exec.Supervisor.shutdown sup;
+  Printf.printf "supervisor stopped: %s\n%!"
+    (Xk_exec.Supervisor.status_line sup)
+
+let supervise_cmd =
+  let corpus =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let index_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "index" ]
+          ~doc:
+            "Shard manifest with recorded endpoints (from `xkq index \
+             --shards --rpc-base-port`).")
+  in
+  let interval_ms =
+    Arg.(
+      value & opt float 500.
+      & info [ "interval-ms" ] ~doc:"Supervision cycle period.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt float 200.
+      & info [ "backoff-ms" ] ~doc:"Restart backoff floor.")
+  in
+  let backoff_cap_ms =
+    Arg.(
+      value & opt float 5000.
+      & info [ "backoff-cap-ms" ] ~doc:"Restart backoff ceiling.")
+  in
+  let flap_cap =
+    Arg.(
+      value & opt int 5
+      & info [ "flap-cap" ]
+          ~doc:
+            "Consecutive failures beyond which a replica is quarantined \
+             instead of restarted.")
+  in
+  let grace_ms =
+    Arg.(
+      value
+      & opt float 30000.
+      & info [ "start-grace-ms" ]
+          ~doc:"How long a fresh spawn may load before ping failures count.")
+  in
+  let heal_every =
+    Arg.(
+      value & opt int 4
+      & info [ "heal-every" ]
+          ~doc:"Run the scrub/repair pass every N cycles (0 disables).")
+  in
+  let cycles =
+    Arg.(
+      value & opt int 0
+      & info [ "cycles" ] ~doc:"Stop after N cycles (0 = run until killed).")
+  in
+  let state_dir =
+    Arg.(
+      value & opt string "xk-fleet"
+      & info [ "state-dir" ]
+          ~doc:"Directory for per-replica pid and log files.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Deterministic restart-jitter seed.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~doc:"Connection-serving domains per server.")
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:"Keep a serve-shard fleet running, healing data and processes."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Spawns one serve-shard process per (shard, replica) endpoint \
+              recorded in the manifest and supervises the fleet: dead or \
+              unresponsive servers are restarted with decorrelated-jitter \
+              backoff, persistent crashers are quarantined after \
+              $(b,--flap-cap) consecutive failures, and every \
+              $(b,--heal-every) cycles the replica files are scrubbed and \
+              damaged copies repaired from surviving replicas (or rebuilt \
+              from the corpus).  One fleet status line is printed per \
+              cycle.  SIGTERM/SIGINT stop the loop and kill the children.";
+         ])
+    Term.(
+      const supervise $ corpus $ index_file $ interval_ms $ backoff_ms
+      $ backoff_cap_ms $ flap_cap $ grace_ms $ heal_every $ cycles
+      $ state_dir $ seed $ workers)
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let info =
     Cmd.info "xkq" ~version:"1.0.0"
@@ -1211,6 +1559,8 @@ let () =
             search_cmd;
             batch_cmd;
             serve_shard_cmd;
+            supervise_cmd;
+            heal_cmd;
             stats_cmd;
             terms_cmd;
           ]))

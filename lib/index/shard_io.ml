@@ -324,6 +324,35 @@ let endpoints path =
   | Error _ as e -> e
   | Ok m -> Ok m.m_endpoints
 
+let partition_spec path =
+  match load_manifest path with
+  | Error _ as e -> e
+  | Ok m -> Ok (m.m_shards, m.m_assignment)
+
+type copy_status =
+  | Copy_clean
+  | Copy_damaged of Index_io.load_error
+  | Copy_missing
+
+let copy_status_label = function
+  | Copy_clean -> "clean"
+  | Copy_damaged _ -> "damaged"
+  | Copy_missing -> "missing"
+
+let replica_status ?retries ?backoff_ms path =
+  match replica_files path with
+  | Error _ as e -> e
+  | Ok files ->
+      Ok
+        (Array.map
+           (Array.map (fun file ->
+                if not (Sys.file_exists file) then (file, Copy_missing)
+                else
+                  match Index_io.verify ?retries ?backoff_ms file with
+                  | Ok () -> (file, Copy_clean)
+                  | Error e -> (file, Copy_damaged e)))
+           files)
+
 let is_manifest path =
   match
     let ic = open_in_bin path in

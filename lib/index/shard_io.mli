@@ -80,6 +80,37 @@ val endpoints : string -> ((string * int) option array array, error) result
     [shard][replica]; [None] per replica with no endpoint (and for every
     replica of a v2 manifest). *)
 
+val partition_spec : string -> (int * int array, error) result
+(** The shard count and subtree-to-shard assignment recorded in the
+    manifest at [path] — what a repair rebuild needs to re-partition the
+    corpus exactly as the stored shards were ({!Sharding.partition}
+    [~assignment]). *)
+
+(** Typed per-copy state, as reported by {!replica_status}: what a
+    repair planner needs to know about each copy without attempting a
+    full load. *)
+type copy_status =
+  | Copy_clean  (** the copy passes full {!Index_io.verify} *)
+  | Copy_damaged of Index_io.load_error
+      (** present but failed verification, with its attempt count *)
+  | Copy_missing  (** the file is gone *)
+
+val copy_status_label : copy_status -> string
+
+val replica_status :
+  ?retries:int ->
+  ?backoff_ms:float ->
+  string ->
+  ((string * copy_status) array array, error) result
+(** The verification state of every copy recorded in the manifest at
+    [path], indexed [shard][replica], without building any index: each
+    present copy runs full {!Index_io.verify} (header, directory, terms,
+    and per-term row CRCs) with the usual retry envelope.  This is the
+    repair-planning view: [Xk_index.Repair] and the scrubber classify
+    from it, and a {!Fault_injection.mark_corrupt}/heal cycle round-trips
+    through it ([Copy_damaged] while marked, [Copy_clean] after the mark
+    is healed and the copy rewritten). *)
+
 val is_manifest : string -> bool
 (** Whether the file starts with a shard-manifest magic (current v3,
     v2, or legacy v1; used by the CLI to sniff sharded vs. plain

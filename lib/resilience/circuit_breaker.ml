@@ -31,13 +31,19 @@ type core = {
   mutable rejected : int;
 }
 
-type t = { config : config; clock : unit -> float; core : core Xk_util.Sync.Protected.t }
+type t = {
+  config : config;
+  clock : unit -> float;
+  on_transition : (state -> state -> unit) option;
+  core : core Xk_util.Sync.Protected.t;
+}
 
 type stats = { state : state; consecutive_failures : int; opens : int; rejected : int }
 
 let default_clock () = Unix.gettimeofday () *. 1000.0
 
-let create ?(config = default_config) ?(clock = default_clock) () =
+let create ?(config = default_config) ?(clock = default_clock) ?on_transition
+    () =
   if config.failure_threshold < 1 then
     Xk_util.Err.invalid "Circuit_breaker.create: failure_threshold < 1";
   if config.half_open_probes < 1 then
@@ -45,6 +51,7 @@ let create ?(config = default_config) ?(clock = default_clock) () =
   {
     config;
     clock;
+    on_transition;
     core =
       Xk_util.Sync.Protected.create
         {
@@ -65,52 +72,79 @@ let trip t (core : core) =
   core.probes_in_flight <- 0;
   core.probe_successes <- 0
 
+(* Transition callbacks fire after the lock is released: the callback
+   belongs to the caller (logging, supervisor accounting) and must not
+   be able to deadlock or stall the breaker's own critical section.
+   The (from, to) pair observed may therefore lag the live state by one
+   racing update, which is fine for its observability purpose. *)
+let notify t = function
+  | None -> ()
+  | Some (from_, to_) -> (
+      match t.on_transition with None -> () | Some f -> f from_ to_)
+
 let allow t =
   let now = t.clock () in
-  Xk_util.Sync.Protected.with_ t.core (fun core ->
-      match core.state with
-      | Closed -> true
-      | Open when now -. core.opened_at >= t.config.reset_after_ms ->
-          core.state <- Half_open;
-          core.probes_in_flight <- 1;
-          core.probe_successes <- 0;
-          true
-      | Open ->
-          core.rejected <- core.rejected + 1;
-          false
-      | Half_open when core.probes_in_flight < t.config.half_open_probes ->
-          core.probes_in_flight <- core.probes_in_flight + 1;
-          true
-      | Half_open ->
-          core.rejected <- core.rejected + 1;
-          false)
+  let admitted, transition =
+    Xk_util.Sync.Protected.with_ t.core (fun core ->
+        match core.state with
+        | Closed -> (true, None)
+        | Open when now -. core.opened_at >= t.config.reset_after_ms ->
+            core.state <- Half_open;
+            core.probes_in_flight <- 1;
+            core.probe_successes <- 0;
+            (true, Some (Open, Half_open))
+        | Open ->
+            core.rejected <- core.rejected + 1;
+            (false, None)
+        | Half_open when core.probes_in_flight < t.config.half_open_probes ->
+            core.probes_in_flight <- core.probes_in_flight + 1;
+            (true, None)
+        | Half_open ->
+            core.rejected <- core.rejected + 1;
+            (false, None))
+  in
+  notify t transition;
+  admitted
 
 let record_success t =
-  Xk_util.Sync.Protected.with_ t.core (fun core ->
-      core.consecutive_failures <- 0;
-      match core.state with
-      | Closed -> ()
-      | Half_open ->
-          core.probe_successes <- core.probe_successes + 1;
-          if core.probe_successes >= t.config.half_open_probes then begin
-            core.state <- Closed;
-            core.probes_in_flight <- 0;
-            core.probe_successes <- 0
-          end
-      | Open ->
-          (* Late success from a request admitted before the trip: the
-             cooldown still stands, but don't count it against anyone. *)
-          ())
+  let transition =
+    Xk_util.Sync.Protected.with_ t.core (fun core ->
+        core.consecutive_failures <- 0;
+        match core.state with
+        | Closed -> None
+        | Half_open ->
+            core.probe_successes <- core.probe_successes + 1;
+            if core.probe_successes >= t.config.half_open_probes then begin
+              core.state <- Closed;
+              core.probes_in_flight <- 0;
+              core.probe_successes <- 0;
+              Some (Half_open, Closed)
+            end
+            else None
+        | Open ->
+            (* Late success from a request admitted before the trip: the
+               cooldown still stands, but don't count it against anyone. *)
+            None)
+  in
+  notify t transition
 
 let record_failure t =
-  Xk_util.Sync.Protected.with_ t.core (fun core ->
-      match core.state with
-      | Half_open -> trip t core
-      | Open -> ()
-      | Closed ->
-          core.consecutive_failures <- core.consecutive_failures + 1;
-          if core.consecutive_failures >= t.config.failure_threshold then
-            trip t core)
+  let transition =
+    Xk_util.Sync.Protected.with_ t.core (fun core ->
+        match core.state with
+        | Half_open ->
+            trip t core;
+            Some (Half_open, Open)
+        | Open -> None
+        | Closed ->
+            core.consecutive_failures <- core.consecutive_failures + 1;
+            if core.consecutive_failures >= t.config.failure_threshold then begin
+              trip t core;
+              Some (Closed, Open)
+            end
+            else None)
+  in
+  notify t transition
 
 let state t = Xk_util.Sync.Protected.with_ t.core (fun core -> core.state)
 

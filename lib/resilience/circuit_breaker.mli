@@ -29,9 +29,19 @@ type stats = {
 val default_config : config
 (** threshold 5, cooldown 1000 ms, 1 probe. *)
 
-val create : ?config:config -> ?clock:(unit -> float) -> unit -> t
+val create :
+  ?config:config ->
+  ?clock:(unit -> float) ->
+  ?on_transition:(state -> state -> unit) ->
+  unit ->
+  t
 (** [clock] defaults to wall time in ms.  Raises [Invalid_argument] on
-    a non-positive threshold or probe count. *)
+    a non-positive threshold or probe count.  [on_transition from to_]
+    fires once per state change (trip, probe admission, close), {e after}
+    the breaker's lock is released — it must stay non-blocking (no IO,
+    no lock acquisition; enforced by the [no-blocking-in-callback] lint
+    rule), because it runs on the request path of whichever caller
+    triggered the transition. *)
 
 val allow : t -> bool
 (** May a request proceed?  Also performs the Open -> Half_open

@@ -127,6 +127,13 @@ let mark_corrupt ~path =
 let marked_corrupt ~path =
   with_state (fun st -> Hashtbl.mem st.corrupt_paths path)
 
+let heal ~path =
+  with_state (fun st ->
+      Hashtbl.remove st.corrupt_paths path;
+      Hashtbl.remove st.unmappable_paths path;
+      Hashtbl.remove st.io_attempts path;
+      Hashtbl.remove st.read_attempts path)
+
 let mark_unmappable ~path =
   with_state (fun st -> Hashtbl.replace st.unmappable_paths path ())
 

@@ -65,6 +65,13 @@ val mark_corrupt : path:string -> unit
 
 val marked_corrupt : path:string -> bool
 
+val heal : path:string -> unit
+(** Clear the persistent {!mark_corrupt} / {!mark_unmappable} marks and
+    the per-path fault counters for [path] — the repair counterpart of
+    {!mark_corrupt}: once [Xk_index.Repair] rewrites a copy, the
+    simulated media is new and must read clean again.  Other paths'
+    marks are untouched. *)
+
 val mark_unmappable : path:string -> unit
 (** Register a map failure for [path]: the zero-copy segment loader
     refuses to mmap it (as if the kernel had rejected the mapping) and

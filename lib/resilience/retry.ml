@@ -1,16 +1,58 @@
 let default_sleep ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
 
-let with_backoff_info ?(retries = 4) ?(backoff_ms = 1.0) ?(sleep = default_sleep)
-    ~retryable f =
+module Jitter = struct
+  (* Decorrelated jitter (min(cap, uniform(base, 3 * prev))): each delay
+     is drawn from a range anchored on the previous one, so a cohort of
+     restarting clients spreads out instead of thundering back in
+     lockstep.  The generator is a tiny xorshift seeded explicitly -
+     deterministic under test, distinct across supervisor instances. *)
+
+  type t = { mutable rng : int }
+
+  let create ?(seed = 0x2545F49) () =
+    (* A zero state would be a fixed point of xorshift; [lor 1] rules it
+       out for every seed. *)
+    { rng = (seed lxor 0x9E3779B9) lor 1 }
+
+  let uniform t =
+    let x = t.rng in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    t.rng <- x;
+    float_of_int (x land 0xFFFFFF) /. 16777216.0
+
+  let next t ~base_ms ~cap_ms ~prev_ms =
+    let base = Float.max 0. base_ms in
+    let hi = Float.max base (prev_ms *. 3.) in
+    Float.min cap_ms (base +. ((hi -. base) *. uniform t))
+end
+
+let with_backoff_info ?(retries = 4) ?(backoff_ms = 1.0) ?max_backoff_ms ?jitter
+    ?(sleep = default_sleep) ~retryable f =
+  let cap = Option.value max_backoff_ms ~default:infinity in
+  let next_delay prev =
+    match jitter with
+    | Some j -> Jitter.next j ~base_ms:backoff_ms ~cap_ms:cap ~prev_ms:prev
+    | None -> Float.min cap (prev *. 2.)
+  in
+  let first_delay =
+    match jitter with
+    | Some j -> Jitter.next j ~base_ms:backoff_ms ~cap_ms:cap ~prev_ms:backoff_ms
+    | None -> Float.min cap backoff_ms
+  in
   let rec go attempt delay =
     match f () with
     | Ok _ as ok -> (ok, attempt + 1)
     | Error e when attempt < retries && retryable e ->
         sleep delay;
-        go (attempt + 1) (delay *. 2.)
+        go (attempt + 1) (next_delay delay)
     | Error _ as err -> (err, attempt + 1)
   in
-  go 0 backoff_ms
+  go 0 first_delay
 
-let with_backoff ?retries ?backoff_ms ?sleep ~retryable f =
-  fst (with_backoff_info ?retries ?backoff_ms ?sleep ~retryable f)
+let with_backoff ?retries ?backoff_ms ?max_backoff_ms ?jitter ?sleep ~retryable f
+    =
+  fst
+    (with_backoff_info ?retries ?backoff_ms ?max_backoff_ms ?jitter ?sleep
+       ~retryable f)

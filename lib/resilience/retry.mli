@@ -6,17 +6,40 @@
     including the [`Suspect] header re-read class — so attempt budgets
     are uniform and the attempt count can be surfaced in typed errors. *)
 
+(** Decorrelated-jitter delay source, shared by {!with_backoff} and the
+    fleet supervisor's restart backoff: each delay is drawn uniformly
+    from [[base, max base (3 * prev)]] and clamped to a cap, so a cohort
+    of replicas that failed together does not reconnect (or restart) in
+    lockstep and thundering-herd the recovering host.  The generator is
+    seeded explicitly: tests inject a fixed seed for reproducible delay
+    sequences, production callers vary the seed per instance. *)
+module Jitter : sig
+  type t
+
+  val create : ?seed:int -> unit -> t
+  (** A fresh generator.  Equal seeds yield equal delay sequences. *)
+
+  val next : t -> base_ms:float -> cap_ms:float -> prev_ms:float -> float
+  (** The next delay: uniform in [[base_ms, max base_ms (3 * prev_ms)]],
+      clamped to [cap_ms]. *)
+end
+
 val with_backoff :
   ?retries:int ->
   ?backoff_ms:float ->
+  ?max_backoff_ms:float ->
+  ?jitter:Jitter.t ->
   ?sleep:(float -> unit) ->
   retryable:('e -> bool) ->
   (unit -> ('a, 'e) result) ->
   ('a, 'e) result
 (** Run the thunk, retrying up to [retries] (default 4) extra times while
     it returns a [retryable] error, sleeping [backoff_ms] (default 1.0)
-    before the first retry and doubling after each.  The last error is
-    returned when retries run out; non-retryable errors return
+    before the first retry and doubling after each, clamped to
+    [max_backoff_ms] (default unbounded).  With [jitter], every delay
+    (including the first) is drawn from the decorrelated-jitter
+    distribution instead of the deterministic doubling.  The last error
+    is returned when retries run out; non-retryable errors return
     immediately.  [sleep] overrides the delay action (milliseconds) —
     tests inject a recorder so backoff growth is observable without
     sleeping. *)
@@ -24,6 +47,8 @@ val with_backoff :
 val with_backoff_info :
   ?retries:int ->
   ?backoff_ms:float ->
+  ?max_backoff_ms:float ->
+  ?jitter:Jitter.t ->
   ?sleep:(float -> unit) ->
   retryable:('e -> bool) ->
   (unit -> ('a, 'e) result) ->

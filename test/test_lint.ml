@@ -159,6 +159,45 @@ let durability_sync () =
     ~config:"allow durability-sync lib/index/fixture.ml save" "config allow" []
     bad
 
+(* --- no-blocking-in-callback ----------------------------------------- *)
+
+let no_blocking_in_callback () =
+  let bad =
+    "let make () =\n\
+    \  Circuit_breaker.create\n\
+    \    ~on_transition:(fun _from _to -> Unix.sleepf 0.1)\n\
+    \    ()\n"
+  in
+  check_rules ~file:"lib/exec/fixture.ml" "sleeping transition hook flagged"
+    [ "no-blocking-in-callback" ] bad;
+  check_rules ~file:"lib/exec/fixture.ml" "RPC inside a supervisor event hook"
+    [ "no-blocking-in-callback" ]
+    "let make procs specs =\n\
+    \  Supervisor.create\n\
+    \    ~on_event:(fun e -> ignore (Xk_rpc.Client.ping e))\n\
+    \    ~procs specs\n";
+  check_rules ~file:"lib/exec/fixture.ml"
+    "fully qualified owner covered too" [ "no-blocking-in-callback" ]
+    "let make () =\n\
+    \  Xk_resilience.Circuit_breaker.create\n\
+    \    ~on_transition:(fun _ _ -> In_channel.input_line stdin |> ignore)\n\
+    \    ()\n";
+  check_rules ~file:"lib/exec/fixture.ml" "pure counter hook is fine" []
+    "let make hits =\n\
+    \  Circuit_breaker.create ~on_transition:(fun _ _ -> incr hits) ()\n";
+  check_rules ~file:"lib/exec/fixture.ml" "named function by value is fine" []
+    "let make log_event procs specs =\n\
+    \  Supervisor.create ~on_event:log_event ~procs specs\n";
+  check_rules ~file:"lib/exec/fixture.ml" "non-callback owners exempt" []
+    "let make () = Listener.create ~on_accept:(fun fd -> Unix.close fd) ()\n";
+  check_rules ~file:"lib/exec/fixture.ml" "attribute waiver" []
+    "let make () =\n\
+    \  Circuit_breaker.create\n\
+    \    ~on_transition:((fun _ _ -> Unix.sleepf 0.1)\n\
+    \      [@xklint.allow \"no-blocking-in-callback\"])\n\
+    \    ()\n";
+  check_rules ~file:"bench/fixture.ml" "outside the linted trees" [] bad
+
 let parse_error () =
   check slist "unparsable file" [ "parse-error" ]
     (rules (lint ~file:"lib/text/fixture.ml" "let let let\n"))
@@ -654,6 +693,7 @@ let suite =
         tc "rpc-budget" `Quick rpc_budget;
         tc "typed-error" `Quick typed_error;
         tc "durability-sync" `Quick durability_sync;
+        tc "no-blocking-in-callback" `Quick no_blocking_in_callback;
         tc "parse error" `Quick parse_error;
       ] );
     ( "lint.budget",

@@ -5,4 +5,5 @@ let () =
    @ Test_baselines.suite @ Test_datagen.suite @ Test_engine.suite
    @ Test_edge.suite @ Test_jstore.suite @ Test_workload.suite
    @ Test_exec.suite @ Test_resilience.suite @ Test_shard.suite
-   @ Test_chaos.suite @ Test_rpc.suite @ Test_live.suite @ Test_lint.suite)
+   @ Test_chaos.suite @ Test_rpc.suite @ Test_live.suite @ Test_heal.suite
+   @ Test_lint.suite)

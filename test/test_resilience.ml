@@ -501,6 +501,73 @@ let retry_backoff_growth () =
   | Error `Transient -> ()
   | Ok () -> Alcotest.fail "with_backoff disagreed with with_backoff_info"
 
+let jitter_determinism () =
+  let draw seed =
+    let j = Retry.Jitter.create ~seed () in
+    List.init 32 (fun i ->
+        Retry.Jitter.next j ~base_ms:100. ~cap_ms:5000.
+          ~prev_ms:(100. *. float_of_int (i + 1)))
+  in
+  check
+    Alcotest.(list (float 1e-9))
+    "same seed, same delay sequence" (draw 7) (draw 7);
+  if draw 7 = draw 8 then
+    Alcotest.fail "different seeds produced identical sequences"
+
+let jitter_bounds () =
+  let j = Retry.Jitter.create ~seed:11 () in
+  let prev = ref 100. in
+  for _ = 1 to 200 do
+    let d = Retry.Jitter.next j ~base_ms:100. ~cap_ms:2000. ~prev_ms:!prev in
+    if d < 100. -. 1e-9 then Alcotest.failf "delay %f below the base" d;
+    if d > 2000. +. 1e-9 then Alcotest.failf "delay %f above the cap" d;
+    if d > Float.max 100. (!prev *. 3.) +. 1e-9 then
+      Alcotest.failf "delay %f above 3x prev (%f)" d !prev;
+    prev := d
+  done
+
+let retry_jitter_backoff () =
+  (* Under jitter the delays are seeded-random within the decorrelated
+     envelope, not the deterministic doubling - and still reproducible
+     for a fixed seed. *)
+  let run seed =
+    let slept = ref [] in
+    (match
+       Retry.with_backoff ~retries:4 ~backoff_ms:10. ~max_backoff_ms:100.
+         ~jitter:(Retry.Jitter.create ~seed ())
+         ~sleep:(fun ms -> slept := ms :: !slept)
+         ~retryable:(fun _ -> true)
+         (fun () -> Error `Transient)
+     with
+    | Error `Transient -> ()
+    | Ok () -> Alcotest.fail "always-failing thunk returned Ok");
+    List.rev !slept
+  in
+  let delays = run 42 in
+  check Alcotest.int "one sleep per retry" 4 (List.length delays);
+  check Alcotest.(list (float 1e-9)) "seeded jitter reproducible" delays (run 42);
+  List.iter
+    (fun d ->
+      if d < 10. -. 1e-9 || d > 100. +. 1e-9 then
+        Alcotest.failf "jittered delay %f outside [base, cap]" d)
+    delays;
+  if delays = [ 10.; 20.; 40.; 80. ] then
+    Alcotest.fail "jitter reproduced the deterministic doubling exactly";
+  (* the cap also clamps the un-jittered ladder *)
+  let slept = ref [] in
+  (match
+     Retry.with_backoff ~retries:4 ~backoff_ms:10. ~max_backoff_ms:25.
+       ~sleep:(fun ms -> slept := ms :: !slept)
+       ~retryable:(fun _ -> true)
+       (fun () -> Error `Transient)
+   with
+  | Error `Transient -> ()
+  | Ok () -> Alcotest.fail "always-failing thunk returned Ok");
+  check
+    Alcotest.(list (float 1e-9))
+    "doubling clamps at the cap" [ 10.; 20.; 25.; 25. ]
+    (List.rev !slept)
+
 (* --- Replica health -------------------------------------------------- *)
 
 let health_window () =
@@ -754,6 +821,9 @@ let suite =
       [
         tc "transient/permanent classification" `Quick retry_classification;
         tc "backoff growth and exhaustion" `Quick retry_backoff_growth;
+        tc "jitter determinism" `Quick jitter_determinism;
+        tc "jitter stays in the decorrelated envelope" `Quick jitter_bounds;
+        tc "jittered and capped backoff" `Quick retry_jitter_backoff;
       ] );
     ( "resilience.health",
       [

@@ -27,6 +27,13 @@
      against concurrent readers but not against power loss; route the
      artifact through [Xk_storage.Durable.write_atomically] or fsync
      the file and its directory explicitly.
+   - [no-blocking-in-callback]: an [~on_*] lambda handed to a
+     [Circuit_breaker], [Health] or [Supervisor] call must not perform
+     blocking IO ([Unix.*], channel IO, RPC client calls): those
+     callbacks run inline on the request/supervision path that
+     triggered them, so a blocking callback stalls the very machinery
+     that is trying to shed or heal load.  Checked in [lib/], [bin/]
+     and [tools/].
 
    [budget-loop], [blocking-io-under-lock], [lock-order] and
    [mmap-lifetime] are whole-program rules, checked interprocedurally
@@ -43,6 +50,7 @@ let rule_lock = "bare-lock"
 let rule_state = "shared-state"
 let rule_error = "typed-error"
 let rule_sync = "durability-sync"
+let rule_callback = "no-blocking-in-callback"
 
 type ctx = {
   file : string;
@@ -157,6 +165,20 @@ let scan_toplevel_state ~on_hit =
 
 let locked_idents = [ "Mutex.lock"; "Mutex.unlock"; "Mutex.try_lock" ]
 
+(* Modules whose [~on_*] callbacks run inline on the serving or
+   supervision path; blocking inside one stalls the resilience
+   machinery itself.  Matching is by path component, so
+   [Xk_resilience.Circuit_breaker.create], [Circuit_breaker.create] and
+   [Xk_exec.Supervisor.create] all qualify. *)
+let callback_owners = [ "Circuit_breaker"; "Health"; "Supervisor" ]
+
+let callback_owner path =
+  List.exists
+    (fun part -> List.mem part callback_owners)
+    (String.split_on_char '.' path)
+
+let mentions_blocking = Lint_ast.mentions_path Lint_callgraph.is_blocking
+
 let partial_msg = function
   | ("List.hd" | "List.tl" | "Option.get") as p ->
       Some (Printf.sprintf "partial call '%s'; match on the shape instead" p)
@@ -254,6 +276,30 @@ class linter ctx =
       ctx.allow_stack <- allows :: ctx.allow_stack;
       ctx.expr_depth <- ctx.expr_depth + 1;
       (match e.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+        when ctx.check_lib
+             && callback_owner (Lint_ast.strip_stdlib (Lint_ast.ident_path txt))
+        ->
+          List.iter
+            (fun (label, (arg : expression)) ->
+              match label with
+              | Labelled l
+                when String.starts_with ~prefix:"on_" l
+                     && Lint_ast.is_lambda arg
+                     && (not
+                           (Lint_ast.allows_hit rule_callback
+                              (Lint_ast.allows_of_attributes
+                                 arg.pexp_attributes)))
+                     && mentions_blocking arg ->
+                  report ctx ~loc:arg.pexp_loc ~rule:rule_callback ~name:l
+                    (Printf.sprintf
+                       "blocking IO inside the '~%s' callback of '%s'; the \
+                        callback runs inline on the serving/supervision path \
+                        - record the event and do the IO outside"
+                       l
+                       (Lint_ast.strip_stdlib (Lint_ast.ident_path txt)))
+              | _ -> ())
+            args
       | Pexp_ident { txt; _ } when ctx.check_lib -> (
           let path = Lint_ast.strip_stdlib (Lint_ast.ident_path txt) in
           if List.mem path locked_idents then
